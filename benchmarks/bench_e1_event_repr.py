@@ -1,0 +1,79 @@
+"""E1 — event representation: Ode integers vs Sentinel string triples.
+
+Paper claim (Section 7): "Ode's mapping of basic events to globally unique
+integers is likely to have significantly lower event posting overhead than
+Sentinel's method of representing an event as a triple of strings."
+
+Workload: N classes × 4 member events each, one subscriber per event,
+100k posts round-robin over the events.  The Ode side posts a pre-assigned
+integer; the Sentinel side builds and hashes the (class, prototype,
+modifier) triple per post.  Expected shape: int posting wins at every
+class count, by a growing margin as triples get longer/cooler in cache.
+"""
+
+import pytest
+
+from repro.baselines import IntEventTable, SentinelEventTable
+from repro.core.registry import EventRegistry
+
+from benchmarks.common import emit_table, ratio, time_per_op, us
+
+POSTS = 100_000
+EVENTS_PER_CLASS = 4
+
+_RESULTS: list[list[str]] = []
+
+
+def _build(n_classes):
+    registry = EventRegistry()
+    int_table = IntEventTable()
+    sentinel_table = SentinelEventTable()
+    int_ids = []
+    triples = []
+    for c in range(n_classes):
+        class_name = f"Class{c}"
+        for e in range(EVENTS_PER_CLASS):
+            prototype = f"void method{e}(float, const char*)"
+            eventnum = registry.assign(class_name, prototype)
+            int_table.subscribe(eventnum, lambda: None)
+            sentinel_table.subscribe(class_name, prototype, "end", lambda: None)
+            int_ids.append(eventnum)
+            triples.append((class_name, prototype, "end"))
+    return int_table, sentinel_table, int_ids, triples
+
+
+@pytest.mark.parametrize("n_classes", [1, 16, 64])
+def test_event_representation(benchmark, n_classes):
+    int_table, sentinel_table, int_ids, triples = _build(n_classes)
+    n = len(int_ids)
+
+    def post_ints():
+        post = int_table.post
+        for i in range(POSTS):
+            post(int_ids[i % n])
+
+    def post_triples():
+        post = sentinel_table.post
+        for i in range(POSTS):
+            cls, proto, mod = triples[i % n]
+            post(cls, proto, mod)
+
+    int_us = time_per_op(post_ints, POSTS)
+    sentinel_us = time_per_op(post_triples, POSTS)
+    benchmark.pedantic(post_ints, rounds=2, iterations=1)
+
+    _RESULTS.append(
+        [n_classes, n, us(int_us), us(sentinel_us), ratio(sentinel_us, int_us)]
+    )
+    # The paper's claim must hold in shape: integers never lose.
+    assert int_us < sentinel_us
+
+
+def teardown_module(module):
+    emit_table(
+        "E1",
+        "event posting cost: Ode integers vs Sentinel string triples",
+        ["classes", "events", "int us/post", "triple us/post", "triple/int"],
+        _RESULTS,
+        notes="Paper Section 7: integer representation has lower posting overhead.",
+    )

@@ -1,0 +1,111 @@
+"""E3 — who pays for triggers? (design goals 3 and 4).
+
+"The overhead associated with triggers should be paid only by objects of
+classes with triggers ... the trigger facilities should not add any
+overhead to volatile object accesses."
+
+Four rungs of the ladder, same method body each time:
+
+1. volatile object, direct call — must be plain-Python fast (goal 4);
+2. persistent object of a class with *no* declared events — handle call,
+   but no posting machinery;
+3. persistent object of a class *with* declared events but no active
+   trigger — wrapper posts, control-information bit short-circuits the
+   index lookup (paper footnote 3);
+4. the same object with an active trigger — full FSM advance + state
+   write-back.
+
+Expected shape: each rung costs more than the previous; rung 1 ≪ rung 2;
+rung 3 adds only the cheap flag check over rung 2's dirty-tracking.
+"""
+
+import pytest
+
+from repro.core.declarations import trigger
+from repro.objects.database import Database
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+from benchmarks.common import emit_table, ratio, time_per_op, us
+
+OPS = 3_000
+
+
+class PassiveThing(Persistent):
+    n = field(int, default=0)
+
+    def bump(self):
+        self.n += 1
+
+
+class ActiveThing(Persistent):
+    n = field(int, default=0)
+
+    __events__ = ["after bump"]
+    __triggers__ = [
+        trigger(
+            "Watch", "after bump", action=lambda s, c: None, perpetual=True
+        )
+    ]
+
+    def bump(self):
+        self.n += 1
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database.open(str(tmp_path / "e3"), engine="mm")
+    yield database
+    database.close()
+
+
+def test_trigger_overhead_ladder(benchmark, db):
+    volatile = ActiveThing()
+
+    with db.transaction():
+        passive_ptr = db.pnew(PassiveThing).ptr
+        inactive_ptr = db.pnew(ActiveThing).ptr
+        active_ptr = db.pnew(ActiveThing).ptr
+        db.deref(active_ptr).Watch()
+
+    def run_volatile():
+        bump = volatile.bump
+        for _ in range(OPS):
+            bump()
+
+    def run_handle(ptr):
+        def body():
+            with db.transaction():
+                handle = db.deref(ptr)
+                for _ in range(OPS):
+                    handle.bump()
+
+        return body
+
+    volatile_us = time_per_op(run_volatile, OPS)
+    passive_us = time_per_op(run_handle(passive_ptr), OPS)
+    inactive_us = time_per_op(run_handle(inactive_ptr), OPS)
+    active_us = time_per_op(run_handle(active_ptr), OPS)
+    benchmark.pedantic(run_volatile, rounds=2, iterations=1)
+
+    emit_table(
+        "E3",
+        "method-invocation cost by trigger exposure (us/call)",
+        ["configuration", "us/call", "vs volatile"],
+        [
+            ["volatile object, direct call", us(volatile_us), "1.00x"],
+            ["persistent, class without events", us(passive_us), ratio(passive_us, volatile_us)],
+            ["persistent, events declared, no active trigger", us(inactive_us), ratio(inactive_us, volatile_us)],
+            ["persistent, one active trigger", us(active_us), ratio(active_us, volatile_us)],
+        ],
+        notes=(
+            "Goals 3+4: volatile calls bypass all machinery; event-declaring "
+            "classes without active triggers pay only the control-bit check."
+        ),
+    )
+
+    assert volatile_us < passive_us, "volatile must be the cheapest"
+    assert inactive_us < active_us, "active triggers cost more than the flag check"
+    # Goal 3/footnote 3: posting with no active triggers stays close to the
+    # passive handle path (allow generous slack for noise).
+    assert inactive_us < passive_us * 3

@@ -1,0 +1,101 @@
+"""E4 — transition representation: sparse lists vs the dense 2-D array.
+
+Section 6: the planned ``next[state][event]`` array over globally-unique
+event integers was "very space inefficient for sparse arrays"; Ode shipped
+sparse per-state transition lists instead.  We build the Figure 1 machine
+plus a larger expression, then size the dense array for growing *global*
+event populations (the realistic situation: every class in the process
+contributes events to the integer space).
+
+Expected shape: dense memory grows linearly with the global event count at
+constant occupancy ≈ |alphabet|/|global events| → 0, while the sparse form
+is fixed; dense lookup is O(1) vs the sparse linear scan, so dense wins
+raw lookup time — the paper's trade, quantified.
+"""
+
+import pytest
+
+from repro.baselines import DenseFsm
+from repro.core.registry import EventRegistry
+from repro.core.trigger_def import IntFsm
+from repro.events.compile import compile_expression
+
+from benchmarks.common import emit_table, time_per_op, us
+
+DECLS = [f"E{i}" for i in range(8)]
+EXPRESSION = "E0, (E1 || E2), *E3, E4"
+
+_RESULTS: list[list[str]] = []
+LOOKUPS = 20_000
+
+
+def _build_int_fsm():
+    compiled = compile_expression(EXPRESSION, DECLS)
+    registry = EventRegistry()
+    symbol_to_int = {s: registry.assign("T", s) for s in sorted(compiled.event_symbols)}
+    return IntFsm(compiled, symbol_to_int, {}), registry
+
+
+@pytest.mark.parametrize("global_events", [8, 256, 4096])
+def test_transition_representation(benchmark, global_events):
+    fsm, registry = _build_int_fsm()
+    dense = DenseFsm(fsm, global_events)
+
+    event_ints = sorted(fsm.symbol_to_int.values())
+    states = list(range(len(fsm)))
+
+    def sparse_lookups():
+        move = fsm.move
+        for i in range(LOOKUPS):
+            move(states[i % len(states)], event_ints[i % len(event_ints)])
+
+    def dense_lookups():
+        move = dense.move
+        for i in range(LOOKUPS):
+            move(states[i % len(states)], event_ints[i % len(event_ints)])
+
+    sparse_us = time_per_op(sparse_lookups, LOOKUPS)
+    dense_us = time_per_op(dense_lookups, LOOKUPS)
+    benchmark.pedantic(sparse_lookups, rounds=2, iterations=1)
+
+    sparse_bytes = fsm.transition_count() * 16  # eventnum + newstate pairs
+    _RESULTS.append(
+        [
+            global_events,
+            len(fsm),
+            fsm.transition_count(),
+            sparse_bytes,
+            dense.approx_bytes(),
+            f"{dense.occupancy():.4f}",
+            us(sparse_us),
+            us(dense_us),
+        ]
+    )
+
+    # The Section 6 lesson, as assertions: dense memory explodes with the
+    # global event population while the sparse form is flat.
+    if global_events >= 256:
+        assert dense.approx_bytes() > sparse_bytes * 10
+    assert dense.used_cells() == fsm.transition_count()
+
+
+def teardown_module(module):
+    emit_table(
+        "E4",
+        f"transition-function representation for {EXPRESSION!r}",
+        [
+            "global events",
+            "states",
+            "transitions",
+            "sparse bytes",
+            "dense bytes",
+            "dense occupancy",
+            "sparse us/move",
+            "dense us/move",
+        ],
+        _RESULTS,
+        notes=(
+            "Section 6: dense arrays sized by the global event space are "
+            "'very space inefficient'; Ode chose sparse per-state lists."
+        ),
+    )

@@ -1,0 +1,128 @@
+"""E7 — the cost of each coupling mode (Sections 4.2, 5.5).
+
+One trigger per mode, same trivial action, fired repeatedly: *immediate*
+runs inline during posting; *end* queues and runs during commit
+processing; *dependent* and *!dependent* each spawn a system transaction
+after commit.  The abort path is also measured: !dependent still runs,
+dependent is discarded.
+
+Expected shape: immediate ≈ end < dependent ≈ !dependent (the detached
+modes pay a whole extra transaction), and the abort path costs the
+!dependent system transaction even though the user transaction rolled
+back.
+"""
+
+import pytest
+
+from repro.core.declarations import trigger
+from repro.errors import TransactionAbort
+from repro.objects.database import Database
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+from benchmarks.common import emit_table, time_per_op, us
+
+FIRINGS = 150
+
+_RESULTS: list[list[str]] = []
+
+COUNTS = {"immediate": 0, "end": 0, "dependent": 0, "!dependent": 0}
+
+
+def _make(mode_key):
+    def action(self, ctx):
+        COUNTS[mode_key] += 1
+
+    return action
+
+
+class Fireable(Persistent):
+    n = field(int, default=0)
+
+    __events__ = ["Go"]
+    __triggers__ = [
+        trigger("Imm", "Go", action=_make("immediate"), perpetual=True),
+        trigger("End", "Go", action=_make("end"), coupling="end", perpetual=True),
+        trigger(
+            "Dep", "Go", action=_make("dependent"), coupling="dependent",
+            perpetual=True,
+        ),
+        trigger(
+            "Indep", "Go", action=_make("!dependent"), coupling="!dependent",
+            perpetual=True,
+        ),
+    ]
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database.open(str(tmp_path / "e7"), engine="mm")
+    yield database
+    database.close()
+
+
+def _target(db, activation):
+    with db.transaction():
+        handle = db.pnew(Fireable)
+        getattr(handle, activation)()
+        return handle.ptr
+
+
+@pytest.mark.parametrize(
+    "activation,label",
+    [
+        ("Imm", "immediate"),
+        ("End", "end (deferred)"),
+        ("Dep", "dependent"),
+        ("Indep", "!dependent"),
+    ],
+)
+def test_coupling_mode_cost(benchmark, db, activation, label):
+    ptr = _target(db, activation)
+
+    def fire_many():
+        for _ in range(FIRINGS):
+            with db.transaction():
+                db.deref(ptr).post_event("Go")
+
+    per_firing = time_per_op(fire_many, FIRINGS, repeats=2)
+    benchmark.pedantic(fire_many, rounds=1, iterations=1)
+    _RESULTS.append([label, "commit", us(per_firing)])
+
+
+def test_abort_path(benchmark, db):
+    dep_ptr = _target(db, "Dep")
+    indep_ptr = _target(db, "Indep")
+    before = dict(COUNTS)
+
+    def fire_and_abort(ptr):
+        def body():
+            for _ in range(FIRINGS):
+                with db.transaction():
+                    db.deref(ptr).post_event("Go")
+                    raise TransactionAbort()
+
+        return body
+
+    dep_us = time_per_op(fire_and_abort(dep_ptr), FIRINGS, repeats=1)
+    indep_us = time_per_op(fire_and_abort(indep_ptr), FIRINGS, repeats=1)
+    benchmark.pedantic(fire_and_abort(indep_ptr), rounds=1, iterations=1)
+    _RESULTS.append(["dependent", "abort", us(dep_us)])
+    _RESULTS.append(["!dependent", "abort", us(indep_us)])
+
+    # Semantics: dependent actions died with the aborts, !dependent ran.
+    assert COUNTS["dependent"] == before["dependent"]
+    assert COUNTS["!dependent"] > before["!dependent"]
+
+
+def teardown_module(module):
+    emit_table(
+        "E7",
+        f"per-firing cost by coupling mode ({FIRINGS} firings each)",
+        ["coupling mode", "txn outcome", "us/firing"],
+        _RESULTS,
+        notes=(
+            "Detached modes pay a full system transaction per batch; "
+            "!dependent also runs on the abort path (Section 5.5)."
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Shared infrastructure for the experiment harness.
+
+Every experiment prints a table (the "rows/series" its DESIGN.md entry
+promises) and appends the same text to ``bench_results/<experiment>.txt``
+so EXPERIMENTS.md can quote measured numbers even when pytest captures
+stdout.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "bench_results")
+
+
+def emit_table(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: str = "",
+) -> str:
+    """Format, print, and persist one experiment table."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells):
+        return " | ".join(str(c).ljust(widths[i]) for i, c in enumerate(cells))
+
+    lines = [f"== {experiment}: {title} ==", fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines += [fmt(row) for row in rows]
+    if notes:
+        lines.append(notes)
+    text = "\n".join(lines)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+def time_per_op(fn: Callable[[], object], ops: int, repeats: int = 3) -> float:
+    """Best-of-*repeats* wall time per operation, in microseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best / ops * 1e6
+
+
+def us(value: float) -> str:
+    """Format a microsecond figure."""
+    return f"{value:8.3f}"
+
+
+def ratio(a: float, b: float) -> str:
+    """a/b as 'N.NNx' (guarding zero)."""
+    if b == 0:
+        return "inf"
+    return f"{a / b:.2f}x"

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""The Section 8 extensions in one scenario: an order-processing pipeline.
+
+* **Constraints as triggers** — inventory can never go negative and orders
+  can never exceed stock; violations abort the offending transaction.
+* **Timed triggers** — an order not paid within its deadline produces a
+  ``Timeout`` event; the composite ``(after place, Timeout) & unpaid``
+  escalates it.
+* **Monitored (volatile) classes / local rules** — a session-local rate
+  meter with triggers but zero persistent storage and zero lock traffic.
+
+Usage: python examples/constraints_and_timers.py
+"""
+
+import shutil
+import tempfile
+
+from repro import Database, Persistent, field, trigger
+from repro.core.monitored import LocalTriggerSystem, Monitored
+from repro.core.timers import TimerService
+from repro.errors import ConstraintViolationError
+
+
+class Inventory(Persistent):
+    stock = field(int, default=0)
+
+    __events__ = ["after receive", "after reserve"]
+    __constraints__ = {
+        "non_negative_stock": lambda self: self.stock >= 0,
+    }
+
+    def receive(self, qty: int) -> None:
+        self.stock += qty
+
+    def reserve(self, qty: int) -> None:
+        self.stock -= qty
+
+
+class Order(Persistent):
+    item_qty = field(int, default=0)
+    paid = field(bool, default=False)
+    escalations = field(int, default=0)
+
+    __events__ = ["after place", "after pay", "Timeout"]
+    __masks__ = {"unpaid": lambda self: not self.paid}
+    __triggers__ = [
+        trigger(
+            "EscalateUnpaid",
+            "(after place, Timeout) & unpaid",
+            action=lambda self, ctx: self.escalate(),
+            perpetual=True,
+        )
+    ]
+
+    def place(self) -> None:
+        pass
+
+    def pay(self) -> None:
+        self.paid = True
+
+    def escalate(self) -> None:
+        self.escalations += 1
+
+
+class RateMeter(Monitored):
+    """Volatile: lives only for this session, still has triggers."""
+
+    __events__ = ["after tick"]
+    __masks__ = {"hot": lambda self: self.count >= 5}
+    __triggers__ = [
+        trigger(
+            "Throttle",
+            "after tick & hot",
+            action=lambda self, ctx: print("  >> local rule: rate high, throttling"),
+        )
+    ]
+
+    def __init__(self):
+        self.count = 0
+
+    def tick(self):
+        self.count += 1
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="ode-ext-")
+    db = Database.open(f"{workdir}/orders", engine="mm")
+
+    # --- constraints --------------------------------------------------------
+    print("--- constraints as triggers ---")
+    with db.transaction():
+        inventory = db.pnew(Inventory, stock=0)
+        inv_ptr = inventory.ptr
+        inventory.receive(10)
+    try:
+        with db.transaction():
+            db.deref(inv_ptr).reserve(25)  # would go negative
+    except ConstraintViolationError as exc:
+        print(f"rejected: {exc}")
+    with db.transaction():
+        print(f"stock unchanged: {db.deref(inv_ptr).stock}")
+
+    # --- timed triggers ------------------------------------------------------
+    print("\n--- timed triggers ---")
+    timers = TimerService(db)
+    with db.transaction():
+        paid_order = db.pnew(Order, item_qty=2)
+        late_order = db.pnew(Order, item_qty=5)
+        paid_ptr, late_ptr = paid_order.ptr, late_order.ptr
+        paid_order.EscalateUnpaid()
+        late_order.EscalateUnpaid()
+        paid_order.place()
+        late_order.place()
+    timers.schedule(paid_ptr, "Timeout", delay=24.0)
+    timers.schedule(late_ptr, "Timeout", delay=24.0)
+    with db.transaction():
+        db.deref(paid_ptr).pay()  # pays before the deadline
+    fired = timers.advance_to(25.0)
+    with db.transaction():
+        print(f"timers fired:              {fired}")
+        print(f"paid order escalations:    {db.deref(paid_ptr).escalations}")
+        print(f"late order escalations:    {db.deref(late_ptr).escalations}")
+
+    # --- monitored volatile class -------------------------------------------
+    print("\n--- monitored (volatile) class / local rules ---")
+    local = LocalTriggerSystem()
+    meter = RateMeter()
+    handle = local.monitor(meter)
+    handle.Throttle()
+    for _ in range(6):
+        handle.tick()
+    print(
+        f"local system: {local.stats.events_posted} events posted, "
+        f"{local.stats.state_writes} storage writes (always zero)"
+    )
+
+    db.close()
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

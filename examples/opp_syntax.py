@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Declaring triggers in the paper's own O++ syntax.
+
+The `repro.opp` mini-compiler accepts the Section 4 declaration surface —
+``persistent class``, ``event``, ``trigger ... ==> action``, ``tabort``,
+coupling keywords, constraints — and produces a live class.  Combined with
+the disk engine's B-tree indexes, this example runs a small warehouse:
+
+* ``Reorder`` — a deferred trigger that files a restock order when an item
+  is picked below its reorder point,
+* ``NoOverpick`` — a constraint keeping stock non-negative (violations
+  abort the picking transaction),
+* an index on ``stock`` supporting "what is low right now?" range queries.
+
+Usage: python examples/opp_syntax.py
+"""
+
+import shutil
+import tempfile
+
+from repro import Database
+from repro.errors import ConstraintViolationError
+from repro.opp import compile_opp_class
+
+RESTOCKS = []
+
+WAREHOUSE_ITEM = """
+persistent class WarehouseItem {
+    str name;
+    int stock = 0;
+    int reorder_point = 10;
+    event after receive, after pick;
+    trigger Reorder() : perpetual end
+        after pick & below_reorder ==> file_restock();
+    constraint no_overpick : non_negative;
+}
+"""
+
+
+def main() -> None:
+    Item = compile_opp_class(
+        WAREHOUSE_ITEM,
+        methods={
+            "receive": lambda self, qty: setattr(self, "stock", self.stock + qty),
+            "pick": lambda self, qty: setattr(self, "stock", self.stock - qty),
+            "file_restock": lambda self: RESTOCKS.append(self.name),
+        },
+        masks={
+            "below_reorder": lambda self: self.stock < self.reorder_point,
+            "non_negative": lambda self: self.stock >= 0,
+        },
+    )
+
+    workdir = tempfile.mkdtemp(prefix="ode-opp-")
+    db = Database.open(f"{workdir}/warehouse", engine="disk")
+
+    with db.transaction():
+        db.create_index(Item, "stock")
+        items = {}
+        for name, qty in [("bolts", 100), ("nuts", 12), ("washers", 50)]:
+            handle = db.pnew(Item, name=name, stock=qty)
+            handle.Reorder()
+            items[name] = handle.ptr
+
+    # Normal picking; `nuts` crosses its reorder point.
+    with db.transaction():
+        db.deref(items["bolts"]).pick(20)
+        db.deref(items["nuts"]).pick(5)  # 12 -> 7 < 10: deferred Reorder
+    print(f"restock orders filed at commit: {RESTOCKS}")
+
+    # The constraint rejects an over-pick; the transaction rolls back.
+    try:
+        with db.transaction():
+            db.deref(items["washers"]).pick(75)
+    except ConstraintViolationError as exc:
+        print(f"over-pick rejected: {exc}")
+    with db.transaction():
+        print(f"washers stock unchanged: {db.deref(items['washers']).stock}")
+
+    # Index-backed range query: what is low right now?
+    with db.transaction():
+        low = [
+            (h.name, h.stock) for h in db.find_range(Item, "stock", None, 10)
+        ]
+        print(f"items at or below 10 units: {low}")
+
+    db.close()
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

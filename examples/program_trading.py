@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Program trading — the paper's motivating domain (Sections 1 and 8).
+
+Three kinds of active behaviour over a simulated tick stream:
+
+1. An *intra-object* pattern trigger: three consecutive rising ticks on a
+   stock produce a momentum signal (composite event with masks).
+2. The paper's *inter-object* future-work example: "if AT&T goes below 60
+   and the price of gold stabilizes, buy 1000 shares of AT&T" — built from
+   bridge triggers and a hidden coordinator object.
+3. A detached (!dependent) audit trigger that records every trade in a
+   separate transaction, surviving even if the trading transaction aborts.
+
+Usage: python examples/program_trading.py [n_ticks]
+"""
+
+import shutil
+import sys
+import tempfile
+
+from repro import Database, Persistent, field, trigger
+from repro.core.interobject import InterObjectTrigger
+from repro.workloads.trading import Portfolio, Stock, TickStream
+
+
+class SignalStock(Stock):
+    """Stock emitting momentum signals on three consecutive rises."""
+
+    signals = field(int, default=0)
+
+    __triggers__ = [
+        trigger(
+            "Momentum",
+            "(after set_price & rising), (after set_price & rising), "
+            "(after set_price & rising)",
+            action=lambda self, ctx: self.record_signal(),
+            perpetual=True,
+        )
+    ]
+
+    def record_signal(self) -> None:
+        self.signals += 1
+
+
+class AuditLog(Persistent):
+    entries = field(list, default=[])
+
+    __events__ = ["TradeDone"]
+    __triggers__ = [
+        trigger(
+            "Audit",
+            "TradeDone",
+            action=lambda self, ctx: self.append_entry(),
+            coupling="!dependent",  # separate txn, survives aborts
+            perpetual=True,
+        )
+    ]
+
+    def append_entry(self) -> None:
+        self.entries = self.entries + ["trade recorded"]
+
+
+def main(n_ticks: int = 400) -> None:
+    workdir = tempfile.mkdtemp(prefix="ode-trading-")
+    db = Database.open(f"{workdir}/market", engine="mm")
+
+    with db.transaction():
+        att = db.pnew(SignalStock, symbol="T", price=62.0, prev_price=62.0)
+        gold = db.pnew(Stock, symbol="GC", price=2000.0, prev_price=2000.0)
+        desk = db.pnew(Portfolio, owner="desk-1", cash=100_000.0)
+        audit = db.pnew(AuditLog)
+        att_ptr, gold_ptr = att.ptr, gold.ptr
+        desk_ptr, audit_ptr = desk.ptr, audit.ptr
+        att.Momentum()
+        audit.Audit()
+
+    # The paper's inter-object trigger, verbatim.
+    def buy_att(coordinator, ctx):
+        anchors = ctx.params["anchors"]
+        portfolio = ctx.db.deref(desk_ptr)
+        att_stock = ctx.db.deref(anchors["att_low"])
+        portfolio.buy_shares("T", 1000, att_stock.price)
+        ctx.db.deref(audit_ptr).post_event("TradeDone")
+        print(
+            f"  >> inter-object trigger fired: bought 1000 T @ "
+            f"{att_stock.price:.2f}"
+        )
+
+    InterObjectTrigger(
+        db,
+        "buy_att_on_dip",
+        anchors={
+            "att_low": (att_ptr, "after set_price & below60"),
+            "gold_stable": (gold_ptr, "after set_price & stable"),
+        },
+        expression="(att_low, gold_stable) || (gold_stable, att_low)",
+        action=buy_att,
+        anchor_masks={
+            "att_low": {"below60": lambda self: self.price < 60.0},
+            "gold_stable": {
+                "stable": lambda self: self.prev_price != 0.0
+                and abs(self.price - self.prev_price) / self.prev_price < 0.002
+            },
+        },
+    )
+
+    # Drive a seeded random walk through both stocks.
+    stream = TickStream({"T": 62.0, "GC": 2000.0}, seed=1996, volatility=0.012)
+    stream.apply(db, {"T": att_ptr, "GC": gold_ptr}, n_ticks, ticks_per_txn=5)
+
+    with db.transaction():
+        att_final = db.deref(att_ptr)
+        desk_final = db.deref(desk_ptr)
+        audit_final = db.deref(audit_ptr)
+        print(f"ticks applied:        {n_ticks}")
+        print(f"final T price:        {att_final.price:.2f}")
+        print(f"momentum signals:     {att_final.signals}")
+        print(f"desk positions:       {desk_final.positions}")
+        print(f"desk cash:            {desk_final.cash:.2f}")
+        print(f"audit entries:        {len(audit_final.entries)}")
+        print(f"trade log:            {desk_final.trade_log}")
+    db.close()
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart — the paper's Section 4 credit-card example, end to end.
+
+Runs the exact scenario the paper narrates:
+
+* ``DenyCredit`` — a perpetual immediate trigger whose composite event is
+  ``after buy & (curr_bal > cred_lim)``; on firing it black-marks the
+  customer and ``tabort``s the purchase.
+* ``AutoRaiseLimit(amount)`` — a once-only trigger on
+  ``relative((after buy & MoreCred()), after pay_bill)`` that raises the
+  limit when the customer runs near it with a clean history.
+
+Usage: python examples/quickstart.py
+"""
+
+import shutil
+import tempfile
+
+from repro import Database
+from repro.workloads.credit_card import CredCard, Customer
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="ode-quickstart-")
+    db = Database.open(f"{workdir}/bank", engine="disk")
+    print(f"opened disk database at {workdir}/bank")
+
+    # --- create a customer and card, activate the paper's two triggers ----
+    with db.transaction():
+        narain = db.pnew(Customer, name="Narain")
+        card = db.pnew(CredCard, issued_to=narain.ptr, cred_lim=1000.0)
+        card_ptr = card.ptr
+        card.DenyCredit()  # trigger activation looks like a member call
+        raise_id = card.AutoRaiseLimit(500.0)
+        print(f"activated DenyCredit and AutoRaiseLimit -> TriggerId {raise_id}")
+
+    # --- a normal purchase --------------------------------------------------
+    with db.transaction():
+        db.deref(card_ptr).buy(None, 300.0)
+    with db.transaction():
+        print(f"after $300 purchase: balance = {db.deref(card_ptr).curr_bal}")
+
+    # --- an over-limit purchase: DenyCredit fires and aborts ----------------
+    with db.transaction():
+        db.deref(card_ptr).buy(None, 900.0)  # 300+900 > 1000 -> tabort
+    with db.transaction():
+        card = db.deref(card_ptr)
+        print(
+            f"after denied $900 purchase: balance = {card.curr_bal} "
+            f"(transaction rolled back, black marks = {card.black_marks})"
+        )
+
+    # --- AutoRaiseLimit: run the balance near the limit, then pay ----------
+    with db.transaction():
+        db.deref(card_ptr).buy(None, 550.0)  # balance 850 > 80% of 1000
+    with db.transaction():
+        db.deref(card_ptr).pay_bill(100.0)  # relative(): any later pay_bill
+    with db.transaction():
+        card = db.deref(card_ptr)
+        print(f"after near-limit buy + payment: credit limit = {card.cred_lim}")
+        active = [
+            info.name for _, _, info in db.trigger_system.active_triggers(card_ptr)
+        ]
+        print(f"still active (AutoRaiseLimit was once-only): {active}")
+
+    # --- global composite events: a second "application" --------------------
+    db.close()
+    db2 = Database.open(f"{workdir}/bank", engine="disk")
+    with db2.transaction():
+        card = db2.deref(card_ptr)
+        print(
+            f"reopened database: limit={card.cred_lim}, "
+            f"DenyCredit still armed across sessions"
+        )
+        card.buy(None, 2000.0)  # still denied in the new session
+    with db2.transaction():
+        print(f"balance after cross-session denial: {db2.deref(card_ptr).curr_bal}")
+    db2.close()
+    shutil.rmtree(workdir, ignore_errors=True)
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Baselines and counter-designs the paper compares against.
+
+Each module here implements a design the paper *rejected* or a competing
+system it cites, so the benchmark harness can measure the claims:
+
+* :mod:`repro.baselines.sentinel_events` — Sentinel's string-triple event
+  representation [7] vs. Ode's run-time integers (experiment E1),
+* :mod:`repro.baselines.rescan` — naive history-rescanning detection vs.
+  incremental FSMs (experiment E2),
+* :mod:`repro.baselines.event_graph` — Chakravarthy-style event-graph
+  detection [6] (experiment E2),
+* :mod:`repro.baselines.dense_fsm` — the dense 2-D transition array the
+  implementation originally planned and abandoned as "very space
+  inefficient" (Section 6, experiment E4).
+"""
+
+from repro.baselines.dense_fsm import DenseFsm
+from repro.baselines.event_graph import EventGraphDetector
+from repro.baselines.rescan import RescanDetector
+from repro.baselines.sentinel_events import (
+    IntEventTable,
+    SentinelEventTable,
+    sentinel_triple,
+)
+
+__all__ = [
+    "DenseFsm",
+    "EventGraphDetector",
+    "IntEventTable",
+    "RescanDetector",
+    "SentinelEventTable",
+    "sentinel_triple",
+]

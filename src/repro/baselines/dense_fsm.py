@@ -1,0 +1,82 @@
+"""The dense 2-D transition array the paper abandoned (experiment E4).
+
+    "We originally planned to represent each FSM's transition function as a
+    normal two-dimensional array using the current state and an integer
+    representing the posted event to index into an array of (next) states.
+    However, this representation is very space inefficient for sparse
+    arrays, so event identifiers had to be reused ...  It was found to be
+    much cleaner to map each event to a unique integer and use a sparse
+    array representation of the transition function."  (Section 6)
+
+:class:`DenseFsm` materializes ``next[state][eventnum]`` over the whole
+global event-integer space (0..max assigned), so its memory grows with the
+number of events registered *process-wide*, not with the machine's own
+alphabet — precisely the blowup that forced the redesign.  Lookup is O(1)
+array indexing; the sparse list is a short linear scan.  E4 measures both
+sides of that trade.
+"""
+
+from __future__ import annotations
+
+from repro.core.trigger_def import IntFsm
+from repro.events.fsm import DEAD
+
+#: Sentinel meaning "no transition" inside the dense array.
+NO_TRANSITION = -2
+
+
+class DenseFsm:
+    """An :class:`IntFsm` re-encoded as a dense ``next[state][event]`` array."""
+
+    def __init__(self, fsm: IntFsm, global_event_count: int):
+        """Build from *fsm*, sized for *global_event_count* event integers.
+
+        ``global_event_count`` is ``len(global_event_registry())`` in a real
+        process — every event of every class, because the integers are
+        globally unique (the whole point of the Section 6 lesson).
+        """
+        if global_event_count < 1:
+            raise ValueError("global_event_count must be positive")
+        self.anchored = fsm.anchored
+        self.start = fsm.start
+        self.width = global_event_count + 1  # event ints are 1-based
+        self.next: list[list[int]] = []
+        for state in fsm.states:
+            row = [NO_TRANSITION] * self.width
+            for transition in state.transfunc:
+                if transition.eventnum < self.width:
+                    row[transition.eventnum] = transition.newstate
+            self.next.append(row)
+        self.accept = [state.accept for state in fsm.states]
+
+    def move(self, statenum: int, eventnum: int) -> tuple[int, bool]:
+        """O(1) dense lookup with the same ignore/dead semantics as IntFsm."""
+        if statenum == DEAD:
+            return DEAD, False
+        if 0 <= eventnum < self.width:
+            nxt = self.next[statenum][eventnum]
+            if nxt != NO_TRANSITION:
+                return nxt, True
+        if self.anchored:
+            return DEAD, True
+        return statenum, False
+
+    # -- accounting ---------------------------------------------------------------
+
+    def cells(self) -> int:
+        """Total array cells (the dense memory footprint driver)."""
+        return len(self.next) * self.width
+
+    def approx_bytes(self) -> int:
+        """Approximate memory, at 8 bytes per cell (C ``int``-ish, rounded up)."""
+        return self.cells() * 8
+
+    def used_cells(self) -> int:
+        """Cells holding a real transition (what the sparse form stores)."""
+        return sum(
+            1 for row in self.next for cell in row if cell != NO_TRANSITION
+        )
+
+    def occupancy(self) -> float:
+        """Fraction of the dense array actually used."""
+        return self.used_cells() / self.cells() if self.cells() else 0.0

@@ -1,0 +1,202 @@
+"""Event-graph composite-event detection (experiment E2 baseline).
+
+A simplified reimplementation of the operator-graph technique of
+Chakravarthy et al. [6] (Sentinel's detector): the expression becomes a DAG
+of operator nodes; each incoming event flows bottom-up, and operator nodes
+combine child *occurrences* (index intervals) into larger ones, storing
+partial matches inside the nodes.
+
+To compare apples to apples with Ode's FSMs we use the same contiguous-
+window semantics (a sequence ``a, b`` requires ``b`` immediately after
+``a``) and report a detection when an occurrence ends at the current event.
+Sequence nodes remember the end positions of completed left children —
+that stored partial-match state is the per-event overhead the FSM design
+avoids by collapsing everything into one integer state.
+
+Supported operators: basic events, ``any``, sequence, union, star.  Masks
+are out of scope for this baseline (Sentinel's detector handles them in a
+separate condition phase).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EventError
+from repro.events.ast import (
+    AnyEvent,
+    BasicEvent,
+    EventExpr,
+    ExtAnyEvent,
+    Seq,
+    Star,
+    Union,
+)
+
+
+class _Node:
+    """One operator node; ``feed`` returns occurrences (start, end=index)."""
+
+    def feed(self, symbol: str, index: int) -> list[tuple[int, int]]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        pass
+
+    def partial_state_size(self) -> int:
+        return 0
+
+
+class _Leaf(_Node):
+    def __init__(self, symbol: str):
+        self.symbol = symbol
+
+    def feed(self, symbol: str, index: int) -> list[tuple[int, int]]:
+        if symbol == self.symbol:
+            return [(index, index)]
+        return []
+
+
+class _Any(_Node):
+    def feed(self, symbol: str, index: int) -> list[tuple[int, int]]:
+        return [(index, index)]
+
+
+class _Union(_Node):
+    def __init__(self, children: list[_Node]):
+        self.children = children
+
+    def feed(self, symbol: str, index: int) -> list[tuple[int, int]]:
+        occurrences: list[tuple[int, int]] = []
+        for child in self.children:
+            occurrences.extend(child.feed(symbol, index))
+        return occurrences
+
+    def reset(self) -> None:
+        for child in self.children:
+            child.reset()
+
+    def partial_state_size(self) -> int:
+        return sum(child.partial_state_size() for child in self.children)
+
+
+class _Sequence(_Node):
+    """Binary sequence with contiguity: right must start at left end + 1."""
+
+    def __init__(self, left: _Node, right: _Node):
+        self.left = left
+        self.right = right
+        # start positions of left occurrences, keyed by their end index + 1
+        # (where a right occurrence must begin).
+        self._pending: dict[int, list[int]] = {}
+
+    def feed(self, symbol: str, index: int) -> list[tuple[int, int]]:
+        right_occurrences = self.right.feed(symbol, index)
+        left_occurrences = self.left.feed(symbol, index)
+        results: list[tuple[int, int]] = []
+        for start, end in right_occurrences:
+            for left_start in self._pending.get(start, ()):
+                results.append((left_start, end))
+        # Record left completions *after* matching so right can't use an
+        # occurrence of the same event instance for both sides.
+        for start, end in left_occurrences:
+            self._pending.setdefault(end + 1, []).append(start)
+        # A nullable right (a star) emits an empty occurrence (index+1,
+        # index) in this same feed; it consumes nothing, so it may combine
+        # with a left occurrence that just completed at this index.
+        empty_right_starts = {
+            start for start, end in right_occurrences if end < start
+        }
+        for left_start, left_end in left_occurrences:
+            if left_end + 1 in empty_right_starts:
+                results.append((left_start, left_end))
+        return results
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self.left.reset()
+        self.right.reset()
+
+    def partial_state_size(self) -> int:
+        return (
+            sum(len(v) for v in self._pending.values())
+            + self.left.partial_state_size()
+            + self.right.partial_state_size()
+        )
+
+
+class _Star(_Node):
+    """Zero-or-more contiguous repetitions of the child."""
+
+    def __init__(self, child: _Node):
+        self.child = child
+        # Iterated runs: start -> set of "next expected" positions.
+        self._runs: dict[int, set[int]] = {}
+
+    def feed(self, symbol: str, index: int) -> list[tuple[int, int]]:
+        child_occurrences = self.child.feed(symbol, index)
+        results: list[tuple[int, int]] = [(index + 1, index)]  # empty match
+        new_runs: list[tuple[int, int]] = []
+        for start, end in child_occurrences:
+            new_runs.append((start, end))  # run of length 1
+            for run_start, expected in list(self._runs.items()):
+                if start in expected:
+                    new_runs.append((run_start, end))
+        for start, end in new_runs:
+            self._runs.setdefault(start, set()).add(end + 1)
+            results.append((start, end))
+        return results
+
+    def reset(self) -> None:
+        self._runs.clear()
+        self.child.reset()
+
+    def partial_state_size(self) -> int:
+        return (
+            sum(len(v) for v in self._runs.values())
+            + self.child.partial_state_size()
+        )
+
+
+def _build(node: EventExpr) -> _Node:
+    if isinstance(node, BasicEvent):
+        return _Leaf(node.symbol)
+    if isinstance(node, (AnyEvent, ExtAnyEvent)):
+        return _Any()
+    if isinstance(node, Union):
+        return _Union([_build(part) for part in node.parts])
+    if isinstance(node, Seq):
+        built = [_build(part) for part in node.parts]
+        root = built[0]
+        for right in built[1:]:
+            root = _Sequence(root, right)
+        return root
+    if isinstance(node, Star):
+        return _Star(_build(node.child))
+    raise EventError(f"event graph cannot handle {type(node).__name__} (masks?)")
+
+
+class EventGraphDetector:
+    """Operator-graph detector with contiguous-window semantics."""
+
+    def __init__(self, expression: EventExpr):
+        if expression.mask_names():
+            raise EventError("the event-graph baseline does not support masks")
+        self._root = _build(expression.desugar())
+        self._index = -1
+        self.detections = 0
+
+    def post(self, symbol: str) -> bool:
+        """Feed one event; returns whether an occurrence ends here."""
+        self._index += 1
+        occurrences = self._root.feed(symbol, self._index)
+        matched = any(end == self._index for _, end in occurrences)
+        if matched:
+            self.detections += 1
+        return matched
+
+    def reset(self) -> None:
+        self._root.reset()
+        self._index = -1
+
+    def partial_state_size(self) -> int:
+        """Stored partial matches — the memory the FSM design avoids."""
+        return self._root.partial_state_size()

@@ -1,0 +1,181 @@
+"""Naive history-rescanning composite-event detection (experiment E2).
+
+The obvious alternative to compiling event expressions into FSMs: keep the
+object's whole event history and, on every new event, re-scan it for a
+match *ending at* the new event (the paper's firing rule: "the
+corresponding trigger will fire at most once in response to the posting of
+a single event", footnote 5).
+
+Per-event cost grows with the history length — O(history × expression) —
+whereas the incremental FSM pays O(1) state transitions.  Design goal 2
+("detection of composite events should be efficient") is exactly the gap
+this baseline makes visible.
+
+The matcher interprets the AST directly with memoized backtracking.  Masks
+are supported by recording every posting's mask outcomes: a ``Masked``
+node completing at history position *e* consults the outcomes recorded at
+the event that completed it (*e − 1*; the activation snapshot for an
+empty-prefix completion at 0) — the same instant the FSM's mask state
+would evaluate the predicate.  This module doubles as the executable
+*oracle* for the property-based equivalence tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EventError
+from repro.events.ast import (
+    AnyEvent,
+    BasicEvent,
+    EventExpr,
+    ExtAnyEvent,
+    Masked,
+    Plus,
+    Relative,
+    Seq,
+    Star,
+    Union,
+)
+
+
+class RescanDetector:
+    """Detects a composite event by re-scanning the full history per post."""
+
+    def __init__(
+        self,
+        expression: EventExpr,
+        anchored: bool = False,
+        activation_masks: dict[str, bool] | None = None,
+    ):
+        self.expr = expression
+        self.anchored = anchored
+        self.history: list[str] = []
+        self.mask_history: list[dict[str, bool]] = []
+        self.activation_masks = dict(activation_masks or {})
+        self.scans = 0
+        self.positions_visited = 0
+
+    # -- posting -----------------------------------------------------------------
+
+    def post(self, symbol: str, mask_outcomes: dict[str, bool] | None = None) -> bool:
+        """Append one event; returns whether the expression now matches.
+
+        ``mask_outcomes`` records each mask's value *at this instant*;
+        later rescans replay them, since a predicate cannot be re-evaluated
+        against a past object state.
+        """
+        self.history.append(symbol)
+        self.mask_history.append(dict(mask_outcomes or {}))
+        return self._match_ending_now()
+
+    def reset(self) -> None:
+        self.history.clear()
+        self.mask_history.clear()
+
+    # -- matching -------------------------------------------------------------------
+
+    def _match_ending_now(self) -> bool:
+        """Does any window of the history ending at its tail match?"""
+        self.scans += 1
+        n = len(self.history)
+        starts = range(n) if not self.anchored else (0,)
+        for start in starts:
+            memo: dict[tuple[int, int], frozenset[int]] = {}
+            if n in self._ends(self.expr, start, memo):
+                return True
+        return False
+
+    def _mask_value(self, name: str, end: int) -> bool:
+        """The recorded value of *name* at the instant position *end* was
+        reached (activation snapshot for end == 0)."""
+        if end == 0:
+            return bool(self.activation_masks.get(name, False))
+        return bool(self.mask_history[end - 1].get(name, False))
+
+    def _ends(
+        self,
+        node: EventExpr,
+        pos: int,
+        memo: dict[tuple[int, int], frozenset[int]],
+    ) -> frozenset[int]:
+        """All positions where *node*, started at *pos*, can end."""
+        key = (id(node), pos)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        self.positions_visited += 1
+        history = self.history
+        if isinstance(node, BasicEvent):
+            if node.is_pseudo():
+                raise EventError("rescan matches raw ASTs; do not desugar masks")
+            if pos < len(history) and history[pos] == node.symbol:
+                result = frozenset((pos + 1,))
+            else:
+                result = frozenset()
+        elif isinstance(node, (AnyEvent, ExtAnyEvent)):
+            # No pseudo-events exist in the raw history: both wildcards
+            # match exactly one real event.
+            if pos < len(history):
+                result = frozenset((pos + 1,))
+            else:
+                result = frozenset()
+        elif isinstance(node, Masked):
+            result = frozenset(
+                end
+                for end in self._ends(node.child, pos, memo)
+                if self._mask_value(node.mask, end)
+            )
+        elif isinstance(node, Seq):
+            current = frozenset((pos,))
+            for part in node.parts:
+                nxt: set[int] = set()
+                for p in current:
+                    nxt |= self._ends(part, p, memo)
+                current = frozenset(nxt)
+                if not current:
+                    break
+            result = current
+        elif isinstance(node, Union):
+            collected: set[int] = set()
+            for part in node.parts:
+                collected |= self._ends(part, pos, memo)
+            result = frozenset(collected)
+        elif isinstance(node, Plus):
+            # e+ = e followed by e*
+            result = self._star_from(
+                node.child, self._ends(node.child, pos, memo), memo
+            )
+        elif isinstance(node, Relative):
+            # relative(a, b) = a, any*, b
+            after_first = self._ends(node.first, pos, memo)
+            reachable: set[int] = set()
+            for p in after_first:
+                reachable.update(range(p, len(history) + 1))  # any* gap
+            collected: set[int] = set()
+            for p in reachable:
+                collected |= self._ends(node.second, p, memo)
+            result = frozenset(collected)
+        elif isinstance(node, Star):
+            result = self._star_from(node.child, frozenset((pos,)), memo)
+        else:
+            raise EventError(f"rescan matcher cannot handle {type(node).__name__}")
+        memo[key] = result
+        return result
+
+    def _star_from(
+        self,
+        child: EventExpr,
+        seeds: frozenset[int],
+        memo: dict[tuple[int, int], frozenset[int]],
+    ) -> frozenset[int]:
+        """Closure of *child* repetitions starting from each seed position."""
+        reached: set[int] = set(seeds)
+        frontier = set(seeds)
+        while frontier:
+            new: set[int] = set()
+            for p in frontier:
+                for q in self._ends(child, p, memo):
+                    if q not in reached and q > p:
+                        new.add(q)
+            reached |= new
+            frontier = new
+        return frozenset(reached)

@@ -1,0 +1,79 @@
+"""Sentinel's event representation vs. Ode's integers (experiment E1).
+
+    "Ode's mapping of basic events to globally unique integers is likely to
+    have significantly lower event posting overhead than Sentinel's method
+    of representing an event as a triple of strings: the class name, the
+    member function prototype, and the string 'begin' (before) or 'end'
+    (after)."  (paper Section 7)
+
+Both tables below map an event identity to its subscriber list; the posting
+hot path differs only in the key work:
+
+* :class:`IntEventTable` — the Ode design: the wrapper captured the integer
+  at class-processing time, so a post is one integer-keyed dict probe.
+* :class:`SentinelEventTable` — the Sentinel design: every post *builds*
+  the ``(class name, member prototype, "begin"/"end")`` triple and hashes
+  three strings to find subscribers.
+
+The benchmark drives both with identical subscriber fan-outs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+
+def sentinel_triple(class_name: str, prototype: str, modifier: str) -> tuple[str, str, str]:
+    """Construct Sentinel's event identity (built fresh on every post)."""
+    return (class_name, prototype, modifier)
+
+
+class IntEventTable:
+    """Subscriber table keyed by Ode's globally-unique event integers."""
+
+    def __init__(self) -> None:
+        self._subscribers: dict[int, list[Callable[[], None]]] = {}
+        self.posts = 0
+        self.deliveries = 0
+
+    def subscribe(self, eventnum: int, callback: Callable[[], None]) -> None:
+        self._subscribers.setdefault(eventnum, []).append(callback)
+
+    def post(self, eventnum: int) -> int:
+        """The Ode hot path: one int-keyed probe."""
+        self.posts += 1
+        callbacks = self._subscribers.get(eventnum)
+        if not callbacks:
+            return 0
+        for callback in callbacks:
+            callback()
+        self.deliveries += len(callbacks)
+        return len(callbacks)
+
+
+class SentinelEventTable:
+    """Subscriber table keyed by Sentinel's string triples."""
+
+    def __init__(self) -> None:
+        self._subscribers: dict[tuple[str, str, str], list[Callable[[], None]]] = {}
+        self.posts = 0
+        self.deliveries = 0
+
+    def subscribe(
+        self, class_name: str, prototype: str, modifier: str, callback: Callable[[], None]
+    ) -> None:
+        self._subscribers.setdefault(
+            sentinel_triple(class_name, prototype, modifier), []
+        ).append(callback)
+
+    def post(self, class_name: str, prototype: str, modifier: str) -> int:
+        """The Sentinel hot path: build and hash the triple per post."""
+        self.posts += 1
+        triple = sentinel_triple(class_name, prototype, modifier)
+        callbacks = self._subscribers.get(triple)
+        if not callbacks:
+            return 0
+        for callback in callbacks:
+            callback()
+        self.deliveries += len(callbacks)
+        return len(callbacks)

@@ -1,0 +1,89 @@
+"""Constraints as a special case of triggers (paper Section 8 future work).
+
+    "Finally, we need to support intra- and inter-object constraints as a
+    special case of triggers."
+
+A persistent class declares invariants in ``__constraints__``::
+
+    class Account(Persistent):
+        balance = field(float, default=0.0)
+        __events__ = ["after deposit", "after withdraw"]
+        __constraints__ = {
+            "non_negative": lambda self: self.balance >= 0,
+        }
+
+Each constraint compiles to a perpetual immediate trigger with the event
+expression ``any & <violated>`` — after *every* declared event on the
+object, the predicate is evaluated; if it fails, the generated action
+raises :class:`~repro.errors.ConstraintViolationError`, which aborts the
+surrounding transaction and propagates to the caller.
+
+Constraints are auto-activated when an object is created with ``pnew``
+(and by :func:`activate_constraints` for pre-existing objects), so unlike
+ordinary triggers they hold class-wide without explicit activation calls.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.trigger_def import CouplingMode, TriggerDecl
+from repro.errors import ConstraintViolationError, TriggerDeclarationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+    from repro.objects.handle import PersistentHandle
+
+CONSTRAINT_PREFIX = "__constraint_"
+
+
+def make_constraint_decl(name: str, predicate: Callable[..., bool]) -> TriggerDecl:
+    """Compile one ``__constraints__`` entry into a trigger declaration."""
+    if not callable(predicate):
+        raise TriggerDeclarationError(
+            f"constraint {name!r}: the predicate must be callable"
+        )
+    mask_name = f"violated_{name}"
+
+    def violated(obj) -> bool:
+        return not predicate(obj)
+
+    def action(handle, ctx) -> None:
+        raise ConstraintViolationError(name, f"on {type(handle.obj).__name__}")
+
+    return TriggerDecl(
+        name=CONSTRAINT_PREFIX + name,
+        expression=f"any & {mask_name}",
+        action=action,
+        params=(),
+        perpetual=True,
+        coupling=CouplingMode.IMMEDIATE,
+        masks={mask_name: violated},
+    )
+
+
+def constraint_infos(cls: type) -> list:
+    """The compiled constraint TriggerInfos of a persistent class."""
+    metatype = cls.__metatype__
+    return [
+        info
+        for info in metatype.all_trigger_infos
+        if info.name.startswith(CONSTRAINT_PREFIX)
+    ]
+
+
+def activate_constraints(db: "Database", handle: "PersistentHandle") -> list:
+    """Activate every declared constraint on one object; returns TriggerIds.
+
+    Already-active constraints (by trigger name) are not duplicated, so the
+    call is idempotent.
+    """
+    active_names = {
+        info.name for _, _, info in db.trigger_system.active_triggers(handle.ptr)
+    }
+    trigger_ids = []
+    for info in constraint_infos(type(handle.obj)):
+        if info.name in active_names:
+            continue
+        trigger_ids.append(db.trigger_system.activate(db, handle.ptr, info))
+    return trigger_ids

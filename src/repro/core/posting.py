@@ -1,0 +1,212 @@
+"""``PostEvent`` — the heart of trigger processing (paper Section 5.4.5).
+
+Posting a basic event to an object:
+
+1. Skip immediately if the object's control information says it has no
+   active triggers (footnote 3) — the common, cheap case.
+2. Look up the object's active ``TriggerState`` records in the trigger
+   index.
+3. For each, resolve the ``TriggerInfo`` through ``trigobjtype`` (needed
+   because an object can carry active triggers from several base classes),
+   advance its integer-keyed FSM — evaluating masks and feeding the
+   ``True``/``False`` pseudo-events until quiescent — and, when the state
+   changed, write the TriggerState back (acquiring a **write lock**: this
+   is the "triggers turn read access into write access" effect of
+   Section 6 that experiment E6 measures).
+4. Only after *all* active triggers have seen the event are the ready ones
+   fired — "to prevent the action of one trigger from affecting the mask of
+   another trigger".  Immediate triggers run now (sequentially, in
+   activation order — Ode lacks nested transactions and fires "in an
+   unspecified order which maintains the conceptual semantics"); the other
+   coupling modes queue onto the transaction's end / dependent /
+   !dependent lists, processed by the commit and abort paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any
+
+from repro.core.trigger_def import CouplingMode, TriggerInfo
+from repro.core.trigger_state import TriggerState
+from repro.errors import TransactionAbort
+from repro.objects.oid import PersistentPtr
+from repro.objects.serialize import FLAG_HAS_TRIGGERS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import TriggerSystem
+    from repro.objects.database import Database
+    from repro.objects.persistent import Persistent
+    from repro.transactions.txn import Transaction
+
+END_LIST = "trigger:end_list"
+DEPENDENT_LIST = "trigger:dependent_list"
+INDEPENDENT_LIST = "trigger:independent_list"
+
+
+@dataclasses.dataclass(frozen=True)
+class EventOccurrence:
+    """One event instance, carrying the member function's arguments.
+
+    The Section 8 "attributes of events" extension: masks may inspect "the
+    parameters passed to the corresponding member function".  ``args`` /
+    ``kwargs`` are the invocation arguments for member-function events and
+    empty for user-defined and transaction events.
+    """
+
+    eventnum: int
+    method: str = ""
+    args: tuple = ()
+    kwargs: dict = dataclasses.field(default_factory=dict)
+
+
+#: Occurrence used when masks run outside any posting (trigger activation).
+NULL_OCCURRENCE = EventOccurrence(eventnum=0)
+
+
+@dataclasses.dataclass
+class FiringRecord:
+    """A detected trigger occurrence queued for (possibly later) firing."""
+
+    trigger_id: PersistentPtr
+    state: TriggerState
+    info: TriggerInfo
+
+
+@dataclasses.dataclass
+class TriggerContext:
+    """What a trigger action sees when it runs."""
+
+    db: "Database"
+    txn: "Transaction"
+    trigger_id: PersistentPtr
+    info: TriggerInfo
+    params: dict[str, Any]
+    coupling: CouplingMode
+
+    @property
+    def args(self) -> tuple[Any, ...]:
+        """Activation arguments in declaration order."""
+        return tuple(self.params[name] for name in self.info.params)
+
+    def tabort(self, reason: str = "tabort from trigger action") -> None:
+        """Abort the surrounding transaction (O++ ``tabort``)."""
+        raise TransactionAbort(reason)
+
+
+@dataclasses.dataclass
+class PostingStats:
+    """Instrumentation for experiments E3/E6/E10."""
+
+    events_posted: int = 0
+    skipped_no_triggers: int = 0
+    fsm_advances: int = 0
+    state_writes: int = 0
+    masks_evaluated: int = 0
+    firings: int = 0
+
+    def reset(self) -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+def post_event(
+    system: "TriggerSystem",
+    db: "Database",
+    eventnum: int,
+    ptr: PersistentPtr,
+    obj: "Persistent",
+    occurrence: EventOccurrence | None = None,
+) -> int:
+    """Post one basic event integer to one object; returns #firings queued."""
+    if occurrence is None:
+        occurrence = EventOccurrence(eventnum=eventnum)
+    stats = system.stats
+    stats.events_posted += 1
+    # Footnote 3: the persistent object's control information says whether
+    # any triggers are active — if not, no index lookup is required.
+    if not obj.__dict__.get("_p_flags", 0) & FLAG_HAS_TRIGGERS:
+        stats.skipped_no_triggers += 1
+        return 0
+
+    txn = db.txn_manager.current()
+    ready: list[FiringRecord] = []
+
+    for state_rid in system.index.lookup(txn, ptr.rid):
+        raw = db.storage.read(txn.txid, state_rid)
+        tstate = TriggerState.decode(raw)
+        defining = db.registry.find(tstate.trigobjtype)
+        info = defining.trigger_info(tstate.triggernum)
+
+        def evaluate(mask_name: str, _info=info, _tstate=tstate) -> bool:
+            stats.masks_evaluated += 1
+            return bool(_info.masks[mask_name](obj, _tstate.params, occurrence))
+
+        result = info.fsm.advance(tstate.statenum, eventnum, evaluate)
+        stats.fsm_advances += 1
+        if result.state != tstate.statenum:
+            tstate.statenum = result.state
+            # The write that turns a read-only access into a write lock.
+            db.storage.write(txn.txid, state_rid, tstate.encode())
+            stats.state_writes += 1
+        if result.accepted:
+            ready.append(
+                FiringRecord(PersistentPtr(db.name, state_rid), tstate, info)
+            )
+
+    # Fire only after every trigger has had the basic event posted.
+    for record in ready:
+        dispatch_firing(system, db, txn, record)
+        stats.firings += 1
+    return len(ready)
+
+
+def dispatch_firing(
+    system: "TriggerSystem",
+    db: "Database",
+    txn: "Transaction",
+    record: FiringRecord,
+) -> None:
+    """Route a detected occurrence according to its coupling mode."""
+    coupling = record.info.coupling
+    if coupling is CouplingMode.IMMEDIATE:
+        run_action(system, db, txn, record)
+    elif coupling is CouplingMode.END:
+        txn.attachment(END_LIST, list).append(record)
+    elif coupling is CouplingMode.DEPENDENT:
+        txn.attachment(DEPENDENT_LIST, list).append(record)
+    else:  # CouplingMode.INDEPENDENT
+        txn.attachment(INDEPENDENT_LIST, list).append(record)
+
+
+def run_action(
+    system: "TriggerSystem",
+    db: "Database",
+    txn: "Transaction",
+    record: FiringRecord,
+) -> None:
+    """Execute a trigger's action in *txn*, deactivating once-only triggers.
+
+    The action gets the trigger's anchor object as a persistent handle, so
+    method calls from within the action post events and can cascade into
+    further trigger firings (conceptually nested transactions,
+    Section 5.4.5).  ``TransactionAbort`` raised by the action propagates —
+    that is ``tabort`` doing its job.
+    """
+    handle = db.deref(record.state.trigobj)
+    ctx = TriggerContext(
+        db=db,
+        txn=txn,
+        trigger_id=record.trigger_id,
+        info=record.info,
+        params=dict(record.state.params),
+        coupling=record.info.coupling,
+    )
+    record.info.action(handle, ctx)
+    if not record.info.perpetual:
+        # missing_ok: a once-only trigger detected twice before its queued
+        # firing ran would otherwise fail the second deactivation.
+        system.deactivate(record.trigger_id, missing_ok=True)

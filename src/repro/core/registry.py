@@ -1,0 +1,89 @@
+"""Run-time event representation: globally-unique integers (``eventRep``).
+
+"Because of separate compilation, unique integers cannot be assigned at
+compile time ... the assignment of unique integers to represent events is
+made at run-time.  The eventRep constructor examines a table to see if
+another eventRep with the same parameters has been constructed.  If not, it
+increments a counter and stores its pair of parameters in the table"
+(paper Section 5.2).
+
+:class:`EventRegistry` is that table: the key is ``(declaring type name,
+event symbol)`` — the same underlying event always maps to the same integer
+within a process, distinct events never collide, and (unlike a dense global
+numbering per class) multiple inheritance cannot make two different events
+share a number (the Section 6 lesson that led to sparse transition lists).
+
+Mask pseudo-events get integers from the same space, keyed by the trigger's
+defining class, so the integer-keyed FSMs are closed over one alphabet.
+"""
+
+from __future__ import annotations
+
+
+class EventRep:
+    """One registered event: the paper's ``eventRep``.
+
+    Construction performs the run-time unique-integer assignment; two
+    ``EventRep`` objects with the same (type, symbol) share the integer.
+    """
+
+    __slots__ = ("type_name", "symbol", "eventnum")
+
+    def __init__(self, type_name: str, symbol: str, registry: "EventRegistry"):
+        self.type_name = type_name
+        self.symbol = symbol
+        self.eventnum = registry.assign(type_name, symbol)
+
+    def __repr__(self) -> str:
+        return f"EventRep({self.type_name}.{self.symbol} -> {self.eventnum})"
+
+
+class EventRegistry:
+    """The process-wide (type name, symbol) → unique integer table."""
+
+    def __init__(self) -> None:
+        self._table: dict[tuple[str, str], int] = {}
+        self._reverse: dict[int, tuple[str, str]] = {}
+        self._counter = 0
+        self.lookups = 0  # instrumentation for experiment E1
+
+    def assign(self, type_name: str, symbol: str) -> int:
+        """Return the unique integer for this underlying event."""
+        key = (type_name, symbol)
+        self.lookups += 1
+        existing = self._table.get(key)
+        if existing is not None:
+            return existing
+        self._counter += 1
+        self._table[key] = self._counter
+        self._reverse[self._counter] = key
+        return self._counter
+
+    def lookup(self, type_name: str, symbol: str) -> int | None:
+        """The integer previously assigned, or None."""
+        self.lookups += 1
+        return self._table.get((type_name, symbol))
+
+    def describe(self, eventnum: int) -> str:
+        key = self._reverse.get(eventnum)
+        if key is None:
+            return f"<unknown event {eventnum}>"
+        return f"{key[0]}.{key[1]}"
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        """Forget all assignments (test isolation only)."""
+        self._table.clear()
+        self._reverse.clear()
+        self._counter = 0
+        self.lookups = 0
+
+
+_GLOBAL = EventRegistry()
+
+
+def global_event_registry() -> EventRegistry:
+    """The registry shared by all classes in this process."""
+    return _GLOBAL

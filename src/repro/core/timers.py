@@ -1,0 +1,160 @@
+"""Timed triggers (paper Section 8 future work).
+
+    "Timed triggers, where the passage of time can be used to produce
+    events, are also of interest."
+
+Time is modelled by an explicit :class:`VirtualClock` so tests and
+benchmarks are deterministic (wall-clock adapters are a one-liner on top).
+A :class:`TimerService` schedules one-shot or periodic *timer events*:
+when the clock passes a timer's due time, the service posts the named
+user-defined event to the target object — from there, ordinary composite
+event expressions take over (e.g. ``"after buy, Timeout"`` fires when a
+purchase is not followed by payment before the timeout event).
+
+Timers are transient (rebuilt by the application at startup), matching the
+prototype status the paper gives this feature.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.errors import TriggerError
+from repro.objects.oid import PersistentPtr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+
+
+class VirtualClock:
+    """A monotonic, manually-advanced clock."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        if delta < 0:
+            raise TriggerError("the clock cannot run backwards")
+        self._now += delta
+        return self._now
+
+    def set(self, when: float) -> float:
+        if when < self._now:
+            raise TriggerError("the clock cannot run backwards")
+        self._now = float(when)
+        return self._now
+
+
+@dataclasses.dataclass(order=True)
+class _Timer:
+    due: float
+    seq: int
+    timer_id: int = dataclasses.field(compare=False)
+    target: PersistentPtr = dataclasses.field(compare=False)
+    event_name: str = dataclasses.field(compare=False)
+    period: float | None = dataclasses.field(compare=False, default=None)
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+
+class TimerService:
+    """Schedules timer events against one database."""
+
+    def __init__(self, db: "Database", clock: VirtualClock | None = None):
+        self.db = db
+        self.clock = clock or VirtualClock()
+        self._heap: list[_Timer] = []
+        self._timers: dict[int, _Timer] = {}
+        self._ids = itertools.count(1)
+        self._seq = itertools.count()
+        self.fired = 0
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(
+        self,
+        target: PersistentPtr,
+        event_name: str,
+        *,
+        delay: float | None = None,
+        at: float | None = None,
+        period: float | None = None,
+    ) -> int:
+        """Schedule *event_name* to be posted to *target*; returns timer id.
+
+        Give either ``delay`` (relative) or ``at`` (absolute); ``period``
+        makes the timer repeat.  The event must be a declared user-defined
+        event of the target's class.
+        """
+        if (delay is None) == (at is None):
+            raise TriggerError("give exactly one of delay= or at=")
+        if period is not None and period <= 0:
+            raise TriggerError("period must be positive")
+        due = self.clock.now + delay if delay is not None else float(at)
+        if due < self.clock.now:
+            raise TriggerError(f"timer due time {due} is in the past")
+        timer = _Timer(
+            due=due,
+            seq=next(self._seq),
+            timer_id=next(self._ids),
+            target=target,
+            event_name=event_name,
+            period=period,
+        )
+        heapq.heappush(self._heap, timer)
+        self._timers[timer.timer_id] = timer
+        return timer.timer_id
+
+    def cancel(self, timer_id: int) -> bool:
+        timer = self._timers.pop(timer_id, None)
+        if timer is None:
+            return False
+        timer.cancelled = True
+        return True
+
+    def pending(self) -> int:
+        return len(self._timers)
+
+    # -- firing -----------------------------------------------------------------
+
+    def advance_to(self, when: float) -> int:
+        """Advance the clock, posting every due timer event; returns count.
+
+        Each due timer's event is posted in its own transaction unless the
+        caller already holds one.
+        """
+        self.clock.set(when)
+        fired = 0
+        while self._heap and self._heap[0].due <= self.clock.now:
+            timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._post(timer)
+            fired += 1
+            self.fired += 1
+            if timer.period is not None:
+                timer.due += timer.period
+                timer.seq = next(self._seq)
+                heapq.heappush(self._heap, timer)
+            else:
+                self._timers.pop(timer.timer_id, None)
+        return fired
+
+    def advance(self, delta: float) -> int:
+        return self.advance_to(self.clock.now + delta)
+
+    def _post(self, timer: _Timer) -> None:
+        manager = self.db.txn_manager
+        if manager.current_or_none() is not None:
+            handle = self.db.deref(timer.target)
+            handle.post_event(timer.event_name)
+            return
+        with manager.transaction():
+            handle = self.db.deref(timer.target)
+            handle.post_event(timer.event_name)

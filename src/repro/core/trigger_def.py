@@ -1,0 +1,221 @@
+"""Trigger declarations, coupling modes, and integer-keyed FSMs.
+
+:class:`TriggerDecl` is what a class definition writes (via the
+:func:`repro.core.declarations.trigger` helper); the declaration processor
+compiles it into a :class:`TriggerInfo` — the paper's Section 5.4.4
+"trigger information container": FSM, action function, perpetual flag,
+coupling mode — stored in the defining class's metatype.
+
+:class:`IntFsm` is the run-time machine keyed by the globally-unique event
+integers: each state carries a *sparse* transition list searched linearly,
+exactly the representation of Section 5.4.3 ("Any event which does not
+appear in a state's Transition list is ignored").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable
+
+from repro.errors import FSMError, TriggerDeclarationError
+from repro.events.compile import CompiledMachine
+from repro.events.fsm import DEAD, MAX_PSEUDO_STEPS, AdvanceResult
+
+
+class CouplingMode(enum.Enum):
+    """The ECA coupling modes Ode supplies (paper Section 4.2)."""
+
+    IMMEDIATE = "immediate"
+    END = "end"  # deferred: fired right before the transaction commits
+    DEPENDENT = "dependent"  # separate txn, commit-dependent on detector
+    INDEPENDENT = "!dependent"  # separate txn, no commit dependency
+
+    @classmethod
+    def parse(cls, value: "CouplingMode | str") -> "CouplingMode":
+        if isinstance(value, cls):
+            return value
+        for mode in cls:
+            if mode.value == value:
+                return mode
+        if value == "deferred":
+            return cls.END
+        raise TriggerDeclarationError(
+            f"unknown coupling mode {value!r}; expected one of "
+            f"{[m.value for m in cls]}"
+        )
+
+
+@dataclasses.dataclass
+class TriggerDecl:
+    """A trigger as written in a class definition (pre-compilation)."""
+
+    name: str
+    expression: str
+    action: Callable[..., Any] | str
+    params: tuple[str, ...] = ()
+    perpetual: bool = False
+    coupling: CouplingMode | str = CouplingMode.IMMEDIATE
+    masks: dict[str, Callable[..., bool]] = dataclasses.field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Integer-keyed run-time FSM (paper Section 5.4.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class IntTransition:
+    """``struct Transition { unsigned int eventnum; int newstate; }``"""
+
+    eventnum: int
+    newstate: int
+
+
+@dataclasses.dataclass(frozen=True)
+class IntState:
+    """``class State``: number, accept status, masks, sparse transitions."""
+
+    statenum: int
+    accept: bool
+    masks: tuple[str, ...]
+    transfunc: tuple[IntTransition, ...]
+
+    def next_state(self, eventnum: int) -> int | None:
+        """Linear search of the sparse transition list, as the paper does."""
+        for transition in self.transfunc:
+            if transition.eventnum == eventnum:
+                return transition.newstate
+        return None
+
+
+class IntFsm:
+    """A compiled machine whose alphabet is globally-unique event integers."""
+
+    def __init__(
+        self,
+        compiled: CompiledMachine,
+        symbol_to_int: dict[str, int],
+        pseudo_ints: dict[tuple[str, bool], int],
+    ):
+        self.compiled = compiled
+        self.symbol_to_int = dict(symbol_to_int)
+        self.pseudo_ints = dict(pseudo_ints)
+        self.anchored = compiled.anchored
+        self.start = compiled.fsm.start
+        self.alphabet_ints = frozenset(symbol_to_int.values()) | frozenset(
+            pseudo_ints.values()
+        )
+        states = []
+        for state in compiled.fsm.states:
+            transfunc = tuple(
+                IntTransition(symbol_to_int[symbol], dst)
+                for symbol, dst in sorted(state.transitions.items())
+                if symbol in symbol_to_int
+            ) + tuple(
+                IntTransition(pseudo_ints[key], dst)
+                for key, dst in sorted(
+                    (
+                        ((sym.split(":", 1)[1], sym.startswith("true:")), dst)
+                        for sym, dst in state.transitions.items()
+                        if sym.startswith(("true:", "false:"))
+                    )
+                )
+            )
+            states.append(
+                IntState(state.statenum, state.accept, state.masks, transfunc)
+            )
+        self.states: tuple[IntState, ...] = tuple(states)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def transition_count(self) -> int:
+        return sum(len(s.transfunc) for s in self.states)
+
+    def move(self, statenum: int, eventnum: int) -> tuple[int, bool]:
+        """One transition on an event integer; missing = ignored (or dead)."""
+        if statenum == DEAD:
+            return DEAD, False
+        nxt = self.states[statenum].next_state(eventnum)
+        if nxt is not None:
+            return nxt, True
+        if self.anchored and eventnum in self.alphabet_ints:
+            return DEAD, True
+        return statenum, False
+
+    def quiesce(
+        self, statenum: int, evaluate_mask: Callable[[str], bool]
+    ) -> tuple[int, int]:
+        """Evaluate pending masks, feeding pseudo-events back in."""
+        current, steps, _ = self._quiesce_tracking(statenum, evaluate_mask)
+        return current, steps
+
+    def _quiesce_tracking(
+        self, statenum: int, evaluate_mask: Callable[[str], bool]
+    ) -> tuple[int, int, bool]:
+        """Quiesce, tracking whether any visited state accepts (see
+        :meth:`repro.events.fsm.Fsm._quiesce_tracking`)."""
+        current = statenum
+        steps = 0
+        seen_accept = current != DEAD and self.states[current].accept
+        while current != DEAD and self.states[current].masks:
+            if steps >= MAX_PSEUDO_STEPS:
+                raise FSMError("mask cascade did not quiesce")
+            mask = self.states[current].masks[0]
+            outcome = bool(evaluate_mask(mask))
+            pseudo = self.pseudo_ints[(mask, outcome)]
+            nxt, consumed = self.move(current, pseudo)
+            steps += 1
+            if not consumed:
+                break
+            current = nxt
+            seen_accept = seen_accept or (
+                current != DEAD and self.states[current].accept
+            )
+        return current, steps, seen_accept
+
+    def advance(
+        self,
+        statenum: int,
+        eventnum: int,
+        evaluate_mask: Callable[[str], bool],
+    ) -> AdvanceResult:
+        """Post one basic event integer (paper Section 5.4.5, steps a–c).
+
+        Acceptance counts any state *visited* while processing the posting
+        — an accept state passed through during the mask cascade still
+        fires (footnote 5: at most once per posting either way).
+        """
+        current, consumed = self.move(statenum, eventnum)
+        steps = 0
+        seen_accept = False
+        if consumed:
+            current, steps, seen_accept = self._quiesce_tracking(
+                current, evaluate_mask
+            )
+        return AdvanceResult(current, consumed, consumed and seen_accept, steps)
+
+
+@dataclasses.dataclass
+class TriggerInfo:
+    """Everything about one trigger (paper Section 5.4.4 ``TriggerInfo``)."""
+
+    name: str
+    triggernum: int
+    defining_type: str
+    compiled: CompiledMachine
+    fsm: IntFsm
+    action: Callable[..., Any]
+    perpetual: bool
+    coupling: CouplingMode
+    params: tuple[str, ...]
+    #: mask name -> normalized (instance, params) predicate
+    masks: dict[str, Callable[..., bool]] = dataclasses.field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TriggerInfo {self.defining_type}.{self.name} "
+            f"#{self.triggernum} {self.coupling.value}"
+            f"{' perpetual' if self.perpetual else ''}>"
+        )

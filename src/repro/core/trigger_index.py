@@ -1,0 +1,51 @@
+"""The object → active-triggers index.
+
+"The new trigger is stored in an index that maps an object to all the
+triggers active on that object, an index used when posting events"
+(paper Section 5.4.1).  Implemented on the bucketed persistent map so
+activation/deactivation touch one bucket, and kept in the database so the
+index — like the trigger states it points at — survives across sessions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.objects.pmap import PersistentMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+    from repro.transactions.txn import Transaction
+
+
+class TriggerIndex:
+    """Maps an object rid to the rids of its active TriggerState records."""
+
+    def __init__(self, db: "Database", bucket_count: int = 32):
+        self._map = PersistentMap(db, "trigger_index", bucket_count=bucket_count)
+
+    def lookup(self, txn: "Transaction", obj_rid: int) -> list[int]:
+        """The TriggerState rids active on *obj_rid* (activation order)."""
+        return list(self._map.get(txn, str(obj_rid), ()))
+
+    def add(self, txn: "Transaction", obj_rid: int, state_rid: int) -> None:
+        states = self.lookup(txn, obj_rid)
+        states.append(state_rid)
+        self._map.put(txn, str(obj_rid), states)
+
+    def remove(self, txn: "Transaction", obj_rid: int, state_rid: int) -> int:
+        """Drop one mapping; returns how many triggers remain active."""
+        states = self.lookup(txn, obj_rid)
+        if state_rid in states:
+            states.remove(state_rid)
+        if states:
+            self._map.put(txn, str(obj_rid), states)
+        else:
+            self._map.remove(txn, str(obj_rid))
+        return len(states)
+
+    def drop_all(self, txn: "Transaction", obj_rid: int) -> list[int]:
+        """Remove the whole entry, returning the state rids it held."""
+        states = self.lookup(txn, obj_rid)
+        self._map.remove(txn, str(obj_rid))
+        return states

@@ -1,0 +1,73 @@
+"""The persistent ``TriggerState`` (paper Section 5.4.1).
+
+    persistent struct TriggerState {
+        unsigned int triggernum;
+        persistent void *trigobj;
+        int statenum;
+        persistent metatype *trigobjtype;
+    };
+    typedef persistent TriggerState *TriggerId;
+
+Plus the trigger's activation arguments — the paper subclasses TriggerState
+per trigger (``CredCardAutoRaiseLimitStruct`` adds ``amount``); we store a
+params dict in the same record.  The state lives in the *database*, not in
+the object (design goal 5: object layout never changes) and not in program
+memory (unlike Sentinel) — which is what makes Ode's composite events
+*global*: a trigger activated by one application advances and fires across
+later applications and sessions.
+
+``TriggerId`` is a persistent pointer to the state record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.errors import TriggerError
+from repro.objects.oid import PersistentPtr
+from repro.objects.serialize import decode_value, encode_value
+
+#: A trigger identifier is a persistent pointer to its TriggerState record.
+TriggerId = PersistentPtr
+
+
+@dataclasses.dataclass
+class TriggerState:
+    """In-memory image of one persistent trigger-state record."""
+
+    triggernum: int
+    trigobj: PersistentPtr
+    statenum: int
+    trigobjtype: str  # name of the class that *defined* the trigger
+    params: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        payload = {
+            "triggernum": self.triggernum,
+            "trigobj": self.trigobj,
+            "statenum": self.statenum,
+            "trigobjtype": self.trigobjtype,
+            "params": dict(self.params),
+        }
+        out = bytearray()
+        encode_value(payload, out)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "TriggerState":
+        payload, _ = decode_value(raw, 0)
+        try:
+            return cls(
+                triggernum=payload["triggernum"],
+                trigobj=payload["trigobj"],
+                statenum=payload["statenum"],
+                trigobjtype=payload["trigobjtype"],
+                params=dict(payload["params"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise TriggerError(f"corrupt trigger-state record: {exc}") from exc
+
+    def arg_tuple(self, param_names: tuple[str, ...]) -> tuple[Any, ...]:
+        """The activation arguments in declaration order."""
+        return tuple(self.params[name] for name in param_names)

@@ -1,0 +1,203 @@
+"""Exception hierarchy for the Ode reproduction.
+
+All library errors derive from :class:`OdeError` so callers can catch a
+single base class.  Transaction-control exceptions (:class:`TransactionAbort`)
+deliberately derive from ``BaseException``-adjacent ``Exception`` but carry
+control-flow meaning: raising one inside a trigger action is the Python
+analogue of O++'s ``tabort`` statement.
+"""
+
+from __future__ import annotations
+
+
+class OdeError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+
+class StorageError(OdeError):
+    """Base class for storage-manager failures."""
+
+
+class PageError(StorageError):
+    """A slotted-page operation was invalid (bad slot, overflow, ...)."""
+
+
+class PageFullError(PageError):
+    """The record does not fit in the page's free space."""
+
+
+class RecordNotFoundError(StorageError):
+    """No record exists at the given record identifier."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool misuse, e.g. unpinning a page that is not pinned."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is corrupt or was misused."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not be completed."""
+
+
+class LockError(StorageError):
+    """Base class for lock-manager failures."""
+
+
+class DeadlockError(LockError):
+    """The requesting transaction was chosen as a deadlock victim."""
+
+    def __init__(self, txid: int, cycle: tuple[int, ...] = ()):
+        self.txid = txid
+        self.cycle = tuple(cycle)
+        detail = f" (cycle: {' -> '.join(map(str, cycle))})" if cycle else ""
+        super().__init__(f"transaction {txid} aborted to break a deadlock{detail}")
+
+
+class LockTimeoutError(LockError):
+    """A lock could not be granted within the configured wait budget."""
+
+
+class LockUpgradeError(LockError):
+    """An illegal lock conversion was requested."""
+
+
+# ---------------------------------------------------------------------------
+# Object manager
+# ---------------------------------------------------------------------------
+
+
+class ObjectError(OdeError):
+    """Base class for object-manager failures."""
+
+
+class DanglingPointerError(ObjectError):
+    """A persistent pointer refers to a deleted or never-allocated object."""
+
+
+class SchemaError(ObjectError):
+    """A class schema declaration or value is invalid."""
+
+
+class SerializationError(ObjectError):
+    """A value could not be encoded/decoded with the declared field type."""
+
+
+class UnknownTypeError(ObjectError):
+    """An object's stored type name is not registered in this process."""
+
+
+class DatabaseClosedError(ObjectError):
+    """An operation was attempted on a closed database."""
+
+
+class DatabaseError(ObjectError):
+    """Database-level misuse (duplicate open, bad path, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+
+class TransactionError(OdeError):
+    """Base class for transaction-manager failures."""
+
+
+class NoActiveTransactionError(TransactionError):
+    """A data operation was attempted outside a transaction block."""
+
+
+class NestedTransactionError(TransactionError):
+    """A top-level transaction was started while one is already active."""
+
+
+class TransactionAbort(Exception):  # noqa: N818 - control-flow, paper's `tabort`
+    """Raised to abort the surrounding transaction (O++ ``tabort``).
+
+    The paper relaxed the rule that ``tabort`` must appear statically inside a
+    transaction block precisely so that *trigger actions* could abort the
+    transaction that detected their event (Section 6).  Raising this from a
+    trigger action aborts the event-detecting transaction.
+    """
+
+    def __init__(self, reason: str = "tabort"):
+        self.reason = reason
+        super().__init__(reason)
+
+
+class CommitDependencyError(TransactionError):
+    """A dependent transaction could not commit because its parent aborted."""
+
+
+# ---------------------------------------------------------------------------
+# Event language
+# ---------------------------------------------------------------------------
+
+
+class EventError(OdeError):
+    """Base class for event-language failures."""
+
+
+class EventParseError(EventError):
+    """The textual event expression could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", pos: int = -1):
+        self.text = text
+        self.pos = pos
+        if pos >= 0:
+            caret = " " * pos + "^"
+            message = f"{message}\n  {text}\n  {caret}"
+        super().__init__(message)
+
+
+class UnknownEventError(EventError):
+    """An expression names an event not declared by the class."""
+
+
+class UnknownMaskError(EventError):
+    """An expression names a mask with no registered predicate."""
+
+
+class FSMError(EventError):
+    """The compiled finite state machine was misused at run time."""
+
+
+# ---------------------------------------------------------------------------
+# Trigger system
+# ---------------------------------------------------------------------------
+
+
+class TriggerError(OdeError):
+    """Base class for trigger-system failures."""
+
+
+class TriggerDeclarationError(TriggerError):
+    """A trigger/event declaration in a class definition is invalid."""
+
+
+class TriggerNotActiveError(TriggerError):
+    """Deactivation or inspection of a trigger that is not active."""
+
+
+class TriggerArgumentError(TriggerError):
+    """Activation arguments do not match the trigger's parameter list."""
+
+
+class ConstraintViolationError(TriggerError):
+    """A constraint trigger rejected an update (constraints-as-triggers)."""
+
+    def __init__(self, constraint: str, detail: str = ""):
+        self.constraint = constraint
+        self.detail = detail
+        message = f"constraint {constraint!r} violated"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)

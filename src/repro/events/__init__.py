@@ -1,0 +1,61 @@
+"""The Ode/Compose event language and its compilation to extended FSMs.
+
+Event expressions are built from *basic events* (member-function
+``before``/``after`` events, user-defined events, transaction events) with
+the paper's operators:
+
+=============  =====================================================
+``e1, e2``     sequence (the paper renamed ``;`` to ``,`` for C++ feel)
+``e1 || e2``   union
+``*e``         repetition (prefix, as in ``(*any)``)
+``+e``         one-or-more (convenience)
+``e & m``      mask — predicate *m* is evaluated when *e* completes
+``relative``   ``relative(e1, e2)`` ≡ ``e1, (*any), e2``
+``any``        any declared event
+``^e``         anchored: no implicit ``(*any)`` prefix
+=============  =====================================================
+
+Expressions compile (``parse`` → desugar → Thompson NFA → subset DFA →
+optional Moore minimization) into an extended finite state machine whose
+*mask states* evaluate predicates and advance on ``True``/``False``
+pseudo-events, exactly the construction of paper Section 5.1.
+
+This package is self-contained: it knows nothing about databases,
+triggers, or storage — the trigger system layers the run-time integer
+event representation on top.
+"""
+
+from repro.events.ast import (
+    AnyEvent,
+    BasicEvent,
+    EventExpr,
+    Masked,
+    Plus,
+    Relative,
+    Seq,
+    Star,
+    Union,
+)
+from repro.events.compile import CompiledMachine, compile_expression
+from repro.events.fsm import FALSE_PREFIX, TRUE_PREFIX, EventDecl, Fsm, FsmState
+from repro.events.parser import parse
+
+__all__ = [
+    "FALSE_PREFIX",
+    "TRUE_PREFIX",
+    "AnyEvent",
+    "BasicEvent",
+    "CompiledMachine",
+    "EventDecl",
+    "EventExpr",
+    "Fsm",
+    "FsmState",
+    "Masked",
+    "Plus",
+    "Relative",
+    "Seq",
+    "Star",
+    "Union",
+    "compile_expression",
+    "parse",
+]

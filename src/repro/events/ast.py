@@ -1,0 +1,268 @@
+"""Event-expression abstract syntax.
+
+Nodes are immutable value objects.  ``desugar()`` rewrites the derived
+operators (``relative``, ``+``, masks) into the core regular operators so
+the NFA construction only ever sees sequence, union, star, basic events,
+and ``any``; masks desugar into obligations to consume a ``True``
+pseudo-event (see :mod:`repro.events.fsm` for the pseudo-event naming).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import EventError
+
+#: Valid basic-event kinds.  Transaction events use kind "before" with the
+#: reserved names "tcomplete"/"tabort" (the paper dropped `after tabort`
+#: and `after tcommit`; see Section 6).
+KINDS = ("before", "after", "user")
+
+
+class EventExpr:
+    """Base class of all event-expression nodes."""
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+    def children(self) -> tuple["EventExpr", ...]:
+        return ()
+
+    def desugar(self) -> "EventExpr":
+        """Rewrite derived operators into core ones (recursively)."""
+        return self
+
+    # -- analysis helpers --------------------------------------------------------
+
+    def basic_events(self) -> set["BasicEvent"]:
+        found: set[BasicEvent] = set()
+        stack: list[EventExpr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, BasicEvent) and not node.is_pseudo():
+                found.add(node)
+            stack.extend(node.children())
+        return found
+
+    def nullable(self) -> bool:
+        """Whether the expression matches the empty event sequence.
+
+        Nullable top-level expressions are rejected at compile time: a
+        zero-length match would not "include the latest basic event"
+        (paper footnote 5), so such a trigger could never legitimately
+        fire on an event posting.
+        """
+        if isinstance(self, Star):
+            return True
+        if isinstance(self, Plus):
+            return self.child.nullable()
+        if isinstance(self, Seq):
+            return all(part.nullable() for part in self.parts)
+        if isinstance(self, Union):
+            return any(part.nullable() for part in self.parts)
+        if isinstance(self, (Masked, Relative)):
+            children = self.children()
+            if isinstance(self, Masked):
+                return children[0].nullable()
+            return all(child.nullable() for child in children)
+        return False
+
+    def mask_names(self) -> set[str]:
+        found: set[str] = set()
+        stack: list[EventExpr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Masked):
+                found.add(node.mask)
+            stack.extend(node.children())
+        return found
+
+    def __str__(self) -> str:
+        return self.unparse()
+
+
+@dataclasses.dataclass(frozen=True)
+class BasicEvent(EventExpr):
+    """A basic event: ``after Buy``, ``before PayBill``, ``BigBuy``.
+
+    ``kind`` is "before", "after", or "user".  Internal pseudo-events
+    (mask outcomes) use kind "pseudo" and are produced only by desugaring.
+    """
+
+    kind: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS + ("pseudo",):
+            raise EventError(f"bad event kind {self.kind!r}")
+
+    @property
+    def symbol(self) -> str:
+        """The canonical alphabet symbol for this event."""
+        if self.kind == "user":
+            return self.name
+        if self.kind == "pseudo":
+            return self.name  # already "true:m" / "false:m"
+        return f"{self.kind} {self.name}"
+
+    def is_pseudo(self) -> bool:
+        return self.kind == "pseudo"
+
+    def unparse(self) -> str:
+        return self.symbol
+
+
+@dataclasses.dataclass(frozen=True)
+class AnyEvent(EventExpr):
+    """``any`` — matches every *declared* event of the class.
+
+    Deliberately excludes the mask pseudo-events: if it consumed them, an
+    expression like ``any & m`` would treat a mask's own ``False`` outcome
+    as a fresh ``any`` occurrence and re-arm the mask forever.
+    """
+
+    def unparse(self) -> str:
+        return "any"
+
+
+@dataclasses.dataclass(frozen=True)
+class ExtAnyEvent(EventExpr):
+    """Internal wildcard: every alphabet symbol *including* pseudo-events.
+
+    Used for the implicit unanchored ``(*any)`` prefix and the
+    ``relative`` desugaring — those loops must swallow ``False``
+    pseudo-events so a failed mask falls back into the loop, exactly the
+    ``False`` edge from state 1 to state 0 in paper Figure 1.
+    """
+
+    def unparse(self) -> str:
+        return "<any+pseudo>"
+
+
+@dataclasses.dataclass(frozen=True)
+class Seq(EventExpr):
+    """Sequence: ``e1, e2, ...`` (the regular-expression ``;``)."""
+
+    parts: tuple[EventExpr, ...]
+
+    def __init__(self, parts) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+        if len(self.parts) < 1:
+            raise EventError("empty sequence")
+
+    def children(self) -> tuple[EventExpr, ...]:
+        return self.parts
+
+    def desugar(self) -> EventExpr:
+        parts = tuple(p.desugar() for p in self.parts)
+        return parts[0] if len(parts) == 1 else Seq(parts)
+
+    def unparse(self) -> str:
+        return "(" + ", ".join(p.unparse() for p in self.parts) + ")"
+
+
+@dataclasses.dataclass(frozen=True)
+class Union(EventExpr):
+    """Alternation: ``e1 || e2``."""
+
+    parts: tuple[EventExpr, ...]
+
+    def __init__(self, parts) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+        if len(self.parts) < 1:
+            raise EventError("empty union")
+
+    def children(self) -> tuple[EventExpr, ...]:
+        return self.parts
+
+    def desugar(self) -> EventExpr:
+        parts = tuple(p.desugar() for p in self.parts)
+        return parts[0] if len(parts) == 1 else Union(parts)
+
+    def unparse(self) -> str:
+        return "(" + " || ".join(p.unparse() for p in self.parts) + ")"
+
+
+@dataclasses.dataclass(frozen=True)
+class Star(EventExpr):
+    """Zero-or-more repetition, written prefix: ``*e``."""
+
+    child: EventExpr
+
+    def children(self) -> tuple[EventExpr, ...]:
+        return (self.child,)
+
+    def desugar(self) -> EventExpr:
+        return Star(self.child.desugar())
+
+    def unparse(self) -> str:
+        return f"(*{self.child.unparse()})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Plus(EventExpr):
+    """One-or-more repetition: ``+e`` ≡ ``e, *e``."""
+
+    child: EventExpr
+
+    def children(self) -> tuple[EventExpr, ...]:
+        return (self.child,)
+
+    def desugar(self) -> EventExpr:
+        core = self.child.desugar()
+        return Seq((core, Star(core)))
+
+    def unparse(self) -> str:
+        return f"(+{self.child.unparse()})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Masked(EventExpr):
+    """A masked event: ``e & m``.
+
+    Desugars to ``e`` followed by the obligation to consume the ``True``
+    pseudo-event of mask *m* — the compiled machine marks the intermediate
+    state as a *mask state* that evaluates the predicate (Section 5.1.2).
+    """
+
+    child: EventExpr
+    mask: str
+
+    def children(self) -> tuple[EventExpr, ...]:
+        return (self.child,)
+
+    def desugar(self) -> EventExpr:
+        from repro.events.fsm import TRUE_PREFIX
+
+        return Seq(
+            (
+                self.child.desugar(),
+                BasicEvent("pseudo", TRUE_PREFIX + self.mask),
+            )
+        )
+
+    def unparse(self) -> str:
+        return f"({self.child.unparse()} & {self.mask})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Relative(EventExpr):
+    """``relative(e1, e2)`` — after e1 is satisfied, any later e2 matches.
+
+    Desugars to ``e1, (*any), e2`` (paper Section 4, trigger
+    AutoRaiseLimit; Figure 1 is the compiled form of this rewrite).
+    """
+
+    first: EventExpr
+    second: EventExpr
+
+    def children(self) -> tuple[EventExpr, ...]:
+        return (self.first, self.second)
+
+    def desugar(self) -> EventExpr:
+        return Seq(
+            (self.first.desugar(), Star(ExtAnyEvent()), self.second.desugar())
+        )
+
+    def unparse(self) -> str:
+        return f"relative({self.first.unparse()}, {self.second.unparse()})"

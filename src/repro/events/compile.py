@@ -1,0 +1,131 @@
+"""The event-expression compilation pipeline.
+
+``compile_expression`` runs: parse (if given text) → validate names against
+the class's declared events and registered masks → desugar → prepend the
+implicit ``(*any)`` unless anchored (Section 5.1.1) → Thompson NFA →
+subset-construction DFA → optional Moore minimization.  The result bundles
+the machine with everything the trigger system needs to wire it up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+from repro.errors import EventError, UnknownEventError, UnknownMaskError
+from repro.events.ast import EventExpr, ExtAnyEvent, Seq, Star
+from repro.events.dfa import determinize
+from repro.events.fsm import FALSE_PREFIX, TRUE_PREFIX, EventDecl, Fsm
+from repro.events.minimize import minimize_fsm, prune_irrelevant_masks
+from repro.events.nfa import build_nfa
+from repro.events.parser import parse
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledMachine:
+    """An event expression compiled to an extended FSM."""
+
+    text: str
+    expr: EventExpr
+    anchored: bool
+    fsm: Fsm
+    event_symbols: frozenset[str]
+    masks: frozenset[str]
+
+    def describe(self) -> str:
+        return f"expression: {self.text}\n{self.fsm.describe()}"
+
+
+def _normalize_declared(declared: Iterable[EventDecl | str]) -> list[EventDecl]:
+    result = []
+    for item in declared:
+        result.append(item if isinstance(item, EventDecl) else EventDecl.parse(item))
+    return result
+
+
+def compile_expression(
+    expression: str | EventExpr,
+    declared_events: Sequence[EventDecl | str],
+    known_masks: Iterable[str] | None = None,
+    *,
+    anchored: bool = False,
+    minimize: bool = True,
+) -> CompiledMachine:
+    """Compile *expression* against a class's declared events.
+
+    ``declared_events`` is the class's event declaration — the alphabet of
+    the regular-expression language for that class (Section 5.1).  Events
+    named in the expression but not declared raise
+    :class:`~repro.errors.UnknownEventError`; with ``known_masks`` given,
+    unknown mask names raise :class:`~repro.errors.UnknownMaskError`.
+    """
+    if isinstance(expression, str):
+        expr, parsed_anchor = parse(expression)
+        anchored = anchored or parsed_anchor
+        text = expression
+    else:
+        expr = expression
+        text = expr.unparse()
+
+    if expr.nullable():
+        raise EventError(
+            f"expression {text!r} matches the empty event sequence; a "
+            "trigger fires only on matches that include the posted event "
+            "(paper footnote 5), so a nullable expression can never fire"
+        )
+
+    declared = _normalize_declared(declared_events)
+    declared_symbols = {decl.symbol for decl in declared}
+
+    for event in expr.basic_events():
+        if event.symbol not in declared_symbols:
+            known = ", ".join(sorted(declared_symbols)) or "<none>"
+            raise UnknownEventError(
+                f"event {event.symbol!r} is not declared; declared events: {known}"
+            )
+    masks = frozenset(expr.mask_names())
+    if known_masks is not None:
+        registered = set(known_masks)
+        for mask in sorted(masks):
+            if mask not in registered:
+                known = ", ".join(sorted(registered)) or "<none>"
+                raise UnknownMaskError(
+                    f"mask {mask!r} has no registered predicate; known masks: {known}"
+                )
+
+    alphabet = set(declared_symbols)
+    for mask in masks:
+        alphabet.add(TRUE_PREFIX + mask)
+        alphabet.add(FALSE_PREFIX + mask)
+
+    desugared = expr.desugar()
+    if not anchored:
+        # "The implementation prepends the event expression (*any)"
+        # (Section 5.1.1) so matches may start anywhere in the stream.
+        # The prefix loop uses the extended wildcard so a failed mask's
+        # False pseudo-event falls back into it (Figure 1's False edge).
+        desugared = Seq((Star(ExtAnyEvent()), desugared))
+
+    nfa = build_nfa(desugared, frozenset(alphabet))
+    fsm = determinize(nfa, anchored)
+    if minimize:
+        # Minimization exposes irrelevant masks (equivalent true/false
+        # targets get the same number), and pruning a mask can in turn
+        # unlock further merging — iterate to a fixpoint.
+        while True:
+            fsm = minimize_fsm(fsm)
+            pruned = prune_irrelevant_masks(fsm)
+            if pruned is fsm:
+                break
+            fsm = pruned
+    else:
+        fsm = prune_irrelevant_masks(fsm)
+
+    return CompiledMachine(
+        text=text,
+        expr=expr,
+        anchored=anchored,
+        fsm=fsm,
+        event_symbols=frozenset(declared_symbols),
+        masks=masks,
+    )

@@ -1,0 +1,54 @@
+"""Subset construction: NFA → deterministic extended FSM.
+
+A DFA state is an ε-closed set of NFA states.  It is an *accept* state if
+it contains the NFA accept, and a *mask state* pending mask *m* if it
+contains an NFA state carrying the obligation to consume ``True_m`` (the
+obligation tags distinguish genuine ``e & m`` continuations from pseudo-
+events merely swallowed by an ``(*any)`` loop — only the former should make
+the runtime evaluate predicates).
+"""
+
+from __future__ import annotations
+
+from repro.events.fsm import Fsm, FsmState
+from repro.events.nfa import Nfa
+
+
+def determinize(nfa: Nfa, anchored: bool) -> Fsm:
+    """Build the deterministic machine recognizing the same language."""
+    start_set = nfa.eps_closure({nfa.start})
+    numbering: dict[frozenset[int], int] = {start_set: 0}
+    worklist: list[frozenset[int]] = [start_set]
+    states: list[FsmState] = []
+
+    # Deterministic symbol order keeps machines (and tests) stable.
+    symbols = sorted(nfa.alphabet)
+
+    while worklist:
+        current = worklist.pop(0)
+        statenum = numbering[current]
+        transitions: dict[str, int] = {}
+        for symbol in symbols:
+            target = nfa.move(current, symbol)
+            if not target:
+                continue  # missing transition: ignored/dead per Fsm.move
+            closed = nfa.eps_closure(target)
+            nxt = numbering.get(closed)
+            if nxt is None:
+                nxt = numbering[closed] = len(numbering)
+                worklist.append(closed)
+            transitions[symbol] = nxt
+        masks = tuple(
+            sorted({nfa.obligations[s] for s in current if s in nfa.obligations})
+        )
+        states.append(
+            FsmState(
+                statenum=statenum,
+                accept=nfa.accept in current,
+                masks=masks,
+                transitions=transitions,
+            )
+        )
+
+    states.sort(key=lambda s: s.statenum)
+    return Fsm(states, start=0, alphabet=nfa.alphabet, anchored=anchored)

@@ -1,0 +1,168 @@
+"""Thompson construction: desugared event expressions → NFA.
+
+States are integers.  Transitions are symbol-labelled (canonical event
+symbols, including the mask pseudo-events) plus ε-edges.  ``any`` nodes
+expand to one edge per alphabet symbol at construction time, so the NFA is
+over a concrete, closed alphabet.
+
+States that consume a ``True`` pseudo-event *as a mask obligation* (i.e.
+produced by desugaring ``e & m``, not by an ``any`` expansion) are recorded
+in ``obligations`` — the subset construction uses this to decide which DFA
+states are *mask states* that must evaluate predicates (Section 5.1.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from repro.errors import EventError
+from repro.events.ast import (
+    AnyEvent,
+    BasicEvent,
+    EventExpr,
+    ExtAnyEvent,
+    Seq,
+    Star,
+    Union,
+)
+from repro.events.fsm import FALSE_PREFIX, TRUE_PREFIX
+
+
+@dataclasses.dataclass
+class Nfa:
+    """A Thompson NFA over a closed symbol alphabet."""
+
+    start: int
+    accept: int
+    transitions: dict[int, dict[str, set[int]]]
+    epsilon: dict[int, set[int]]
+    alphabet: frozenset[str]
+    #: state -> mask name: the state carries an obligation to evaluate the
+    #: mask and consume its pseudo-event.
+    obligations: dict[int, str]
+    state_count: int
+
+    def eps_closure(self, states: set[int]) -> frozenset[int]:
+        """ε-closure of a state set."""
+        stack = list(states)
+        closure = set(states)
+        while stack:
+            state = stack.pop()
+            for nxt in self.epsilon.get(state, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def move(self, states: frozenset[int], symbol: str) -> set[int]:
+        """States reachable from *states* on *symbol* (before ε-closure)."""
+        result: set[int] = set()
+        for state in states:
+            result |= self.transitions.get(state, {}).get(symbol, set())
+        return result
+
+
+class _Builder:
+    def __init__(self, alphabet: frozenset[str]):
+        self.alphabet = alphabet
+        self.transitions: dict[int, dict[str, set[int]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self.epsilon: dict[int, set[int]] = defaultdict(set)
+        self.obligations: dict[int, str] = {}
+        self._next = 0
+
+    def new_state(self) -> int:
+        state = self._next
+        self._next += 1
+        return state
+
+    def edge(self, src: int, symbol: str, dst: int) -> None:
+        self.transitions[src][symbol].add(dst)
+
+    def eps(self, src: int, dst: int) -> None:
+        self.epsilon[src].add(dst)
+
+    # Returns (start, accept) fragment for each node kind.
+
+    def build(self, node: EventExpr) -> tuple[int, int]:
+        if isinstance(node, BasicEvent):
+            return self._basic(node)
+        if isinstance(node, ExtAnyEvent):
+            return self._any(include_pseudo=True)
+        if isinstance(node, AnyEvent):
+            return self._any(include_pseudo=False)
+        if isinstance(node, Seq):
+            return self._seq(node)
+        if isinstance(node, Union):
+            return self._union(node)
+        if isinstance(node, Star):
+            return self._star(node)
+        raise EventError(
+            f"node {type(node).__name__} survived desugaring; "
+            "call desugar() before building the NFA"
+        )
+
+    def _basic(self, node: BasicEvent) -> tuple[int, int]:
+        symbol = node.symbol
+        if symbol not in self.alphabet:
+            raise EventError(f"symbol {symbol!r} is not in the alphabet")
+        start, accept = self.new_state(), self.new_state()
+        self.edge(start, symbol, accept)
+        if node.is_pseudo() and symbol.startswith(TRUE_PREFIX):
+            # The consuming state awaits this mask's outcome.
+            self.obligations[start] = symbol[len(TRUE_PREFIX) :]
+        return start, accept
+
+    def _any(self, include_pseudo: bool) -> tuple[int, int]:
+        start, accept = self.new_state(), self.new_state()
+        for symbol in self.alphabet:
+            if not include_pseudo and symbol.startswith((TRUE_PREFIX, FALSE_PREFIX)):
+                continue
+            self.edge(start, symbol, accept)
+        return start, accept
+
+    def _seq(self, node: Seq) -> tuple[int, int]:
+        start, accept = None, None
+        for part in node.parts:
+            frag_start, frag_accept = self.build(part)
+            if start is None:
+                start = frag_start
+            else:
+                self.eps(accept, frag_start)
+            accept = frag_accept
+        assert start is not None and accept is not None
+        return start, accept
+
+    def _union(self, node: Union) -> tuple[int, int]:
+        start, accept = self.new_state(), self.new_state()
+        for part in node.parts:
+            frag_start, frag_accept = self.build(part)
+            self.eps(start, frag_start)
+            self.eps(frag_accept, accept)
+        return start, accept
+
+    def _star(self, node: Star) -> tuple[int, int]:
+        start, accept = self.new_state(), self.new_state()
+        frag_start, frag_accept = self.build(node.child)
+        self.eps(start, frag_start)
+        self.eps(start, accept)
+        self.eps(frag_accept, frag_start)
+        self.eps(frag_accept, accept)
+        return start, accept
+
+
+def build_nfa(expr: EventExpr, alphabet: frozenset[str]) -> Nfa:
+    """Thompson-construct the NFA of a *desugared* expression."""
+    builder = _Builder(alphabet)
+    start, accept = builder.build(expr)
+    return Nfa(
+        start=start,
+        accept=accept,
+        transitions={s: dict(t) for s, t in builder.transitions.items()},
+        epsilon=dict(builder.epsilon),
+        alphabet=alphabet,
+        obligations=dict(builder.obligations),
+        state_count=builder._next,
+    )

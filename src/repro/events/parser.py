@@ -1,0 +1,196 @@
+"""Recursive-descent parser for the textual event language.
+
+Grammar (loosest-binding first)::
+
+    top     :=  '^'? seq
+    seq     :=  union (',' union)*
+    union   :=  masked ('||' masked)*
+    masked  :=  prefix ('&' mask_ref)*
+    prefix  :=  '*' prefix  |  '+' prefix  |  primary
+    primary :=  '(' seq ')'
+            |   'relative' '(' seq ',' seq ')'
+            |   'any'
+            |   ('before' | 'after') IDENT
+            |   IDENT                       -- user-defined event
+    mask_ref := IDENT | '(' IDENT ')'
+
+``^`` is only legal at the very start (search anchored at the activation
+point, paper Section 5.1.1).  Returns ``(expr, anchored)``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import EventParseError
+from repro.events.ast import (
+    AnyEvent,
+    BasicEvent,
+    EventExpr,
+    Masked,
+    Plus,
+    Relative,
+    Seq,
+    Star,
+    Union,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op>\|\||[(),&*+^]))"
+)
+
+_KEYWORDS = frozenset({"before", "after", "any", "relative"})
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: list[tuple[str, int]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                stripped = text[pos:].lstrip()
+                if not stripped:
+                    break
+                raise EventParseError("unexpected character", text, pos)
+            token = match.group("ident") or match.group("op")
+            self.tokens.append((token, match.start("ident" if match.group("ident") else "op")))
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> str | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index][0]
+        return None
+
+    def pos(self) -> int:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index][1]
+        return len(self.text)
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise EventParseError("unexpected end of expression", self.text, self.pos())
+        self.index += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.peek()
+        if got != token:
+            raise EventParseError(f"expected {token!r}, got {got!r}", self.text, self.pos())
+        self.index += 1
+
+    def done(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def parse(text: str) -> tuple[EventExpr, bool]:
+    """Parse *text*, returning ``(expression, anchored)``."""
+    tokens = _Tokens(text)
+    anchored = False
+    if tokens.peek() == "^":
+        tokens.next()
+        anchored = True
+    expr = _parse_seq(tokens)
+    if not tokens.done():
+        raise EventParseError(
+            f"trailing input starting at {tokens.peek()!r}", text, tokens.pos()
+        )
+    return expr, anchored
+
+
+def _parse_seq(tokens: _Tokens) -> EventExpr:
+    parts = [_parse_union(tokens)]
+    while tokens.peek() == ",":
+        tokens.next()
+        parts.append(_parse_union(tokens))
+    return parts[0] if len(parts) == 1 else Seq(parts)
+
+
+def _parse_union(tokens: _Tokens) -> EventExpr:
+    parts = [_parse_masked(tokens)]
+    while tokens.peek() == "||":
+        tokens.next()
+        parts.append(_parse_masked(tokens))
+    return parts[0] if len(parts) == 1 else Union(parts)
+
+
+def _parse_masked(tokens: _Tokens) -> EventExpr:
+    expr = _parse_prefix(tokens)
+    while tokens.peek() == "&":
+        tokens.next()
+        expr = Masked(expr, _parse_mask_ref(tokens))
+    return expr
+
+
+def _parse_mask_ref(tokens: _Tokens) -> str:
+    if tokens.peek() == "(":
+        tokens.next()
+        name = _parse_mask_name(tokens)
+        tokens.expect(")")
+        return name
+    return _parse_mask_name(tokens)
+
+
+def _parse_mask_name(tokens: _Tokens) -> str:
+    token = tokens.next()
+    if not token.isidentifier() or token in _KEYWORDS:
+        raise EventParseError(f"expected a mask name, got {token!r}", tokens.text, tokens.pos())
+    # Allow C++-style call syntax: MoreCred()
+    if tokens.peek() == "(":
+        tokens.next()
+        tokens.expect(")")
+    return token
+
+
+def _parse_prefix(tokens: _Tokens) -> EventExpr:
+    token = tokens.peek()
+    if token == "*":
+        tokens.next()
+        return Star(_parse_prefix(tokens))
+    if token == "+":
+        tokens.next()
+        return Plus(_parse_prefix(tokens))
+    return _parse_primary(tokens)
+
+
+def _parse_primary(tokens: _Tokens) -> EventExpr:
+    token = tokens.peek()
+    if token is None:
+        raise EventParseError("unexpected end of expression", tokens.text, tokens.pos())
+    if token == "(":
+        tokens.next()
+        expr = _parse_seq(tokens)
+        tokens.expect(")")
+        return expr
+    if token == "relative":
+        # The arguments parse at union level: `,` separates the two
+        # arguments, so a sequence argument must be parenthesized —
+        # `relative((a, b), c)` — matching the paper's own usage.
+        tokens.next()
+        tokens.expect("(")
+        first = _parse_union(tokens)
+        tokens.expect(",")
+        second = _parse_union(tokens)
+        tokens.expect(")")
+        return Relative(first, second)
+    if token == "any":
+        tokens.next()
+        return AnyEvent()
+    if token in ("before", "after"):
+        tokens.next()
+        name = tokens.next()
+        if not name.isidentifier() or name in _KEYWORDS:
+            raise EventParseError(
+                f"expected an event name after {token!r}, got {name!r}",
+                tokens.text,
+                tokens.pos(),
+            )
+        return BasicEvent(token, name)
+    if token.isidentifier():
+        tokens.next()
+        return BasicEvent("user", token)
+    raise EventParseError(f"unexpected token {token!r}", tokens.text, tokens.pos())

@@ -1,0 +1,49 @@
+"""Clusters — per-class collections of persistent objects.
+
+O++ organizes persistent objects into clusters and lets programs iterate
+over "clusters of persistent objects" (paper Section 1).  We keep one
+cluster per concrete class, implemented on the bucketed
+:class:`~repro.objects.pmap.PersistentMap`; ``Database.objects(cls)`` can
+merge the clusters of registered subclasses, matching the O++ view that a
+``for x in CredCard`` loop sees derived-class objects too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.objects.pmap import PersistentMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+    from repro.objects.oid import PersistentPtr
+    from repro.transactions.txn import Transaction
+
+
+class Cluster:
+    """The extent of one concrete persistent class in one database."""
+
+    def __init__(self, db: "Database", class_name: str):
+        self.db = db
+        self.class_name = class_name
+        self._map = PersistentMap(db, f"cluster:{class_name}")
+
+    def add(self, txn: "Transaction", rid: int) -> None:
+        self._map.put(txn, str(rid), True)
+
+    def discard(self, txn: "Transaction", rid: int) -> bool:
+        return self._map.remove(txn, str(rid))
+
+    def rids(self, txn: "Transaction") -> Iterator[int]:
+        for key, _ in self._map.items(txn):
+            yield int(key)
+
+    def pointers(self, txn: "Transaction") -> Iterator["PersistentPtr"]:
+        from repro.objects.oid import PersistentPtr
+
+        for rid in self.rids(txn):
+            yield PersistentPtr(self.db.name, rid)
+
+    def count(self, txn: "Transaction") -> int:
+        return self._map.count(txn)

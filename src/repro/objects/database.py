@@ -1,0 +1,358 @@
+"""The database: ``pnew`` / ``pdelete`` / ``deref``, catalog, clusters.
+
+A :class:`Database` ties together a storage manager (disk or main-memory),
+a transaction manager, the phoenix intention queue, and — attached at open
+time — the trigger system.  Objects are cached per transaction: ``deref``
+returns the same instance for the same rid within a transaction, mutation
+marks it dirty, and the transaction manager writes dirty objects back right
+before the storage commit.  Aborts simply drop the cache; everything that
+*was* written through the storage manager (trigger states, index buckets,
+catalog updates) is rolled back by the engine, which is exactly how the
+paper gets event roll-back "using standard transaction roll-back of the
+triggers' states" (Section 5.5).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Any
+
+from repro.errors import (
+    DanglingPointerError,
+    DatabaseClosedError,
+    DatabaseError,
+    ObjectError,
+    RecordNotFoundError,
+)
+from repro.objects.cluster import Cluster
+from repro.objects.handle import PersistentHandle
+from repro.objects.metatype import TypeRegistry, global_type_registry
+from repro.objects.oid import PersistentPtr
+from repro.objects.persistent import Persistent
+from repro.objects.serialize import decode_object, decode_value, encode_object, encode_value
+from repro.storage import open_storage
+from repro.storage.locks import LockMode
+from repro.transactions.manager import TransactionManager
+from repro.transactions.phoenix import PhoenixQueue
+from repro.transactions.txn import Transaction
+
+
+class Database:
+    """One open Ode database."""
+
+    _open_databases: dict[str, "Database"] = {}
+
+    def __init__(
+        self,
+        path: str | None,
+        engine: str = "disk",
+        name: str | None = None,
+        type_registry: TypeRegistry | None = None,
+        **engine_kwargs: Any,
+    ):
+        if name is None:
+            if path is None:
+                raise DatabaseError("a database without a path needs an explicit name")
+            name = os.path.basename(str(path))
+        if name in Database._open_databases:
+            raise DatabaseError(f"a database named {name!r} is already open")
+        self.name = name
+        self.path = str(path) if path is not None else None
+        self.engine = engine
+        self.registry = type_registry or global_type_registry()
+        if engine == "mm":
+            self.storage = open_storage(path, engine="mm", **engine_kwargs)
+        else:
+            self.storage = open_storage(path, engine=engine, **engine_kwargs)
+        self.txn_manager = TransactionManager(self)
+        self.phoenix = PhoenixQueue(self)
+        self._catalog_rid: int | None = None
+        self._clusters: dict[str, Cluster] = {}
+        self._closed = False
+        # Attached below; kept as an attribute so the object layer has no
+        # import-time dependency on the trigger system.
+        self.trigger_system = None
+        self._bootstrap()
+        self._attach_trigger_system()
+        Database._open_databases[name] = self
+        # Crash-restart semantics: finish any phoenix intentions left over.
+        # Non-strict: kinds whose handlers are registered later stay queued.
+        self.phoenix.drain(strict=False)
+
+    # -- class-level lookup -----------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str | None, engine: str = "disk", **kwargs: Any) -> "Database":
+        """Open (creating if absent) the database at *path*."""
+        return cls(path, engine=engine, **kwargs)
+
+    @classmethod
+    def named(cls, name: str) -> "Database":
+        """The open database called *name* (used to resolve pointers)."""
+        try:
+            return cls._open_databases[name]
+        except KeyError:
+            raise DatabaseError(f"no open database named {name!r}") from None
+
+    @classmethod
+    def of(cls, ptr: PersistentPtr) -> "Database":
+        """``database::ofdatabase(ptr)`` — the database *ptr* points into."""
+        return cls.named(ptr.db_name)
+
+    # -- bootstrap -----------------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        if self.storage.get_root() == self.storage.NO_ROOT:
+            txn = self.txn_manager.begin(system=True)
+            out = bytearray()
+            encode_value({}, out)
+            rid = self.storage.insert(txn.txid, bytes(out))
+            self.storage.set_root(txn.txid, rid)
+            self.txn_manager.commit(txn)
+        self._catalog_rid = self.storage.get_root()
+
+    def _attach_trigger_system(self) -> None:
+        from repro.core.manager import TriggerSystem
+
+        self.trigger_system = TriggerSystem(self)
+
+    # -- catalog ------------------------------------------------------------------------
+
+    def _read_catalog(self, txn: Transaction) -> dict[str, int]:
+        raw = self.storage.read(txn.txid, self._catalog_rid)
+        value, _ = decode_value(raw, 0)
+        return dict(value)
+
+    def catalog_get(self, key: str) -> int | None:
+        """Look up *key* in the catalog within the current transaction."""
+        txn = self.txn_manager.current()
+        return self._read_catalog(txn).get(key)
+
+    def catalog_set(self, txn: Transaction, key: str, rid: int) -> None:
+        catalog = self._read_catalog(txn)
+        catalog[key] = rid
+        out = bytearray()
+        encode_value(catalog, out)
+        self.storage.write(txn.txid, self._catalog_rid, bytes(out))
+
+    # -- object operations ---------------------------------------------------------------
+
+    def pnew(self, cls: type, *args: Any, **kwargs: Any) -> PersistentHandle:
+        """Allocate a persistent object (O++ ``pnew``); returns its handle."""
+        self._check_open()
+        if not (isinstance(cls, type) and issubclass(cls, Persistent)):
+            raise ObjectError(f"{cls!r} is not a Persistent subclass")
+        txn = self.txn_manager.current()
+        instance = cls(*args, **kwargs)
+        data = encode_object(cls.__name__, instance.to_fields(), flags=0)
+        rid = self.storage.insert(txn.txid, data)
+        ptr = PersistentPtr(self.name, rid)
+        instance.__dict__["_p_ptr"] = ptr
+        instance.__dict__["_p_flags"] = 0
+        self.cluster(cls).add(txn, rid)
+        txn.cache[rid] = instance
+        for index in self._indexes_for(txn, cls):
+            index.on_insert(txn, rid, instance.__dict__.get(index.field_name))
+        handle = PersistentHandle(self, ptr, instance)
+        if self.trigger_system is not None:
+            self.trigger_system.on_access(txn, ptr, instance)
+            from repro.core.constraints import activate_constraints, constraint_infos
+
+            if constraint_infos(cls):
+                activate_constraints(self, handle)
+        return handle
+
+    def deref(self, ptr: PersistentPtr) -> PersistentHandle:
+        """Dereference a persistent pointer within the current transaction."""
+        self._check_open()
+        if ptr.is_null():
+            raise DanglingPointerError("cannot dereference the null pointer")
+        if ptr.db_name != self.name:
+            return Database.named(ptr.db_name).deref(ptr)
+        txn = self.txn_manager.current()
+        instance = txn.cache.get(ptr.rid)
+        if instance is None:
+            try:
+                raw = self.storage.read(txn.txid, ptr.rid)
+            except RecordNotFoundError:
+                raise DanglingPointerError(f"{ptr!r} points to no object") from None
+            type_name, fields, flags = decode_object(raw)
+            cls = self.registry.find(type_name).pyclass
+            instance = cls.from_fields(fields)
+            instance.__dict__["_p_ptr"] = ptr
+            instance.__dict__["_p_flags"] = flags
+            txn.cache[ptr.rid] = instance
+            if self.trigger_system is not None:
+                self.trigger_system.on_access(txn, ptr, instance)
+        return PersistentHandle(self, ptr, instance)
+
+    def pdelete(self, ptr: PersistentPtr) -> None:
+        """Free a persistent object (O++ ``pdelete``)."""
+        self._check_open()
+        txn = self.txn_manager.current()
+        handle = self.deref(ptr)  # also validates the pointer
+        for index in self._indexes_for(txn, type(handle.obj)):
+            index.on_delete(
+                txn, ptr.rid, handle.obj.__dict__.get(index.field_name)
+            )
+        if self.trigger_system is not None:
+            self.trigger_system.on_pdelete(self, ptr)
+        self.storage.delete(txn.txid, ptr.rid)
+        self.cluster(type(handle.obj)).discard(txn, ptr.rid)
+        txn.cache.pop(ptr.rid, None)
+        txn.dirty.discard(ptr.rid)
+
+    # -- secondary indexes (disk Ode only; see repro.objects.index) -------------
+
+    def create_index(self, cls: type, field_name: str):
+        """Build and register a B-tree index on ``cls.field_name``."""
+        from repro.objects.index import create_index
+
+        index = create_index(self, cls, field_name)
+        txn = self.txn_manager.current()
+        txn.attachments.pop("db:indexes", None)  # refresh the per-txn cache
+        return index
+
+    def _active_indexes(self, txn: Transaction) -> list:
+        """All registered indexes, cached per transaction."""
+        from repro.objects.index import FieldIndex
+        from repro.storage.btree import BTree
+
+        def load():
+            indexes = []
+            for key, header_rid in self._read_catalog(txn).items():
+                if not key.startswith("index:"):
+                    continue
+                class_name, field_name = key[len("index:") :].rsplit(".", 1)
+                indexes.append(
+                    FieldIndex(
+                        self, class_name, field_name, BTree(self.storage, header_rid)
+                    )
+                )
+            return indexes
+
+        return txn.attachment("db:indexes", load)
+
+    def _indexes_for(self, txn: Transaction, cls: type) -> list:
+        return [idx for idx in self._active_indexes(txn) if idx.applies_to(cls)]
+
+    def find(self, cls: type, field_name: str, value) -> list[PersistentHandle]:
+        """Exact-match index lookup; returns handles."""
+        from repro.objects.index import load_index
+
+        txn = self.txn_manager.current()
+        index = load_index(self, cls.__name__, field_name)
+        if index is None:
+            raise ObjectError(
+                f"no index on {cls.__name__}.{field_name}; create_index first"
+            )
+        return [
+            self.deref(PersistentPtr(self.name, rid))
+            for rid in index.lookup(txn, value)
+        ]
+
+    def find_range(self, cls: type, field_name: str, lo, hi) -> Iterator[PersistentHandle]:
+        """Range index scan (inclusive bounds; None = open end)."""
+        from repro.objects.index import load_index
+
+        txn = self.txn_manager.current()
+        index = load_index(self, cls.__name__, field_name)
+        if index is None:
+            raise ObjectError(
+                f"no index on {cls.__name__}.{field_name}; create_index first"
+            )
+        for rid in index.lookup_range(txn, lo, hi):
+            yield self.deref(PersistentPtr(self.name, rid))
+
+    def mark_dirty(self, instance: Persistent) -> None:
+        """Record a mutation of a cached persistent object (acquires X lock)."""
+        ptr: PersistentPtr | None = instance.__dict__.get("_p_ptr")
+        if ptr is None:
+            return  # volatile object: nothing to do
+        txn = self.txn_manager.current()
+        self.storage.lock_manager.acquire_or_raise(txn.txid, ptr.rid, LockMode.X)
+        txn.cache.setdefault(ptr.rid, instance)
+        txn.mark_dirty(ptr.rid)
+
+    def flush_transaction(self, txn: Transaction) -> None:
+        """Write every dirty cached object back to storage (pre-commit)."""
+        for rid in sorted(txn.dirty):
+            instance = txn.cache.get(rid)
+            if instance is None:
+                continue  # deleted after being dirtied
+            indexes = self._indexes_for(txn, type(instance))
+            if indexes:
+                old_fields = decode_object(self.storage.read(txn.txid, rid))[1]
+                for index in indexes:
+                    index.on_update(
+                        txn,
+                        rid,
+                        old_fields.get(index.field_name),
+                        instance.__dict__.get(index.field_name),
+                    )
+            flags = instance.__dict__.get("_p_flags", 0)
+            data = encode_object(type(instance).__name__, instance.to_fields(), flags)
+            self.storage.write(txn.txid, rid, data)
+        txn.dirty.clear()
+
+    def set_object_flags(self, ptr: PersistentPtr, flags: int) -> None:
+        """Update an object's control-information flags (persisted at commit)."""
+        handle = self.deref(ptr)
+        handle.obj.__dict__["_p_flags"] = flags
+        self.mark_dirty(handle.obj)
+
+    # -- clusters -------------------------------------------------------------------------
+
+    def cluster(self, cls: type) -> Cluster:
+        name = cls.__name__ if isinstance(cls, type) else str(cls)
+        cluster = self._clusters.get(name)
+        if cluster is None:
+            cluster = self._clusters[name] = Cluster(self, name)
+        return cluster
+
+    def objects(self, cls: type, include_derived: bool = True) -> Iterator[PersistentHandle]:
+        """Iterate the persistent objects of *cls* (and subclasses) as handles."""
+        self._check_open()
+        txn = self.txn_manager.current()
+        metatype = self.registry.require_by_class(cls)
+        metatypes = (
+            self.registry.subclasses_of(metatype) if include_derived else [metatype]
+        )
+        for mt in metatypes:
+            for rid in self.cluster(mt.pyclass).rids(txn):
+                yield self.deref(PersistentPtr(self.name, rid))
+
+    # -- transactions -----------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self):
+        """O++ transaction block: commit on success, ``tabort`` aborts quietly."""
+        with self.txn_manager.transaction() as txn:
+            yield txn
+
+    # -- lifecycle ----------------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseClosedError(f"database {self.name!r} is closed")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.storage.close()
+        self._closed = True
+        Database._open_databases.pop(self.name, None)
+
+    def simulate_crash(self) -> None:
+        """Kill the process's view of this database without flushing."""
+        if self._closed:
+            return
+        self.storage.simulate_crash()
+        self._closed = True
+        Database._open_databases.pop(self.name, None)

@@ -1,0 +1,118 @@
+"""Persistent handles — the run-time form of ``persistent T *``.
+
+The O++ compiler rewrites member-function invocations *through persistent
+pointers* into calls of generated wrapper functions that post ``before``/
+``after`` events (paper Section 5.3).  Python has no pointer types to
+rewrite, so dereferencing returns a :class:`PersistentHandle` proxy:
+
+* method access consults the class metatype's generated
+  ``method_wrappers`` — calls through the handle run the wrapper (post
+  events, delegate, mark the object dirty);
+* methods without declared events are still wrapped *minimally* to mark the
+  object dirty (any method may mutate);
+* field reads pass straight through; field writes update the instance and
+  mark it dirty (acquiring the write lock immediately — strict 2PL);
+* trigger names behave like member functions whose call *activates* the
+  trigger, reproducing ``pcred->AutoRaiseLimit(1000.0)``;
+* ``post_event`` posts a user-defined (declared) event, the explicit
+  posting the paper requires for non-member-function events.
+
+Volatile instances never see a handle, so they pay zero trigger overhead —
+design goals 3 and 4.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import TriggerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+    from repro.objects.oid import PersistentPtr
+    from repro.objects.persistent import Persistent
+
+
+class PersistentHandle:
+    """Proxy for one persistent object within the current transaction."""
+
+    __slots__ = ("_db", "_ptr", "_obj")
+
+    def __init__(self, db: "Database", ptr: "PersistentPtr", obj: "Persistent"):
+        object.__setattr__(self, "_db", db)
+        object.__setattr__(self, "_ptr", ptr)
+        object.__setattr__(self, "_obj", obj)
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def ptr(self) -> "PersistentPtr":
+        return self._ptr
+
+    @property
+    def obj(self) -> "Persistent":
+        """The cached instance (volatile view of the persistent object)."""
+        return self._obj
+
+    @property
+    def database(self) -> "Database":
+        return self._db
+
+    # -- attribute protocol ------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        metatype = type(self._obj).__metatype__
+        wrapper = metatype.method_wrappers.get(name)
+        if wrapper is not None:
+            return functools.partial(wrapper, self._db, self._ptr, self._obj)
+        for info in metatype.all_trigger_infos:
+            if info.name == name:
+                return functools.partial(
+                    self._db.trigger_system.activate, self._db, self._ptr, info
+                )
+        value = getattr(self._obj, name)
+        if callable(value) and not isinstance(value, type):
+            return self._dirtying(value)
+        return value
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        metatype = type(self._obj).__metatype__
+        if name not in metatype.fields:
+            raise AttributeError(
+                f"{metatype.name} has no field {name!r}; only declared fields "
+                "may be written through a persistent handle"
+            )
+        setattr(self._obj, name, value)
+        self._db.mark_dirty(self._obj)
+
+    def _dirtying(self, method):
+        """Wrap an event-less method so calling it still marks the object dirty."""
+
+        @functools.wraps(method)
+        def call(*args: Any, **kwargs: Any) -> Any:
+            result = method(*args, **kwargs)
+            self._db.mark_dirty(self._obj)
+            return result
+
+        return call
+
+    # -- events -----------------------------------------------------------------
+
+    def post_event(self, event_name: str) -> None:
+        """Explicitly post the user-defined event *event_name* to this object."""
+        trigger_system = self._db.trigger_system
+        if trigger_system is None:
+            raise TriggerError("this database has no trigger system attached")
+        trigger_system.post_user_event(self._db, self._ptr, self._obj, event_name)
+
+    # -- misc ----------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PersistentHandle) and other._ptr == self._ptr
+
+    def __hash__(self) -> int:
+        return hash(self._ptr)
+
+    def __repr__(self) -> str:
+        return f"<PersistentHandle {self._ptr!r} -> {self._obj!r}>"

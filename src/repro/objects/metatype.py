@@ -1,0 +1,159 @@
+"""Run-time type descriptors (the paper's compiler-generated ``type_CredCard``).
+
+For every persistent class the O++ compiler generates a *type descriptor*
+holding "the machinery for a trigger (e.g. its FSM, its action code, etc.)"
+(paper Section 5.4.1).  Our :class:`Metatype` plays that role: the trigger
+declaration processor (:mod:`repro.core.declarations`) fills in declared
+events, trigger infos, mask functions, and method wrappers at class-creation
+time — the Python analogue of recompiling the FSMs with every program, the
+strategy the paper chose over persisting FSMs centrally (Section 5.1.3).
+
+A process-global :class:`TypeRegistry` maps stored type names back to
+metatypes, which is how ``trigobjtype`` references in persistent trigger
+states are resolved when a database is reopened by another "application".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import SchemaError, UnknownTypeError
+from repro.objects.schema import Field, collect_fields
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.trigger_def import TriggerInfo
+    from repro.events.fsm import EventDecl
+
+
+class Metatype:
+    """Run-time descriptor of one persistent class."""
+
+    def __init__(self, pyclass: type):
+        self.pyclass = pyclass
+        self.name = pyclass.__name__
+        self.fields: dict[str, Field] = collect_fields(pyclass)
+        # Filled by repro.core.declarations when the class declares
+        # events/triggers; empty for passive classes.
+        self.declared_events: list["EventDecl"] = []  # own + inherited
+        self.trigger_infos: list["TriggerInfo"] = []  # defined by THIS class
+        self.all_trigger_infos: list["TriggerInfo"] = []  # incl. inherited
+        self.masks: dict[str, Callable[..., bool]] = {}
+        self.method_wrappers: dict[str, Callable[..., Any]] = {}
+        self.constraints: list[Any] = []
+        # Run-time event integers: symbol -> globally-unique eventnum, and
+        # symbol -> the class that declared the event (its eventRep owner).
+        self.event_ints: dict[str, int] = {}
+        self.event_owner: dict[str, str] = {}
+
+    # -- inheritance ----------------------------------------------------------
+
+    def base_metatypes(self, registry: "TypeRegistry") -> list["Metatype"]:
+        """Metatypes of the persistent base classes, nearest first."""
+        bases = []
+        for klass in self.pyclass.__mro__[1:]:
+            metatype = registry.find_by_class(klass)
+            if metatype is not None:
+                bases.append(metatype)
+        return bases
+
+    def is_subtype_of(self, other: "Metatype") -> bool:
+        return issubclass(self.pyclass, other.pyclass)
+
+    # -- trigger helpers --------------------------------------------------------
+
+    def trigger_info(self, triggernum: int) -> "TriggerInfo":
+        """The descriptor of trigger number *triggernum* defined by this class."""
+        try:
+            return self.trigger_infos[triggernum]
+        except IndexError:
+            raise SchemaError(
+                f"{self.name} defines no trigger number {triggernum}"
+            ) from None
+
+    def trigger_by_name(self, name: str) -> "TriggerInfo":
+        for info in self.trigger_infos:
+            if info.name == name:
+                return info
+        raise SchemaError(f"{self.name} defines no trigger named {name!r}")
+
+    def has_active_facilities(self) -> bool:
+        """Whether this class (or a base) declared any events or triggers."""
+        return bool(self.declared_events or self.trigger_infos)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Metatype {self.name} fields={len(self.fields)} "
+            f"events={len(self.declared_events)} triggers={len(self.trigger_infos)}>"
+        )
+
+
+class TypeRegistry:
+    """Maps stored type names to metatypes for this process."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, Metatype] = {}
+        self._by_class: dict[type, Metatype] = {}
+
+    def register(self, pyclass: type) -> Metatype:
+        """Create (or return the existing) metatype for *pyclass*.
+
+        Re-registering the same class object is idempotent; registering a
+        *different* class under an existing name replaces it, which mirrors
+        recompilation of a class definition.
+        """
+        existing = self._by_class.get(pyclass)
+        if existing is not None:
+            return existing
+        metatype = Metatype(pyclass)
+        self._by_name[metatype.name] = metatype
+        self._by_class[pyclass] = metatype
+        return metatype
+
+    def register_shim(self, name: str, shim: "Metatype | Any") -> None:
+        """Register a dynamic pseudo-metatype under *name*.
+
+        Used by run-time-constructed triggers (inter-object bridges): the
+        shim only needs ``trigger_info(n)`` and ``pyclass``; it is looked
+        up through the same ``trigobjtype`` resolution as real classes.
+        """
+        self._by_name[name] = shim
+
+    def find(self, name: str) -> Metatype:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownTypeError(
+                f"type {name!r} is not registered in this process; import the "
+                "module defining it before opening the database"
+            ) from None
+
+    def find_by_class(self, pyclass: type) -> Metatype | None:
+        return self._by_class.get(pyclass)
+
+    def require_by_class(self, pyclass: type) -> Metatype:
+        metatype = self._by_class.get(pyclass)
+        if metatype is None:
+            raise UnknownTypeError(f"{pyclass.__name__} is not a persistent class")
+        return metatype
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self._by_name)
+
+    def subclasses_of(self, metatype: Metatype) -> list[Metatype]:
+        """All registered metatypes whose class derives from *metatype*'s.
+
+        Dynamic shims (no real class behind them) are skipped.
+        """
+        return [
+            candidate
+            for candidate in self._by_name.values()
+            if isinstance(candidate, Metatype) and candidate.is_subtype_of(metatype)
+        ]
+
+
+_GLOBAL_REGISTRY = TypeRegistry()
+
+
+def global_type_registry() -> TypeRegistry:
+    """The process-wide registry used by :class:`~repro.objects.persistent.Persistent`."""
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,127 @@
+"""A small persistent hash map, used for clusters and the trigger index.
+
+Keys are strings, values anything :mod:`repro.objects.serialize` encodes.
+Entries are spread over a fixed number of bucket records so that updates
+touch (and lock) only one bucket, not the whole map — the trigger index is
+updated on every activation/deactivation and every FSM advance would
+otherwise serialize on a single hot record.
+
+Layout: the catalog stores ``pmap:<name>`` -> header rid; the header record
+holds the list of bucket rids (-1 = bucket not yet allocated); each bucket
+record holds a dict.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
+
+from repro.objects.serialize import decode_value, encode_value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+    from repro.transactions.txn import Transaction
+
+
+def _encode(value: Any) -> bytes:
+    out = bytearray()
+    encode_value(value, out)
+    return bytes(out)
+
+
+def _decode(raw: bytes) -> Any:
+    value, _ = decode_value(raw, 0)
+    return value
+
+
+class PersistentMap:
+    """A bucketed, transactional string-keyed map inside a database."""
+
+    def __init__(self, db: "Database", name: str, bucket_count: int = 16):
+        self.db = db
+        self.name = name
+        self.bucket_count = bucket_count
+        self._catalog_key = f"pmap:{name}"
+
+    # -- header management ---------------------------------------------------
+
+    def _header_rid(self, txn: "Transaction", *, create: bool) -> int | None:
+        rid = self.db.catalog_get(self._catalog_key)
+        if rid is None and create:
+            buckets = [-1] * self.bucket_count
+            rid = self.db.storage.insert(txn.txid, _encode(buckets))
+            self.db.catalog_set(txn, self._catalog_key, rid)
+        return rid
+
+    def _load_header(self, txn: "Transaction", *, create: bool) -> tuple[int, list[int]] | None:
+        rid = self._header_rid(txn, create=create)
+        if rid is None:
+            return None
+        return rid, list(_decode(self.db.storage.read(txn.txid, rid)))
+
+    def _bucket_for(self, key: str) -> int:
+        return zlib.crc32(key.encode("utf-8")) % self.bucket_count
+
+    def _load_bucket(self, txn: "Transaction", bucket_rid: int) -> dict[str, Any]:
+        return dict(_decode(self.db.storage.read(txn.txid, bucket_rid)))
+
+    # -- operations --------------------------------------------------------------
+
+    def get(self, txn: "Transaction", key: str, default: Any = None) -> Any:
+        header = self._load_header(txn, create=False)
+        if header is None:
+            return default
+        _, buckets = header
+        bucket_rid = buckets[self._bucket_for(key)]
+        if bucket_rid < 0:
+            return default
+        return self._load_bucket(txn, bucket_rid).get(key, default)
+
+    def put(self, txn: "Transaction", key: str, value: Any) -> None:
+        header_rid, buckets = self._load_header(txn, create=True)
+        index = self._bucket_for(key)
+        bucket_rid = buckets[index]
+        if bucket_rid < 0:
+            bucket_rid = self.db.storage.insert(txn.txid, _encode({key: value}))
+            buckets[index] = bucket_rid
+            self.db.storage.write(txn.txid, header_rid, _encode(buckets))
+            return
+        bucket = self._load_bucket(txn, bucket_rid)
+        bucket[key] = value
+        self.db.storage.write(txn.txid, bucket_rid, _encode(bucket))
+
+    def remove(self, txn: "Transaction", key: str) -> bool:
+        """Delete *key*; returns whether it was present."""
+        header = self._load_header(txn, create=False)
+        if header is None:
+            return False
+        _, buckets = header
+        bucket_rid = buckets[self._bucket_for(key)]
+        if bucket_rid < 0:
+            return False
+        bucket = self._load_bucket(txn, bucket_rid)
+        if key not in bucket:
+            return False
+        del bucket[key]
+        self.db.storage.write(txn.txid, bucket_rid, _encode(bucket))
+        return True
+
+    def items(self, txn: "Transaction") -> Iterator[tuple[str, Any]]:
+        header = self._load_header(txn, create=False)
+        if header is None:
+            return
+        _, buckets = header
+        for bucket_rid in buckets:
+            if bucket_rid < 0:
+                continue
+            yield from self._load_bucket(txn, bucket_rid).items()
+
+    def keys(self, txn: "Transaction") -> list[str]:
+        return [key for key, _ in self.items(txn)]
+
+    def __len__(self) -> int:  # pragma: no cover - needs a txn; use count()
+        raise TypeError("use PersistentMap.count(txn)")
+
+    def count(self, txn: "Transaction") -> int:
+        return sum(1 for _ in self.items(txn))

@@ -1,0 +1,195 @@
+"""Typed serialization of persistent objects.
+
+Objects are stored as self-describing records: a header (format version,
+type name, flags) followed by named, tagged field values.  Decoding is by
+field *name*, so adding or removing fields — and, crucially, adding or
+removing *triggers*, which are not fields at all — never forces a data
+conversion (paper design goal 5).
+
+The value encoding is a small recursive tagged format covering ``None``,
+ints, floats, bools, strings, bytes, persistent pointers, lists, and dicts
+with string keys.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.objects.oid import PersistentPtr
+
+FORMAT_VERSION = 1
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+_TAG_NONE = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_BOOL = 3
+_TAG_STR = 4
+_TAG_BYTES = 5
+_TAG_PTR = 6
+_TAG_LIST = 7
+_TAG_DICT = 8
+_TAG_TUPLE = 9
+
+#: Object-header flag: the object has (or once had) active triggers.  The
+#: paper (footnote 3) keeps this in the object's control information so
+#: PostEvent can skip the trigger-index lookup for trigger-free objects.
+FLAG_HAS_TRIGGERS = 0x01
+
+
+# ---------------------------------------------------------------------------
+# Value encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any, out: bytearray) -> None:
+    """Append the tagged encoding of *value* to *out*."""
+    if value is None:
+        out += _U8.pack(_TAG_NONE)
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        out += _U8.pack(_TAG_BOOL)
+        out += _U8.pack(1 if value else 0)
+    elif isinstance(value, int):
+        out += _U8.pack(_TAG_INT)
+        out += _I64.pack(value)
+    elif isinstance(value, float):
+        out += _U8.pack(_TAG_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _U8.pack(_TAG_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, bytes):
+        out += _U8.pack(_TAG_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif isinstance(value, PersistentPtr):
+        out += _U8.pack(_TAG_PTR)
+        out += value.encode()
+    elif isinstance(value, (list, tuple)):
+        out += _U8.pack(_TAG_TUPLE if isinstance(value, tuple) else _TAG_LIST)
+        out += _U32.pack(len(value))
+        for item in value:
+            encode_value(item, out)
+    elif isinstance(value, dict):
+        out += _U8.pack(_TAG_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"dict keys must be strings, got {type(key).__name__}"
+                )
+            raw = key.encode("utf-8")
+            out += _U32.pack(len(raw))
+            out += raw
+            encode_value(item, out)
+    else:
+        raise SerializationError(f"cannot serialize {type(value).__name__} values")
+
+
+def decode_value(raw: bytes, pos: int) -> tuple[Any, int]:
+    """Decode one tagged value from *raw* at *pos*; returns (value, new pos)."""
+    (tag,) = _U8.unpack_from(raw, pos)
+    pos += _U8.size
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_BOOL:
+        (flag,) = _U8.unpack_from(raw, pos)
+        return bool(flag), pos + _U8.size
+    if tag == _TAG_INT:
+        (value,) = _I64.unpack_from(raw, pos)
+        return value, pos + _I64.size
+    if tag == _TAG_FLOAT:
+        (value,) = _F64.unpack_from(raw, pos)
+        return value, pos + _F64.size
+    if tag == _TAG_STR:
+        (length,) = _U32.unpack_from(raw, pos)
+        pos += _U32.size
+        return raw[pos : pos + length].decode("utf-8"), pos + length
+    if tag == _TAG_BYTES:
+        (length,) = _U32.unpack_from(raw, pos)
+        pos += _U32.size
+        return bytes(raw[pos : pos + length]), pos + length
+    if tag == _TAG_PTR:
+        return PersistentPtr.decode_from(raw, pos)
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        (count,) = _U32.unpack_from(raw, pos)
+        pos += _U32.size
+        items = []
+        for _ in range(count):
+            item, pos = decode_value(raw, pos)
+            items.append(item)
+        return (tuple(items) if tag == _TAG_TUPLE else items), pos
+    if tag == _TAG_DICT:
+        (count,) = _U32.unpack_from(raw, pos)
+        pos += _U32.size
+        result: dict[str, Any] = {}
+        for _ in range(count):
+            (klen,) = _U32.unpack_from(raw, pos)
+            pos += _U32.size
+            key = raw[pos : pos + klen].decode("utf-8")
+            pos += klen
+            result[key], pos = decode_value(raw, pos)
+        return result, pos
+    raise SerializationError(f"unknown value tag {tag}")
+
+
+# ---------------------------------------------------------------------------
+# Object records
+# ---------------------------------------------------------------------------
+
+
+def encode_object(type_name: str, fields: dict[str, Any], flags: int = 0) -> bytes:
+    """Serialize an object's fields under its stored *type_name*."""
+    out = bytearray()
+    out += _U8.pack(FORMAT_VERSION)
+    out += _U8.pack(flags)
+    raw_name = type_name.encode("utf-8")
+    out += _U32.pack(len(raw_name))
+    out += raw_name
+    out += _U32.pack(len(fields))
+    for name, value in fields.items():
+        raw = name.encode("utf-8")
+        out += _U32.pack(len(raw))
+        out += raw
+        try:
+            encode_value(value, out)
+        except SerializationError as exc:
+            raise SerializationError(f"field {name!r}: {exc}") from exc
+    return bytes(out)
+
+
+def decode_object(raw: bytes) -> tuple[str, dict[str, Any], int]:
+    """Deserialize a record into ``(type_name, fields, flags)``."""
+    (version,) = _U8.unpack_from(raw, 0)
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported object format version {version}")
+    pos = _U8.size
+    (flags,) = _U8.unpack_from(raw, pos)
+    pos += _U8.size
+    (nlen,) = _U32.unpack_from(raw, pos)
+    pos += _U32.size
+    type_name = raw[pos : pos + nlen].decode("utf-8")
+    pos += nlen
+    (count,) = _U32.unpack_from(raw, pos)
+    pos += _U32.size
+    fields: dict[str, Any] = {}
+    for _ in range(count):
+        (flen,) = _U32.unpack_from(raw, pos)
+        pos += _U32.size
+        name = raw[pos : pos + flen].decode("utf-8")
+        pos += flen
+        fields[name], pos = decode_value(raw, pos)
+    return type_name, fields, flags
+
+
+def peek_flags(raw: bytes) -> int:
+    """Return just the header flags without decoding the fields."""
+    return _U8.unpack_from(raw, _U8.size)[0]

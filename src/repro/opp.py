@@ -1,0 +1,289 @@
+"""A miniature O++ front end — the paper's declaration syntax, executable.
+
+The paper stresses that the project's focus was "cleanly integrating the
+syntax of events into C++".  This module accepts a subset of the O++ class
+syntax of Section 4 and compiles it into a live Persistent subclass::
+
+    CredCard = compile_opp_class('''
+        persistent class CredCard {
+            float credLim = 1000;
+            float currBal = 0;
+            event after Buy, after PayBill, BigBuy;
+            trigger DenyCredit() : perpetual
+                after Buy & over_limit ==> { BlackMark("Over Limit"); tabort; }
+            trigger AutoRaiseLimit(amount) :
+                relative((after Buy & MoreCred()), after PayBill)
+                ==> RaiseLimit(amount);
+        }
+    ''', methods={...}, masks={...})
+
+Supported surface:
+
+* ``persistent class NAME { ... }`` (a base may follow ``: NAME``),
+* field declarations ``float|int|bool|str NAME [= LITERAL];``,
+* one ``event`` declaration listing basic events,
+* ``trigger NAME(params) : [perpetual] [immediate|end|dependent|!dependent]
+  EXPR ==> ACTION`` where ACTION is ``tabort``, a method call
+  ``Method(arg, ...)`` with trigger parameters or literals as arguments,
+  or a ``{ ...; ...; }`` block of those,
+* ``constraint NAME : MASK;`` mapping onto the constraints extension.
+
+Member-function bodies and mask predicates are Python: pass them in
+``methods`` / ``masks`` (masks may also name methods).  This mirrors the
+real O++ compiler's division of labour — it parsed declarations and
+generated wrappers/descriptors while bodies stayed C++.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.core.declarations import trigger as trigger_decl
+from repro.core.trigger_def import CouplingMode
+from repro.errors import TransactionAbort, TriggerDeclarationError
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+_TYPE_MAP = {"float": float, "int": int, "bool": bool, "str": str}
+
+_CLASS_RE = re.compile(
+    r"^\s*persistent\s+class\s+(?P<name>\w+)\s*(?::\s*(?P<base>\w+)\s*)?"
+    r"\{(?P<body>.*)\}\s*;?\s*$",
+    re.DOTALL,
+)
+_FIELD_RE = re.compile(
+    r"^(?P<type>float|int|bool|str)\s+(?P<name>\w+)\s*(?:=\s*(?P<default>[^;]+))?$"
+)
+_TRIGGER_RE = re.compile(
+    r"^trigger\s+(?P<name>\w+)\s*\((?P<params>[^)]*)\)\s*:\s*(?P<rest>.*)$",
+    re.DOTALL,
+)
+_CONSTRAINT_RE = re.compile(r"^constraint\s+(?P<name>\w+)\s*:\s*(?P<mask>\w+)$")
+_CALL_RE = re.compile(r"^(?P<method>\w+)\s*\((?P<args>[^)]*)\)$")
+
+
+def _parse_literal(text: str) -> Any:
+    text = text.strip()
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    if text.startswith(("'", '"')) and text.endswith(text[0]) and len(text) >= 2:
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise TriggerDeclarationError(f"cannot parse literal {text!r}") from None
+
+
+def _split_statements(body: str) -> list[str]:
+    """Split the class body on ';' at brace-depth zero, keeping blocks."""
+    statements = []
+    depth = 0
+    current: list[str] = []
+
+    def flush():
+        statement = "".join(current).strip()
+        if statement:
+            statements.append(statement)
+        current.clear()
+
+    for ch in body:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        if ch == ";" and depth == 0:
+            flush()
+            continue
+        current.append(ch)
+        # A `}` closing back to depth 0 also ends a statement: trigger
+        # action blocks carry no trailing semicolon in the paper's syntax.
+        if ch == "}" and depth == 0:
+            flush()
+    flush()
+    return statements
+
+
+def _compile_action(
+    action_text: str, param_names: tuple[str, ...]
+) -> Callable[..., Any]:
+    """One action: `tabort`, `Method(args)`, or a `{ ...; }` block."""
+    action_text = action_text.strip()
+    if action_text.startswith("{"):
+        if not action_text.endswith("}"):
+            raise TriggerDeclarationError(f"unterminated action block: {action_text!r}")
+        inner = action_text[1:-1]
+        steps = [
+            _compile_action(step, param_names)
+            for step in (s.strip() for s in inner.split(";"))
+            if step
+        ]
+
+        def run_block(handle, ctx):
+            for step in steps:
+                step(handle, ctx)
+
+        return run_block
+
+    if action_text == "tabort":
+        def run_tabort(handle, ctx):
+            raise TransactionAbort("tabort from trigger action")
+
+        return run_tabort
+
+    match = _CALL_RE.match(action_text)
+    if not match:
+        raise TriggerDeclarationError(f"cannot parse action {action_text!r}")
+    method_name = match.group("method")
+    raw_args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+    arg_getters: list[Callable[[dict], Any]] = []
+    for raw in raw_args:
+        if raw in param_names:
+            arg_getters.append(lambda params, _name=raw: params[_name])
+        else:
+            literal = _parse_literal(raw)
+            arg_getters.append(lambda params, _value=literal: _value)
+
+    def run_call(handle, ctx):
+        method = getattr(handle, method_name, None)
+        if method is None:
+            raise TriggerDeclarationError(
+                f"action method {method_name!r} does not exist"
+            )
+        return method(*(get(ctx.params) for get in arg_getters))
+
+    return run_call
+
+
+def _parse_trigger(statement: str) -> Any:
+    match = _TRIGGER_RE.match(statement)
+    if not match:
+        raise TriggerDeclarationError(f"cannot parse trigger: {statement!r}")
+    name = match.group("name")
+    params = tuple(
+        p.strip() for p in match.group("params").split(",") if p.strip()
+    )
+    # Strip C-style parameter types: `float amount` -> `amount`.
+    params = tuple(p.split()[-1] for p in params)
+    # Collapse whitespace (declarations span lines in the paper's style);
+    # the event language and action syntax are whitespace-insensitive.
+    rest = " ".join(match.group("rest").split())
+
+    perpetual = False
+    coupling: CouplingMode | str = CouplingMode.IMMEDIATE
+    changed = True
+    while changed:
+        changed = False
+        for keyword, value in (
+            ("perpetual", None),
+            ("immediate", CouplingMode.IMMEDIATE),
+            ("end", CouplingMode.END),
+            ("deferred", CouplingMode.END),
+            ("dependent", CouplingMode.DEPENDENT),
+            ("!dependent", CouplingMode.INDEPENDENT),
+        ):
+            if rest.startswith(keyword + " "):
+                if keyword == "perpetual":
+                    perpetual = True
+                else:
+                    coupling = value
+                rest = rest[len(keyword) :].strip()
+                changed = True
+
+    if "==>" not in rest:
+        raise TriggerDeclarationError(f"trigger {name}: missing '==>'")
+    expression, action_text = rest.split("==>", 1)
+    action = _compile_action(action_text.strip(), params)
+    return trigger_decl(
+        name,
+        expression.strip(),
+        action=action,
+        params=params,
+        perpetual=perpetual,
+        coupling=coupling,
+    )
+
+
+def compile_opp_class(
+    source: str,
+    methods: dict[str, Callable[..., Any]] | None = None,
+    masks: dict[str, Callable[..., bool]] | None = None,
+    base: type | None = None,
+) -> type:
+    """Compile an O++ class declaration into a live Persistent subclass.
+
+    ``methods`` supplies the member-function bodies (plain Python
+    functions taking ``self`` first); ``masks`` the named predicates used
+    in event expressions.  ``base`` overrides the textual base class.
+    """
+    match = _CLASS_RE.match(source)
+    if not match:
+        raise TriggerDeclarationError(
+            "expected `persistent class NAME { ... }`"
+        )
+    class_name = match.group("name")
+    base_name = match.group("base")
+    if base is None:
+        if base_name:
+            from repro.objects.metatype import global_type_registry
+
+            base = global_type_registry().find(base_name).pyclass
+        else:
+            base = Persistent
+
+    namespace: dict[str, Any] = dict(methods or {})
+    events: list[str] = []
+    triggers = []
+    constraints: dict[str, Callable[..., bool]] = {}
+    mask_table = dict(masks or {})
+
+    for statement in _split_statements(match.group("body")):
+        if statement.startswith("event "):
+            for item in statement[len("event ") :].split(","):
+                events.append(item.strip())
+            continue
+        if statement.startswith("trigger "):
+            triggers.append(_parse_trigger(statement))
+            continue
+        constraint = _CONSTRAINT_RE.match(statement)
+        if constraint:
+            mask_name = constraint.group("mask")
+            predicate = mask_table.get(mask_name) or namespace.get(mask_name)
+            if predicate is None:
+                raise TriggerDeclarationError(
+                    f"constraint {constraint.group('name')}: no predicate "
+                    f"named {mask_name!r}"
+                )
+            constraints[constraint.group("name")] = predicate
+            continue
+        field_match = _FIELD_RE.match(statement)
+        if field_match:
+            ftype = _TYPE_MAP[field_match.group("type")]
+            default = field_match.group("default")
+            if default is not None:
+                namespace[field_match.group("name")] = field(
+                    ftype, default=ftype(_parse_literal(default))
+                )
+            else:
+                namespace[field_match.group("name")] = field(ftype)
+            continue
+        raise TriggerDeclarationError(f"cannot parse declaration: {statement!r}")
+
+    # Events may be member-function events: the named methods must exist
+    # (in `methods` or on the base) — process_active_class validates.
+    if events:
+        namespace["__events__"] = events
+    if mask_table:
+        namespace["__masks__"] = mask_table
+    if triggers:
+        namespace["__triggers__"] = triggers
+    if constraints:
+        namespace["__constraints__"] = constraints
+
+    return type(class_name, (base,), namespace)

@@ -1,0 +1,338 @@
+"""A transactional B+-tree over the record store.
+
+The paper notes that MM-Ode shipped "with full Ode functionality (except
+for B-trees which do not exist in Dali)" — so disk Ode *had* B-trees.
+This is that substrate: an order-N B+-tree whose nodes are ordinary
+records, which makes every operation transactional (undo, recovery,
+locking) for free through the storage manager underneath.
+
+Design:
+
+* Keys are byte strings (order-preserving encodings are the caller's job;
+  see :mod:`repro.objects.index`), values are lists of ints (a secondary
+  index maps a key to many rids).
+* A fixed *header* record holds the current root rid, so the tree's
+  identity survives root splits; the catalog stores the header rid.
+* Leaves are chained for range scans.
+* Deletion is lazy (keys are removed; underfull nodes are not rebalanced)
+  — correct and simple, with space reclaimed when a tree is rebuilt; the
+  classic engineering trade early systems made.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.errors import StorageError
+from repro.objects.serialize import decode_value, encode_value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.interface import StorageManager
+
+#: Maximum keys per node before it splits.
+DEFAULT_ORDER = 32
+
+_NO_NODE = -1
+
+
+def _encode(value) -> bytes:
+    out = bytearray()
+    encode_value(value, out)
+    return bytes(out)
+
+
+def _decode(raw: bytes):
+    value, _ = decode_value(raw, 0)
+    return value
+
+
+@dataclasses.dataclass
+class _Node:
+    leaf: bool
+    keys: list[bytes]
+    # Leaves: values[i] is the list of ints for keys[i]; interior nodes:
+    # children has len(keys)+1 rids.
+    values: list[list[int]]
+    children: list[int]
+    next_leaf: int = _NO_NODE
+
+    def encode(self) -> bytes:
+        return _encode(
+            {
+                "leaf": self.leaf,
+                "keys": list(self.keys),
+                "values": [list(v) for v in self.values],
+                "children": list(self.children),
+                "next": self.next_leaf,
+            }
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "_Node":
+        data = _decode(raw)
+        return cls(
+            leaf=data["leaf"],
+            keys=list(data["keys"]),
+            values=[list(v) for v in data["values"]],
+            children=list(data["children"]),
+            next_leaf=data["next"],
+        )
+
+
+class BTree:
+    """An order-N B+-tree stored in a :class:`StorageManager`."""
+
+    def __init__(self, storage: "StorageManager", header_rid: int, order: int = DEFAULT_ORDER):
+        if order < 4:
+            raise StorageError("B-tree order must be at least 4")
+        self.storage = storage
+        self.header_rid = header_rid
+        self.order = order
+
+    # -- creation --------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, storage: "StorageManager", txid: int, order: int = DEFAULT_ORDER
+    ) -> "BTree":
+        """Allocate an empty tree; returns it (persist ``header_rid``)."""
+        root = _Node(leaf=True, keys=[], values=[], children=[])
+        root_rid = storage.insert(txid, root.encode())
+        header_rid = storage.insert(txid, _encode({"root": root_rid}))
+        return cls(storage, header_rid, order)
+
+    # -- node I/O ----------------------------------------------------------------
+
+    def _root_rid(self, txid: int) -> int:
+        return _decode(self.storage.read(txid, self.header_rid))["root"]
+
+    def _set_root_rid(self, txid: int, rid: int) -> None:
+        self.storage.write(txid, self.header_rid, _encode({"root": rid}))
+
+    def _load(self, txid: int, rid: int) -> _Node:
+        return _Node.decode(self.storage.read(txid, rid))
+
+    def _store(self, txid: int, rid: int, node: _Node) -> None:
+        self.storage.write(txid, rid, node.encode())
+
+    # -- search --------------------------------------------------------------------
+
+    @staticmethod
+    def _position(keys: list[bytes], key: bytes) -> int:
+        """First index whose key is >= *key* (binary search)."""
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _find_leaf(self, txid: int, key: bytes) -> tuple[int, _Node]:
+        rid = self._root_rid(txid)
+        node = self._load(txid, rid)
+        while not node.leaf:
+            index = self._position(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                index += 1  # equal keys live in the right subtree
+            rid = node.children[index]
+            node = self._load(txid, rid)
+        return rid, node
+
+    def get(self, txid: int, key: bytes) -> list[int]:
+        """The values stored under *key* (empty list when absent)."""
+        _, leaf = self._find_leaf(txid, key)
+        index = self._position(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def contains(self, txid: int, key: bytes) -> bool:
+        return bool(self.get(txid, key))
+
+    # -- range scans -------------------------------------------------------------------
+
+    def range(
+        self,
+        txid: int,
+        lo: bytes | None = None,
+        hi: bytes | None = None,
+    ) -> Iterator[tuple[bytes, int]]:
+        """Yield ``(key, value)`` pairs with ``lo <= key <= hi``, in order."""
+        if lo is None:
+            rid = self._root_rid(txid)
+            node = self._load(txid, rid)
+            while not node.leaf:
+                node = self._load(txid, node.children[0])
+            leaf = node
+        else:
+            _, leaf = self._find_leaf(txid, lo)
+        while True:
+            for index, key in enumerate(leaf.keys):
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key > hi:
+                    return
+                for value in leaf.values[index]:
+                    yield key, value
+            if leaf.next_leaf == _NO_NODE:
+                return
+            leaf = self._load(txid, leaf.next_leaf)
+
+    def items(self, txid: int) -> Iterator[tuple[bytes, int]]:
+        return self.range(txid)
+
+    def count(self, txid: int) -> int:
+        return sum(1 for _ in self.items(txid))
+
+    # -- insertion -----------------------------------------------------------------------
+
+    def insert(self, txid: int, key: bytes, value: int) -> None:
+        """Add *value* under *key* (duplicates per key are kept)."""
+        root_rid = self._root_rid(txid)
+        split = self._insert_into(txid, root_rid, key, value)
+        if split is not None:
+            sep_key, right_rid = split
+            new_root = _Node(
+                leaf=False,
+                keys=[sep_key],
+                values=[],
+                children=[root_rid, right_rid],
+            )
+            new_root_rid = self.storage.insert(txid, new_root.encode())
+            self._set_root_rid(txid, new_root_rid)
+
+    def _insert_into(
+        self, txid: int, rid: int, key: bytes, value: int
+    ) -> tuple[bytes, int] | None:
+        """Insert under the subtree at *rid*; returns a (separator, new
+        right sibling rid) pair when the node split."""
+        node = self._load(txid, rid)
+        if node.leaf:
+            index = self._position(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                if value not in node.values[index]:
+                    node.values[index].append(value)
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, [value])
+            if len(node.keys) > self.order:
+                return self._split_leaf(txid, rid, node)
+            self._store(txid, rid, node)
+            return None
+
+        index = self._position(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            index += 1
+        split = self._insert_into(txid, node.children[index], key, value)
+        if split is None:
+            return None
+        sep_key, right_rid = split
+        node.keys.insert(index, sep_key)
+        node.children.insert(index + 1, right_rid)
+        if len(node.keys) > self.order:
+            return self._split_interior(txid, rid, node)
+        self._store(txid, rid, node)
+        return None
+
+    def _split_leaf(self, txid: int, rid: int, node: _Node) -> tuple[bytes, int]:
+        mid = len(node.keys) // 2
+        right = _Node(
+            leaf=True,
+            keys=node.keys[mid:],
+            values=node.values[mid:],
+            children=[],
+            next_leaf=node.next_leaf,
+        )
+        right_rid = self.storage.insert(txid, right.encode())
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        node.next_leaf = right_rid
+        self._store(txid, rid, node)
+        return right.keys[0], right_rid
+
+    def _split_interior(self, txid: int, rid: int, node: _Node) -> tuple[bytes, int]:
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = _Node(
+            leaf=False,
+            keys=node.keys[mid + 1 :],
+            values=[],
+            children=node.children[mid + 1 :],
+        )
+        right_rid = self.storage.insert(txid, right.encode())
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self._store(txid, rid, node)
+        return sep_key, right_rid
+
+    # -- deletion (lazy) ------------------------------------------------------------------
+
+    def delete(self, txid: int, key: bytes, value: int | None = None) -> bool:
+        """Remove *value* under *key* (or the whole key when value is None).
+
+        Returns whether anything was removed.  Nodes are not rebalanced.
+        """
+        leaf_rid, leaf = self._find_leaf(txid, key)
+        index = self._position(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        if value is None:
+            del leaf.keys[index]
+            del leaf.values[index]
+        else:
+            if value not in leaf.values[index]:
+                return False
+            leaf.values[index].remove(value)
+            if not leaf.values[index]:
+                del leaf.keys[index]
+                del leaf.values[index]
+        self._store(txid, leaf_rid, leaf)
+        return True
+
+    # -- diagnostics ---------------------------------------------------------------------
+
+    def depth(self, txid: int) -> int:
+        depth = 1
+        node = self._load(txid, self._root_rid(txid))
+        while not node.leaf:
+            depth += 1
+            node = self._load(txid, node.children[0])
+        return depth
+
+    def check_invariants(self, txid: int) -> list[str]:
+        """Structural checks: key order within/between nodes, leaf chain."""
+        problems: list[str] = []
+
+        def walk(rid: int, lo: bytes | None, hi: bytes | None) -> None:
+            node = self._load(txid, rid)
+            for a, b in zip(node.keys, node.keys[1:]):
+                if a >= b:
+                    problems.append(f"node {rid}: keys out of order")
+            for key in node.keys:
+                if lo is not None and key < lo:
+                    problems.append(f"node {rid}: key below subtree bound")
+                if hi is not None and key >= hi:
+                    problems.append(f"node {rid}: key above subtree bound")
+            if node.leaf:
+                if len(node.keys) != len(node.values):
+                    problems.append(f"leaf {rid}: keys/values mismatch")
+            else:
+                if len(node.children) != len(node.keys) + 1:
+                    problems.append(f"interior {rid}: children/keys mismatch")
+                bounds = [lo] + list(node.keys) + [hi]
+                for i, child in enumerate(node.children):
+                    walk(child, bounds[i], bounds[i + 1])
+
+        walk(self._root_rid(txid), None, None)
+        # Leaf chain must enumerate keys in global order.
+        last: bytes | None = None
+        for key, _ in self.items(txid):
+            if last is not None and key < last:
+                problems.append("leaf chain out of order")
+                break
+            last = key
+        return problems

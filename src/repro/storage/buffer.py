@@ -1,0 +1,155 @@
+"""Paged file and LRU buffer pool for the disk engine.
+
+:class:`PagedFile` gives page-granular I/O over an ordinary OS file.
+:class:`BufferPool` caches :class:`~repro.storage.page.SlottedPage` frames
+with pin counts and LRU replacement of unpinned frames; dirty frames are
+written back on eviction or on an explicit flush (NO-FORCE at commit — the
+write-ahead log makes committed work durable, not page flushes).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+from repro.errors import BufferPoolError, PageError
+from repro.storage.page import PAGE_SIZE, SlottedPage
+
+
+class PagedFile:
+    """Page-granular I/O over a single OS file."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        flags = os.O_RDWR | os.O_CREAT
+        self._fd = os.open(self.path, flags, 0o644)
+        size = os.fstat(self._fd).st_size
+        if size % PAGE_SIZE:
+            raise PageError(f"{path}: size {size} is not a multiple of {PAGE_SIZE}")
+        self._num_pages = size // PAGE_SIZE
+        self._closed = False
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def allocate_page(self) -> int:
+        """Append a zeroed page, returning its page number."""
+        page_no = self._num_pages
+        os.pwrite(self._fd, bytes(PAGE_SIZE), page_no * PAGE_SIZE)
+        self._num_pages += 1
+        return page_no
+
+    def read_page(self, page_no: int) -> bytearray:
+        if not 0 <= page_no < self._num_pages:
+            raise PageError(f"page {page_no} out of range (have {self._num_pages})")
+        data = os.pread(self._fd, PAGE_SIZE, page_no * PAGE_SIZE)
+        return bytearray(data)
+
+    def write_page(self, page_no: int, raw: bytes | bytearray) -> None:
+        if len(raw) != PAGE_SIZE:
+            raise PageError(f"write_page needs {PAGE_SIZE} bytes, got {len(raw)}")
+        if not 0 <= page_no < self._num_pages:
+            raise PageError(f"page {page_no} out of range (have {self._num_pages})")
+        os.pwrite(self._fd, bytes(raw), page_no * PAGE_SIZE)
+
+    def sync(self) -> None:
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if not self._closed:
+            os.close(self._fd)
+            self._closed = True
+
+
+class _Frame:
+    __slots__ = ("page", "pin_count", "dirty")
+
+    def __init__(self, page: SlottedPage):
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+
+
+class BufferPool:
+    """Fixed-capacity page cache with pinning and LRU replacement."""
+
+    def __init__(self, file: PagedFile, capacity: int = 128, stats=None, pre_write=None):
+        if capacity < 1:
+            raise BufferPoolError("buffer pool capacity must be >= 1")
+        self.file = file
+        self.capacity = capacity
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        self._stats = stats
+        # Called before any dirty frame reaches disk — the engine forces the
+        # WAL here so the write-ahead rule holds even for STEAL evictions.
+        self._pre_write = pre_write
+
+    # -- pin/unpin protocol -------------------------------------------------
+
+    def fetch(self, page_no: int) -> SlottedPage:
+        """Pin and return the page; loads (and possibly evicts) as needed."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            self._frames.move_to_end(page_no)
+            if self._stats is not None:
+                self._stats.page_hits += 1
+        else:
+            if self._stats is not None:
+                self._stats.page_misses += 1
+            self._ensure_room()
+            frame = _Frame(SlottedPage(self.file.read_page(page_no)))
+            self._frames[page_no] = frame
+        frame.pin_count += 1
+        return frame.page
+
+    def unpin(self, page_no: int, *, dirty: bool) -> None:
+        frame = self._frames.get(page_no)
+        if frame is None or frame.pin_count == 0:
+            raise BufferPoolError(f"page {page_no} is not pinned")
+        frame.pin_count -= 1
+        frame.dirty = frame.dirty or dirty
+
+    # -- flushing -----------------------------------------------------------
+
+    def flush_page(self, page_no: int) -> None:
+        frame = self._frames.get(page_no)
+        if frame is not None and frame.dirty:
+            if self._pre_write is not None:
+                self._pre_write()
+            self.file.write_page(page_no, frame.page.raw)
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        for page_no in list(self._frames):
+            self.flush_page(page_no)
+        self.file.sync()
+
+    def drop_all(self) -> None:
+        """Forget every frame without writing (used after crash simulation)."""
+        if any(frame.pin_count for frame in self._frames.values()):
+            raise BufferPoolError("cannot drop frames while pages are pinned")
+        self._frames.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _ensure_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        for page_no, frame in self._frames.items():
+            if frame.pin_count == 0:
+                if frame.dirty:
+                    if self._pre_write is not None:
+                        self._pre_write()
+                    self.file.write_page(page_no, frame.page.raw)
+                del self._frames[page_no]
+                if self._stats is not None:
+                    self._stats.page_evictions += 1
+                return
+        raise BufferPoolError("buffer pool exhausted: every frame is pinned")
+
+    def cached_pages(self) -> frozenset[int]:
+        return frozenset(self._frames)
+
+    def __len__(self) -> int:
+        return len(self._frames)

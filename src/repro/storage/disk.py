@@ -1,0 +1,539 @@
+"""The EOS-like disk storage manager.
+
+Records live in slotted pages cached by an LRU buffer pool; mutations are
+value-logged to a write-ahead log (STEAL/NO-FORCE: dirty pages may be
+evicted before commit — the pool forces the log first — and commit forces
+only the log).  Strict two-phase locking at record granularity.
+
+Record identifiers pack a page number and slot number
+(``rid = page_no << 16 | slot_no``).  Updates that outgrow their page leave
+a *forwarding* record at the home slot so rids stay stable — essential
+because the object manager hands rids out as persistent pointers.
+
+Physical record encoding (first byte is a flag):
+
+* ``0x00`` + u16 length + data (padded to ≥ 9 bytes) — stored inline; the
+  padding guarantees an in-place upgrade to a forward pointer is always
+  possible, even on a full page,
+* ``0x01`` + 8-byte rid — forwarded; the body lives at the target rid,
+* ``0x02`` + data — a body (or final body segment); skipped by scans,
+* ``0x03`` + 8-byte next rid + data — a body segment with a continuation:
+  records larger than a page span a chain of segments, so B-tree nodes and
+  other big values fit the engine.
+
+Page 0 is a header page holding a magic string and the committed root rid.
+
+Crash model: :meth:`simulate_crash` drops the buffer pool and closes the
+files without flushing, so only WAL-protected state survives — the next
+open runs :mod:`repro.storage.recovery`.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+
+from repro.errors import (
+    PageFullError,
+    RecordNotFoundError,
+    StorageError,
+    WALError,
+)
+from repro.storage.buffer import BufferPool, PagedFile
+from repro.storage.interface import StorageManager
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.recovery import RecoveryStats, recover
+from repro.storage.wal import LogRecord, LogRecordKind, WriteAheadLog
+
+_MAGIC = b"ODEREPRO"
+_HEADER_FMT = struct.Struct("<8sq")  # magic, root rid
+_SLOT_BITS = 16
+_SLOT_MASK = (1 << _SLOT_BITS) - 1
+
+_FLAG_INLINE = 0
+_FLAG_FORWARD = 1
+_FLAG_MOVED = 2  # body (or final body segment) of a forwarded record
+_FLAG_SEGMENT = 3  # body segment with a continuation: 8-byte next rid + chunk
+
+_ROOT_RESOURCE = "ROOT"
+
+_FWD = struct.Struct("<q")
+
+#: Largest record data stored inline / per body segment.  Anything bigger
+#: is spanned across a chain of segment records (flag 3 ... flag 2), so
+#: records of arbitrary size — B-tree nodes included — fit the engine.
+_MAX_CHUNK = 3500
+
+# Inline payloads are length-prefixed and padded to at least the size of a
+# forward pointer (9 bytes), so converting an inline record to a forward
+# can always be done in place — even on a completely full page.
+_INLINE_HEAD = struct.Struct("<BH")  # flag, data length
+_MIN_PAYLOAD = 1 + _FWD.size
+
+
+def _inline_payload(data: bytes) -> bytes:
+    payload = _INLINE_HEAD.pack(_FLAG_INLINE, len(data)) + data
+    if len(payload) < _MIN_PAYLOAD:
+        payload += b"\x00" * (_MIN_PAYLOAD - len(payload))
+    return payload
+
+
+def _inline_data(payload: bytes) -> bytes:
+    _, length = _INLINE_HEAD.unpack_from(payload, 0)
+    return payload[_INLINE_HEAD.size : _INLINE_HEAD.size + length]
+
+
+def pack_rid(page_no: int, slot_no: int) -> int:
+    """Combine a page number and slot number into a record id."""
+    return (page_no << _SLOT_BITS) | slot_no
+
+
+def unpack_rid(rid: int) -> tuple[int, int]:
+    """Split a record id into its page number and slot number."""
+    return rid >> _SLOT_BITS, rid & _SLOT_MASK
+
+
+class DiskStorageManager(StorageManager):
+    """Transactional slotted-page store with WAL recovery and 2PL."""
+
+    def __init__(self, path: str, buffer_capacity: int = 128):
+        super().__init__()
+        self.path = str(path)
+        self._file = PagedFile(self.path + ".data")
+        self._wal = WriteAheadLog(self.path + ".wal", stats=self.stats)
+        self._pool = BufferPool(
+            self._file,
+            capacity=buffer_capacity,
+            stats=self.stats,
+            pre_write=self._wal.force,
+        )
+        self._locks = LockManager()
+        self._active: dict[int, list[LogRecord]] = {}
+        self._page_free: dict[int, int] = {}
+        self._root = self.NO_ROOT
+        self._closed = False
+        self.last_recovery: RecoveryStats | None = None
+        self._bootstrap()
+
+    # -- bootstrap / recovery -------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        if self._file.num_pages == 0:
+            self._file.allocate_page()  # header page
+            self._write_header()
+        else:
+            self._read_header()
+        self._rebuild_free_map()
+        self.last_recovery = recover(self._wal.replay(), self._redo, self._undo)
+        self.checkpoint()
+
+    def _write_header(self) -> None:
+        raw = bytearray(PAGE_SIZE)
+        _HEADER_FMT.pack_into(raw, 0, _MAGIC, self._root)
+        self._file.write_page(0, raw)
+
+    def _read_header(self) -> None:
+        raw = self._file.read_page(0)
+        magic, root = _HEADER_FMT.unpack_from(raw, 0)
+        if magic != _MAGIC:
+            raise StorageError(f"{self.path}: not an Ode-repro data file")
+        self._root = root
+
+    def _rebuild_free_map(self) -> None:
+        self._page_free.clear()
+        for page_no in range(1, self._file.num_pages):
+            page = self._pool.fetch(page_no)
+            try:
+                self._page_free[page_no] = page.free_space()
+            finally:
+                self._pool.unpin(page_no, dirty=False)
+
+    def _redo(self, record: LogRecord) -> None:
+        if record.kind is LogRecordKind.SET_ROOT:
+            (self._root,) = _FWD.unpack(record.after)
+        elif record.kind is LogRecordKind.INSERT:
+            self._ensure_present(record.rid, record.after)
+        elif record.kind is LogRecordKind.UPDATE:
+            self._ensure_present(record.rid, record.after)
+        elif record.kind is LogRecordKind.DELETE:
+            self._ensure_absent(record.rid)
+
+    def _undo(self, record: LogRecord) -> None:
+        if record.kind is LogRecordKind.SET_ROOT:
+            (self._root,) = _FWD.unpack(record.before)
+        elif record.kind is LogRecordKind.INSERT:
+            self._ensure_absent(record.rid)
+        elif record.kind is LogRecordKind.UPDATE:
+            self._ensure_present(record.rid, record.before)
+        elif record.kind is LogRecordKind.DELETE:
+            self._ensure_present(record.rid, record.before)
+
+    def _ensure_present(self, rid: int, data: bytes) -> None:
+        if self._exists_raw(rid):
+            self._write_raw(rid, data)
+        else:
+            self._insert_at_raw(rid, data)
+
+    def _ensure_absent(self, rid: int) -> None:
+        if self._exists_raw(rid):
+            self._delete_raw(rid)
+
+    # -- transaction control ------------------------------------------------------
+
+    def begin_transaction(self, txid: int) -> None:
+        self._check_open()
+        if txid in self._active:
+            raise StorageError(f"transaction {txid} already active")
+        self._active[txid] = []
+        self._wal.append(txid, LogRecordKind.BEGIN)
+
+    def commit_transaction(self, txid: int) -> None:
+        self._check_open()
+        self._require_active(txid)
+        self._wal.append(txid, LogRecordKind.COMMIT)
+        self._wal.force()
+        del self._active[txid]
+        self._locks.release_all(txid)
+        self.stats.commits += 1
+
+    def abort_transaction(self, txid: int) -> None:
+        self._check_open()
+        records = self._require_active(txid)
+        for record in reversed(records):
+            compensation = record.inverse()
+            self._wal.append(
+                txid,
+                compensation.kind,
+                compensation.rid,
+                compensation.before,
+                compensation.after,
+            )
+            self._redo(compensation)
+        self._wal.append(txid, LogRecordKind.ABORT)
+        del self._active[txid]
+        self._locks.release_all(txid)
+        self.stats.aborts += 1
+
+    def _require_active(self, txid: int) -> list[LogRecord]:
+        try:
+            return self._active[txid]
+        except KeyError:
+            raise StorageError(f"transaction {txid} is not active") from None
+
+    def _open_txids(self) -> frozenset[int]:
+        return frozenset(self._active)
+
+    # -- data operations --------------------------------------------------------------
+
+    def insert(self, txid: int, data: bytes) -> int:
+        self._check_open()
+        self._require_active(txid)
+        rid = self._insert_raw(bytes(data))
+        self._locks.acquire_or_raise(txid, rid, LockMode.X)
+        record = self._wal.append(txid, LogRecordKind.INSERT, rid, b"", bytes(data))
+        self._active[txid].append(record)
+        self.stats.inserts += 1
+        return rid
+
+    def read(self, txid: int, rid: int) -> bytes:
+        self._check_open()
+        self._require_active(txid)
+        self._locks.acquire_or_raise(txid, rid, LockMode.S)
+        self.stats.reads += 1
+        return self._read_raw(rid)
+
+    def write(self, txid: int, rid: int, data: bytes) -> None:
+        self._check_open()
+        self._require_active(txid)
+        self._locks.acquire_or_raise(txid, rid, LockMode.X)
+        before = self._read_raw(rid)
+        record = self._wal.append(
+            txid, LogRecordKind.UPDATE, rid, before, bytes(data)
+        )
+        self._active[txid].append(record)
+        self._write_raw(rid, bytes(data))
+        self.stats.writes += 1
+
+    def delete(self, txid: int, rid: int) -> None:
+        self._check_open()
+        self._require_active(txid)
+        self._locks.acquire_or_raise(txid, rid, LockMode.X)
+        before = self._read_raw(rid)
+        record = self._wal.append(txid, LogRecordKind.DELETE, rid, before, b"")
+        self._active[txid].append(record)
+        self._delete_raw(rid)
+        self.stats.deletes += 1
+
+    def exists(self, txid: int, rid: int) -> bool:
+        self._check_open()
+        self._require_active(txid)
+        return self._exists_raw(rid)
+
+    def scan(self, txid: int) -> Iterator[tuple[int, bytes]]:
+        self._check_open()
+        self._require_active(txid)
+        for page_no in range(1, self._file.num_pages):
+            page = self._pool.fetch(page_no)
+            try:
+                entries = [
+                    (slot_no, data)
+                    for slot_no, data in page.records()
+                    if data and data[0] in (_FLAG_INLINE, _FLAG_FORWARD)
+                ]
+            finally:
+                self._pool.unpin(page_no, dirty=False)
+            for slot_no, data in entries:
+                rid = pack_rid(page_no, slot_no)
+                self._locks.acquire_or_raise(txid, rid, LockMode.S)
+                if data[0] == _FLAG_INLINE:
+                    yield rid, _inline_data(data)
+                else:  # forwarded: fetch the body from the target
+                    yield rid, self._read_raw(rid)
+
+    # -- root pointer --------------------------------------------------------------------
+
+    def get_root(self) -> int:
+        self._check_open()
+        return self._root
+
+    def set_root(self, txid: int, rid: int) -> None:
+        self._check_open()
+        self._require_active(txid)
+        self._locks.acquire_or_raise(txid, _ROOT_RESOURCE, LockMode.X)
+        record = self._wal.append(
+            txid,
+            LogRecordKind.SET_ROOT,
+            -1,
+            _FWD.pack(self._root),
+            _FWD.pack(rid),
+        )
+        self._active[txid].append(record)
+        self._root = rid
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush all pages + header and truncate the log."""
+        self._check_open()
+        if self._active:
+            raise StorageError("cannot checkpoint with active transactions")
+        self._wal.force()
+        self._pool.flush_all()
+        self._write_header()
+        self._file.sync()
+        self._wal.truncate()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._active:
+            for txid in list(self._active):
+                self.abort_transaction(txid)
+        self.checkpoint()
+        self._wal.close()
+        self._file.close()
+        self._closed = True
+
+    def simulate_crash(self) -> None:
+        """Drop volatile state without flushing — committed work must survive."""
+        if self._closed:
+            return
+        self._wal.force()  # commits already forced; keep torn-tail semantics simple
+        self._wal.close()
+        self._file.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("storage manager is closed")
+
+    @property
+    def lock_manager(self) -> LockManager:
+        return self._locks
+
+    # -- physical record layer (flag + forwarding) -------------------------------------------
+
+    def _fetch(self, page_no: int) -> SlottedPage:
+        return self._pool.fetch(page_no)
+
+    def _unpin(self, page_no: int, page: SlottedPage, *, dirty: bool) -> None:
+        self._pool.unpin(page_no, dirty=dirty)
+        self._page_free[page_no] = page.free_space()
+
+    def _find_page_for(self, payload_len: int) -> int:
+        need = payload_len + 4  # slot entry
+        for page_no, free in self._page_free.items():
+            if free >= need:
+                return page_no
+        page_no = self._file.allocate_page()
+        self._page_free[page_no] = PAGE_SIZE
+        return page_no
+
+    def _place(self, payload: bytes) -> int:
+        """Store one flagged payload (≤ a page) somewhere; returns its rid."""
+        if len(payload) > _MAX_CHUNK + _FWD.size + 1:
+            raise StorageError(
+                f"internal: payload of {len(payload)} bytes must be chained"
+            )
+        while True:
+            page_no = self._find_page_for(len(payload))
+            page = self._fetch(page_no)
+            try:
+                slot_no = page.insert(payload)
+            except PageFullError:
+                self._unpin(page_no, page, dirty=False)
+                # free-map estimate was stale; mark exhausted and retry
+                self._page_free[page_no] = 0
+                continue
+            self._unpin(page_no, page, dirty=True)
+            return pack_rid(page_no, slot_no)
+
+    # -- body chains: records of any size span segment records ------------------
+
+    def _place_body(self, data: bytes) -> int:
+        """Store *data* as a (possibly chained) body; returns the head rid."""
+        chunks = [data[i : i + _MAX_CHUNK] for i in range(0, len(data), _MAX_CHUNK)]
+        if not chunks:
+            chunks = [b""]
+        next_rid: int | None = None
+        # Build the chain back to front so each segment knows its successor.
+        for chunk in reversed(chunks):
+            if next_rid is None:
+                payload = bytes([_FLAG_MOVED]) + chunk
+            else:
+                payload = bytes([_FLAG_SEGMENT]) + _FWD.pack(next_rid) + chunk
+            next_rid = self._place(payload)
+        return next_rid
+
+    def _read_body(self, rid: int) -> bytes:
+        parts = []
+        while True:
+            payload = self._load(rid)
+            if payload[0] == _FLAG_MOVED:
+                parts.append(payload[1:])
+                return b"".join(parts)
+            if payload[0] == _FLAG_SEGMENT:
+                (rid,) = _FWD.unpack(payload[1:9])
+                parts.append(payload[9:])
+                continue
+            raise RecordNotFoundError(f"rid {rid}: broken body chain")
+
+    def _delete_body(self, rid: int) -> None:
+        while True:
+            payload = self._load(rid)
+            self._delete_slot(rid)
+            if payload[0] == _FLAG_SEGMENT:
+                (rid,) = _FWD.unpack(payload[1:9])
+                continue
+            return
+
+    # -- logical record operations ------------------------------------------------
+
+    def _insert_raw(self, data: bytes) -> int:
+        if len(data) <= _MAX_CHUNK:
+            return self._place(_inline_payload(data))
+        body = self._place_body(data)
+        return self._place(bytes([_FLAG_FORWARD]) + _FWD.pack(body))
+
+    def _insert_at_raw(self, rid: int, data: bytes) -> None:
+        page_no, slot_no = unpack_rid(rid)
+        while self._file.num_pages <= page_no:
+            new_page = self._file.allocate_page()
+            self._page_free[new_page] = PAGE_SIZE
+        if len(data) <= _MAX_CHUNK:
+            page = self._fetch(page_no)
+            try:
+                page.insert_at(slot_no, _inline_payload(data))
+                self._unpin(page_no, page, dirty=True)
+                return
+            except PageFullError:
+                self._unpin(page_no, page, dirty=False)
+        body = self._place_body(data)
+        page = self._fetch(page_no)
+        page.insert_at(slot_no, bytes([_FLAG_FORWARD]) + _FWD.pack(body))
+        self._unpin(page_no, page, dirty=True)
+
+    def _load(self, rid: int) -> bytes:
+        page_no, slot_no = unpack_rid(rid)
+        if not 1 <= page_no < self._file.num_pages:
+            raise RecordNotFoundError(f"rid {rid}: no such page")
+        page = self._fetch(page_no)
+        try:
+            if not page.is_live(slot_no):
+                raise RecordNotFoundError(f"rid {rid}: slot is empty")
+            return page.read(slot_no)
+        finally:
+            self._pool.unpin(page_no, dirty=False)
+
+    def _read_raw(self, rid: int) -> bytes:
+        payload = self._load(rid)
+        if payload[0] == _FLAG_INLINE:
+            return _inline_data(payload)
+        if payload[0] == _FLAG_FORWARD:
+            (body,) = _FWD.unpack(payload[1:9])
+            return self._read_body(body)
+        raise RecordNotFoundError(f"rid {rid} addresses a record body, not a record")
+
+    def _write_raw(self, rid: int, data: bytes) -> None:
+        page_no, slot_no = unpack_rid(rid)
+        payload = self._load(rid)
+        if payload[0] == _FLAG_FORWARD:
+            (body,) = _FWD.unpack(payload[1:9])
+            head = self._load(body)
+            if head[0] == _FLAG_MOVED and len(data) <= _MAX_CHUNK:
+                # Single-segment body: try an in-place target update.
+                tpage_no, tslot_no = unpack_rid(body)
+                tpage = self._fetch(tpage_no)
+                try:
+                    tpage.update(tslot_no, bytes([_FLAG_MOVED]) + data)
+                    self._unpin(tpage_no, tpage, dirty=True)
+                    return
+                except PageFullError:
+                    self._unpin(tpage_no, tpage, dirty=False)
+            self._delete_body(body)
+            new_body = self._place_body(data)
+            page = self._fetch(page_no)
+            page.update(slot_no, bytes([_FLAG_FORWARD]) + _FWD.pack(new_body))
+            self._unpin(page_no, page, dirty=True)
+            return
+        # Inline record: keep it inline if it fits, else grow a body chain.
+        if len(data) <= _MAX_CHUNK:
+            page = self._fetch(page_no)
+            try:
+                page.update(slot_no, _inline_payload(data))
+                self._unpin(page_no, page, dirty=True)
+                return
+            except PageFullError:
+                self._unpin(page_no, page, dirty=False)
+        body = self._place_body(data)
+        page = self._fetch(page_no)
+        # Inline slots are always >= 9 bytes, so this update is in place
+        # and cannot fail even on a full page.
+        page.update(slot_no, bytes([_FLAG_FORWARD]) + _FWD.pack(body))
+        self._unpin(page_no, page, dirty=True)
+
+    def _delete_slot(self, rid: int) -> None:
+        page_no, slot_no = unpack_rid(rid)
+        page = self._fetch(page_no)
+        page.delete(slot_no)
+        self._unpin(page_no, page, dirty=True)
+
+    def _delete_raw(self, rid: int) -> None:
+        payload = self._load(rid)
+        if payload[0] == _FLAG_FORWARD:
+            (body,) = _FWD.unpack(payload[1:9])
+            self._delete_body(body)
+        self._delete_slot(rid)
+
+    def _exists_raw(self, rid: int) -> bool:
+        page_no, slot_no = unpack_rid(rid)
+        if not 1 <= page_no < self._file.num_pages:
+            return False
+        page = self._fetch(page_no)
+        try:
+            if not page.is_live(slot_no):
+                return False
+            return page.read(slot_no)[0] in (_FLAG_INLINE, _FLAG_FORWARD)
+        finally:
+            self._pool.unpin(page_no, dirty=False)

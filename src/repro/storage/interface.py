@@ -1,0 +1,134 @@
+"""The storage-manager contract shared by the disk and main-memory engines.
+
+The Ode object manager needs only a small contract from its storage manager:
+transactional reads and writes of uninterpreted byte records addressed by
+record identifiers, plus locking and recovery.  Record identifiers (*rids*)
+are opaque non-negative integers; the disk engine packs a page number and a
+slot number into one, the main-memory engine hands out a counter.
+
+A distinguished *root* slot stores the rid of the object manager's catalog
+so a reopened database can find its metadata (EOS similarly exposes a root
+entry point).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+
+@dataclasses.dataclass
+class StorageStats:
+    """Counters exposed by every engine for the benchmark harness."""
+
+    reads: int = 0
+    writes: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    commits: int = 0
+    aborts: int = 0
+    log_records: int = 0
+    log_forces: int = 0
+    page_hits: int = 0
+    page_misses: int = 0
+    page_evictions: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the counters as a plain dict (for table printing)."""
+        return dataclasses.asdict(self)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
+class StorageManager(ABC):
+    """Abstract transactional record store.
+
+    All data operations take the *txid* of an open transaction; the engine
+    acquires the appropriate locks (shared for reads, exclusive for
+    mutations) through its :class:`~repro.storage.locks.LockManager` and
+    logs mutations so that :meth:`abort_transaction` and crash recovery can
+    undo them.
+    """
+
+    NO_ROOT = -1
+
+    def __init__(self) -> None:
+        self.stats = StorageStats()
+
+    # -- transaction control ------------------------------------------------
+
+    @abstractmethod
+    def begin_transaction(self, txid: int) -> None:
+        """Register *txid* as an open transaction."""
+
+    @abstractmethod
+    def commit_transaction(self, txid: int) -> None:
+        """Durably commit *txid* and release its locks."""
+
+    @abstractmethod
+    def abort_transaction(self, txid: int) -> None:
+        """Undo every effect of *txid* and release its locks."""
+
+    # -- data operations ----------------------------------------------------
+
+    @abstractmethod
+    def insert(self, txid: int, data: bytes) -> int:
+        """Store a new record, returning its rid."""
+
+    @abstractmethod
+    def read(self, txid: int, rid: int) -> bytes:
+        """Return the record at *rid*; raises ``RecordNotFoundError``."""
+
+    @abstractmethod
+    def write(self, txid: int, rid: int, data: bytes) -> None:
+        """Replace the record at *rid* with *data*."""
+
+    @abstractmethod
+    def delete(self, txid: int, rid: int) -> None:
+        """Remove the record at *rid*."""
+
+    @abstractmethod
+    def exists(self, txid: int, rid: int) -> bool:
+        """Return whether a record currently exists at *rid*."""
+
+    @abstractmethod
+    def scan(self, txid: int) -> Iterator[tuple[int, bytes]]:
+        """Yield every ``(rid, data)`` pair (shared-locking each record)."""
+
+    # -- root pointer ---------------------------------------------------------
+
+    @abstractmethod
+    def get_root(self) -> int:
+        """Return the catalog rid stored in the root slot (NO_ROOT if unset)."""
+
+    @abstractmethod
+    def set_root(self, txid: int, rid: int) -> None:
+        """Store *rid* in the root slot (transactionally)."""
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @abstractmethod
+    def checkpoint(self) -> None:
+        """Make the current committed state durable compactly."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Flush committed state and release OS resources."""
+
+    @property
+    @abstractmethod
+    def lock_manager(self):
+        """The engine's :class:`~repro.storage.locks.LockManager`."""
+
+    # -- conveniences shared by both engines ----------------------------------
+
+    def active_transactions(self) -> frozenset[int]:
+        """Return the set of currently open transaction ids."""
+        return frozenset(self._open_txids())
+
+    @abstractmethod
+    def _open_txids(self) -> frozenset[int]: ...

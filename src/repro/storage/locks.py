@@ -1,0 +1,227 @@
+"""Strict two-phase lock manager with waits-for deadlock detection.
+
+Ode's storage managers provide locking; the paper's Section 6 observes that
+*"triggers turn read access into write access, increasing both the amount of
+time the transactions spend waiting for locks and the likelihood of
+deadlock"* — experiment E6 measures exactly that, so the lock manager keeps
+detailed counters.
+
+The manager is *logical*: callers (the single-session database, or the
+interleaved-transaction simulator used by the benchmarks) drive it
+synchronously.  :meth:`LockManager.acquire` returns
+:attr:`LockRequestStatus.GRANTED` or :attr:`LockRequestStatus.WAIT`; a WAIT
+registers the requester in the waits-for graph and, if that closes a cycle,
+raises :class:`~repro.errors.DeadlockError` choosing the requester as the
+victim (the simplest deterministic policy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import defaultdict
+
+from repro.errors import DeadlockError, LockError
+
+
+class LockMode(enum.IntEnum):
+    """Shared or exclusive."""
+
+    S = 1
+    X = 2
+
+    def compatible(self, other: "LockMode") -> bool:
+        return self is LockMode.S and other is LockMode.S
+
+
+class LockRequestStatus(enum.Enum):
+    GRANTED = "granted"
+    WAIT = "wait"
+
+
+@dataclasses.dataclass
+class LockStats:
+    """Counters consumed by experiment E6 (lock amplification)."""
+
+    s_acquired: int = 0
+    x_acquired: int = 0
+    upgrades: int = 0
+    waits: int = 0
+    deadlocks: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def reset(self) -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
+class _LockEntry:
+    """Per-resource state: current holders and the FIFO wait queue."""
+
+    __slots__ = ("holders", "waiters")
+
+    def __init__(self) -> None:
+        self.holders: dict[int, LockMode] = {}
+        self.waiters: list[tuple[int, LockMode]] = []
+
+
+class LockManager:
+    """S/X locks on opaque hashable resources, strict 2PL discipline."""
+
+    def __init__(self) -> None:
+        self._table: dict[object, _LockEntry] = {}
+        self._held: dict[int, set[object]] = defaultdict(set)
+        self._waits_for: dict[int, set[int]] = defaultdict(set)
+        self.stats = LockStats()
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(self, txid: int, resource: object, mode: LockMode) -> LockRequestStatus:
+        """Request *mode* on *resource* for *txid*.
+
+        Returns GRANTED immediately when compatible; otherwise records the
+        wait (raising :class:`DeadlockError` if it would deadlock) and
+        returns WAIT.  The caller retries after other transactions release.
+        """
+        entry = self._table.get(resource)
+        if entry is None:
+            entry = self._table[resource] = _LockEntry()
+
+        current = entry.holders.get(txid)
+        if current is not None and current >= mode:
+            return LockRequestStatus.GRANTED  # already held at this strength
+
+        blockers = {
+            holder
+            for holder, held_mode in entry.holders.items()
+            if holder != txid and not held_mode.compatible(mode)
+        }
+        # A new S request must also queue behind waiting X requests to avoid
+        # writer starvation — unless we'd be upgrading our own lock.
+        if current is None and any(
+            wmode is LockMode.X and waiter != txid for waiter, wmode in entry.waiters
+        ):
+            blockers |= {w for w, m in entry.waiters if m is LockMode.X and w != txid}
+
+        if not blockers:
+            upgrading = current is not None and mode > current
+            entry.holders[txid] = mode
+            self._held[txid].add(resource)
+            if upgrading:
+                self.stats.upgrades += 1
+            if mode is LockMode.S:
+                self.stats.s_acquired += 1
+            else:
+                self.stats.x_acquired += 1
+            return LockRequestStatus.GRANTED
+
+        self.stats.waits += 1
+        self._waits_for[txid] |= blockers
+        cycle = self._find_cycle(txid)
+        if cycle:
+            self.stats.deadlocks += 1
+            self._waits_for.pop(txid, None)
+            raise DeadlockError(txid, cycle)
+        if (txid, mode) not in entry.waiters:
+            entry.waiters.append((txid, mode))
+        return LockRequestStatus.WAIT
+
+    def acquire_or_raise(self, txid: int, resource: object, mode: LockMode) -> None:
+        """Acquire, raising :class:`LockError` on conflict.
+
+        The single-session database uses this path: with one transaction at a
+        time a conflict indicates a bug rather than contention.
+        """
+        status = self.acquire(txid, resource, mode)
+        if status is not LockRequestStatus.GRANTED:
+            holders = self.holders_of(resource)
+            raise LockError(
+                f"transaction {txid} blocked on {resource!r} held by {sorted(holders)}"
+            )
+
+    # -- release ---------------------------------------------------------------
+
+    def release_all(self, txid: int) -> None:
+        """Release every lock *txid* holds and drop its queued requests."""
+        for resource in self._held.pop(txid, set()):
+            entry = self._table.get(resource)
+            if entry is not None:
+                entry.holders.pop(txid, None)
+                if not entry.holders and not entry.waiters:
+                    del self._table[resource]
+        for entry in list(self._table.values()):
+            entry.waiters = [(t, m) for t, m in entry.waiters if t != txid]
+        self._waits_for.pop(txid, None)
+        for waiters in self._waits_for.values():
+            waiters.discard(txid)
+
+    def retry_waiters(self) -> list[int]:
+        """Re-attempt every queued request; returns txids newly granted.
+
+        Used by the interleaved-transaction simulator after each release.
+        """
+        granted: list[int] = []
+        for resource, entry in list(self._table.items()):
+            for txid, mode in list(entry.waiters):
+                probe = {
+                    holder
+                    for holder, held in entry.holders.items()
+                    if holder != txid and not held.compatible(mode)
+                }
+                if probe:
+                    continue
+                entry.waiters.remove((txid, mode))
+                entry.holders[txid] = max(mode, entry.holders.get(txid, mode))
+                self._held[txid].add(resource)
+                self._waits_for.pop(txid, None)
+                if mode is LockMode.S:
+                    self.stats.s_acquired += 1
+                else:
+                    self.stats.x_acquired += 1
+                granted.append(txid)
+        return granted
+
+    # -- introspection ------------------------------------------------------------
+
+    def holders_of(self, resource: object) -> frozenset[int]:
+        entry = self._table.get(resource)
+        return frozenset(entry.holders) if entry else frozenset()
+
+    def mode_held(self, txid: int, resource: object) -> LockMode | None:
+        entry = self._table.get(resource)
+        return entry.holders.get(txid) if entry else None
+
+    def locks_held(self, txid: int) -> frozenset[object]:
+        return frozenset(self._held.get(txid, set()))
+
+    def waits_for_edges(self) -> dict[int, frozenset[int]]:
+        return {t: frozenset(b) for t, b in self._waits_for.items() if b}
+
+    # -- deadlock detection ----------------------------------------------------------
+
+    def _find_cycle(self, start: int) -> tuple[int, ...]:
+        """DFS from *start* in the waits-for graph; returns a cycle or ()."""
+        path: list[int] = []
+        on_path: set[int] = set()
+        visited: set[int] = set()
+
+        def dfs(node: int) -> tuple[int, ...]:
+            if node in on_path:
+                idx = path.index(node)
+                return tuple(path[idx:]) + (node,)
+            if node in visited:
+                return ()
+            visited.add(node)
+            path.append(node)
+            on_path.add(node)
+            for nxt in self._waits_for.get(node, ()):
+                cycle = dfs(nxt)
+                if cycle:
+                    return cycle
+            path.pop()
+            on_path.discard(node)
+            return ()
+
+        return dfs(start)

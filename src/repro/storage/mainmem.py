@@ -1,0 +1,292 @@
+"""The Dali-like main-memory storage manager (MM-Ode's substrate).
+
+Records live in a plain dictionary; transactions keep in-memory undo lists.
+Durability (optional, on by default when a path is given) follows Dali's
+checkpoint + redo-log design: mutations are appended to an operation log,
+and :meth:`checkpoint` writes a snapshot of the committed store and
+truncates the log.  Reopening loads the snapshot and replays the log with
+the shared :mod:`repro.storage.recovery` passes — the same code the disk
+engine uses, mirroring how MM-Ode "shares a great deal of run-time system
+code" with disk Ode (paper Section 5.6).
+
+With ``durable=False`` the engine is purely volatile (no files touched),
+which is the configuration the performance experiments use to isolate
+main-memory costs.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections.abc import Iterator
+
+from repro.errors import RecordNotFoundError, StorageError
+from repro.storage.interface import StorageManager
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.recovery import RecoveryStats, recover
+from repro.storage.wal import LogRecord, LogRecordKind, WriteAheadLog
+
+_ROOT_RESOURCE = "ROOT"
+_SNAP_HEAD = struct.Struct("<8sqqq")  # magic, next_rid, root, count
+_SNAP_REC = struct.Struct("<qI")  # rid, length
+_MAGIC = b"ODEREPMM"
+_I64 = struct.Struct("<q")
+
+
+class MainMemoryStorageManager(StorageManager):
+    """Transactional in-memory record store with optional durability."""
+
+    def __init__(self, path: str | None = None, durable: bool | None = None):
+        super().__init__()
+        self.path = str(path) if path is not None else None
+        if durable is None:
+            durable = path is not None
+        if durable and path is None:
+            raise StorageError("a durable main-memory store needs a path")
+        self.durable = durable
+        self._store: dict[int, bytes] = {}
+        self._next_rid = 1
+        self._root = self.NO_ROOT
+        self._locks = LockManager()
+        self._active: dict[int, list[LogRecord]] = {}
+        self._closed = False
+        self._wal: WriteAheadLog | None = None
+        self.last_recovery: RecoveryStats | None = None
+        if self.durable:
+            self._load_snapshot()
+            self._wal = WriteAheadLog(self.path + ".oplog", stats=self.stats)
+            self.last_recovery = recover(self._wal.replay(), self._redo, self._undo)
+            self.checkpoint()
+
+    # -- snapshot / recovery -------------------------------------------------
+
+    def _snapshot_path(self) -> str:
+        return self.path + ".snap"
+
+    def _load_snapshot(self) -> None:
+        try:
+            with open(self._snapshot_path(), "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return
+        magic, next_rid, root, count = _SNAP_HEAD.unpack_from(raw, 0)
+        if magic != _MAGIC:
+            raise StorageError(f"{self.path}: not an MM-Ode-repro snapshot")
+        pos = _SNAP_HEAD.size
+        store: dict[int, bytes] = {}
+        for _ in range(count):
+            rid, length = _SNAP_REC.unpack_from(raw, pos)
+            pos += _SNAP_REC.size
+            store[rid] = raw[pos : pos + length]
+            pos += length
+        self._store = store
+        self._next_rid = next_rid
+        self._root = root
+
+    def _write_snapshot(self) -> None:
+        parts = [
+            _SNAP_HEAD.pack(_MAGIC, self._next_rid, self._root, len(self._store))
+        ]
+        for rid, data in self._store.items():
+            parts.append(_SNAP_REC.pack(rid, len(data)))
+            parts.append(data)
+        tmp = self._snapshot_path() + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(b"".join(parts))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._snapshot_path())
+
+    def _redo(self, record: LogRecord) -> None:
+        if record.kind is LogRecordKind.SET_ROOT:
+            (self._root,) = _I64.unpack(record.after)
+        elif record.kind in (LogRecordKind.INSERT, LogRecordKind.UPDATE):
+            self._store[record.rid] = record.after
+            self._next_rid = max(self._next_rid, record.rid + 1)
+        elif record.kind is LogRecordKind.DELETE:
+            self._store.pop(record.rid, None)
+
+    def _undo(self, record: LogRecord) -> None:
+        if record.kind is LogRecordKind.SET_ROOT:
+            (self._root,) = _I64.unpack(record.before)
+        elif record.kind is LogRecordKind.INSERT:
+            self._store.pop(record.rid, None)
+        elif record.kind in (LogRecordKind.UPDATE, LogRecordKind.DELETE):
+            self._store[record.rid] = record.before
+
+    # -- transaction control ---------------------------------------------------
+
+    def begin_transaction(self, txid: int) -> None:
+        self._check_open()
+        if txid in self._active:
+            raise StorageError(f"transaction {txid} already active")
+        self._active[txid] = []
+        if self._wal is not None:
+            self._wal.append(txid, LogRecordKind.BEGIN)
+
+    def commit_transaction(self, txid: int) -> None:
+        self._check_open()
+        self._require_active(txid)
+        if self._wal is not None:
+            self._wal.append(txid, LogRecordKind.COMMIT)
+            self._wal.force()
+        del self._active[txid]
+        self._locks.release_all(txid)
+        self.stats.commits += 1
+
+    def abort_transaction(self, txid: int) -> None:
+        self._check_open()
+        records = self._require_active(txid)
+        for record in reversed(records):
+            compensation = record.inverse()
+            if self._wal is not None:
+                self._wal.append(
+                    txid,
+                    compensation.kind,
+                    compensation.rid,
+                    compensation.before,
+                    compensation.after,
+                )
+            self._redo(compensation)
+        if self._wal is not None:
+            self._wal.append(txid, LogRecordKind.ABORT)
+        del self._active[txid]
+        self._locks.release_all(txid)
+        self.stats.aborts += 1
+
+    def _require_active(self, txid: int) -> list[LogRecord]:
+        try:
+            return self._active[txid]
+        except KeyError:
+            raise StorageError(f"transaction {txid} is not active") from None
+
+    def _open_txids(self) -> frozenset[int]:
+        return frozenset(self._active)
+
+    # -- data operations -----------------------------------------------------------
+
+    def _log(self, txid, kind, rid=-1, before=b"", after=b"") -> None:
+        record = LogRecord(0, txid, kind, rid, bytes(before), bytes(after))
+        if self._wal is not None:
+            record = self._wal.append(txid, kind, rid, before, after)
+        self._active[txid].append(record)
+
+    def insert(self, txid: int, data: bytes) -> int:
+        self._check_open()
+        self._require_active(txid)
+        rid = self._next_rid
+        self._next_rid += 1
+        self._locks.acquire_or_raise(txid, rid, LockMode.X)
+        self._log(txid, LogRecordKind.INSERT, rid, b"", data)
+        self._store[rid] = bytes(data)
+        self.stats.inserts += 1
+        return rid
+
+    def read(self, txid: int, rid: int) -> bytes:
+        self._check_open()
+        self._require_active(txid)
+        self._locks.acquire_or_raise(txid, rid, LockMode.S)
+        try:
+            data = self._store[rid]
+        except KeyError:
+            raise RecordNotFoundError(f"rid {rid} not found") from None
+        self.stats.reads += 1
+        return data
+
+    def write(self, txid: int, rid: int, data: bytes) -> None:
+        self._check_open()
+        self._require_active(txid)
+        self._locks.acquire_or_raise(txid, rid, LockMode.X)
+        try:
+            before = self._store[rid]
+        except KeyError:
+            raise RecordNotFoundError(f"rid {rid} not found") from None
+        self._log(txid, LogRecordKind.UPDATE, rid, before, data)
+        self._store[rid] = bytes(data)
+        self.stats.writes += 1
+
+    def delete(self, txid: int, rid: int) -> None:
+        self._check_open()
+        self._require_active(txid)
+        self._locks.acquire_or_raise(txid, rid, LockMode.X)
+        try:
+            before = self._store[rid]
+        except KeyError:
+            raise RecordNotFoundError(f"rid {rid} not found") from None
+        self._log(txid, LogRecordKind.DELETE, rid, before, b"")
+        del self._store[rid]
+        self.stats.deletes += 1
+
+    def exists(self, txid: int, rid: int) -> bool:
+        self._check_open()
+        self._require_active(txid)
+        return rid in self._store
+
+    def scan(self, txid: int) -> Iterator[tuple[int, bytes]]:
+        self._check_open()
+        self._require_active(txid)
+        for rid in sorted(self._store):
+            self._locks.acquire_or_raise(txid, rid, LockMode.S)
+            data = self._store.get(rid)
+            if data is not None:
+                yield rid, data
+
+    # -- root pointer ------------------------------------------------------------------
+
+    def get_root(self) -> int:
+        self._check_open()
+        return self._root
+
+    def set_root(self, txid: int, rid: int) -> None:
+        self._check_open()
+        self._require_active(txid)
+        self._locks.acquire_or_raise(txid, _ROOT_RESOURCE, LockMode.X)
+        self._log(
+            txid,
+            LogRecordKind.SET_ROOT,
+            -1,
+            _I64.pack(self._root),
+            _I64.pack(rid),
+        )
+        self._root = rid
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        self._check_open()
+        if self._active:
+            raise StorageError("cannot checkpoint with active transactions")
+        if not self.durable:
+            return
+        self._write_snapshot()
+        assert self._wal is not None
+        self._wal.truncate()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for txid in list(self._active):
+            self.abort_transaction(txid)
+        if self.durable:
+            self.checkpoint()
+            assert self._wal is not None
+            self._wal.close()
+        self._closed = True
+
+    def simulate_crash(self) -> None:
+        """Drop all volatile state; only snapshot + op-log survive."""
+        if self._closed:
+            return
+        if self._wal is not None:
+            self._wal.force()
+            self._wal.close()
+        self._store.clear()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("storage manager is closed")
+
+    @property
+    def lock_manager(self) -> LockManager:
+        return self._locks

@@ -1,0 +1,115 @@
+"""Inspection utilities: dump a database's objects, triggers, and machines.
+
+``python -m repro.tools <path> [--engine disk|mm]`` prints a human-readable
+summary of a database: every persistent object with its fields and control
+flags, every active trigger with its FSM position, and the catalog.
+
+The functions are also importable for programmatic use (the test suite
+uses them as a read-only consistency probe).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import TYPE_CHECKING
+
+from repro.core.trigger_state import TriggerState
+from repro.objects.serialize import FLAG_HAS_TRIGGERS, decode_object
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+
+
+def describe_objects(db: "Database") -> list[str]:
+    """One line per persistent object (skips internal records)."""
+    txn = db.txn_manager.current()
+    lines = []
+    for rid, raw in db.storage.scan(txn.txid):
+        try:
+            type_name, fields, flags = decode_object(raw)
+        except Exception:
+            continue  # catalog/index/state records are not object records
+        if not isinstance(fields, dict):
+            continue
+        tag = " [triggers]" if flags & FLAG_HAS_TRIGGERS else ""
+        body = ", ".join(f"{k}={v!r}" for k, v in sorted(fields.items()))
+        lines.append(f"rid {rid}: {type_name}({body}){tag}")
+    return lines
+
+
+def describe_triggers(db: "Database") -> list[str]:
+    """One line per active trigger, resolved through its metatype."""
+    txn = db.txn_manager.current()
+    lines = []
+    index = db.trigger_system.index
+    for key, state_rids in sorted(index._map.items(txn)):
+        for state_rid in state_rids:
+            raw = db.storage.read(txn.txid, state_rid)
+            tstate = TriggerState.decode(raw)
+            try:
+                info = db.registry.find(tstate.trigobjtype).trigger_info(
+                    tstate.triggernum
+                )
+                name = info.name
+                detail = (
+                    f"state {tstate.statenum}/{len(info.fsm) - 1}, "
+                    f"{info.coupling.value}"
+                    f"{', perpetual' if info.perpetual else ''}"
+                )
+            except Exception:
+                name = f"<unresolved {tstate.trigobjtype}#{tstate.triggernum}>"
+                detail = f"state {tstate.statenum}"
+            params = f" params={tstate.params}" if tstate.params else ""
+            lines.append(
+                f"object {key}: {name} ({detail}){params} -> TriggerId rid {state_rid}"
+            )
+    return lines
+
+
+def describe_catalog(db: "Database") -> list[str]:
+    txn = db.txn_manager.current()
+    catalog = db._read_catalog(txn)
+    return [f"{key} -> rid {rid}" for key, rid in sorted(catalog.items())]
+
+
+def dump_database(db: "Database") -> str:
+    """A full textual dump of *db* (runs in its own transaction if needed)."""
+    manager = db.txn_manager
+    own = manager.current_or_none() is None
+    if own:
+        txn = manager.begin(system=True)
+    try:
+        sections = [
+            (f"database {db.name!r} ({db.engine})", []),
+            ("catalog", describe_catalog(db)),
+            ("objects", describe_objects(db)),
+            ("active triggers", describe_triggers(db)),
+            ("integrity", db.trigger_system.verify_integrity() or ["ok"]),
+        ]
+        parts = []
+        for title, lines in sections:
+            parts.append(f"--- {title} ---")
+            parts.extend(lines or ["(none)"] if title != f"database {db.name!r} ({db.engine})" else [])
+        return "\n".join(parts)
+    finally:
+        if own:
+            manager.commit(txn)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.objects.database import Database
+
+    parser = argparse.ArgumentParser(description="Dump an Ode-repro database")
+    parser.add_argument("path", help="database path")
+    parser.add_argument("--engine", choices=["disk", "mm"], default="disk")
+    args = parser.parse_args(argv)
+    db = Database.open(args.path, engine=args.engine)
+    try:
+        print(dump_database(db))
+    finally:
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Transactions for the Ode reproduction.
+
+O++ programs manipulate persistent objects inside transaction blocks; the
+trigger system hangs coupling-mode processing off the commit and abort
+paths (paper Section 5.5).  This package supplies:
+
+* :class:`~repro.transactions.txn.Transaction` — one (top-level or system)
+  transaction with hook points the trigger manager populates,
+* :class:`~repro.transactions.manager.TransactionManager` — begin/commit/
+  abort orchestration, ``tabort`` handling, and system transactions,
+* :class:`~repro.transactions.dependencies.CommitDependencyGraph` — commit
+  dependencies for the *dependent* coupling mode,
+* :class:`~repro.transactions.phoenix.PhoenixQueue` — persistent intention
+  log giving the restart-until-done "phoenix transactions" the paper says
+  reasonable ``after tcommit`` semantics require (Section 6).
+"""
+
+from repro.transactions.dependencies import CommitDependencyGraph
+from repro.transactions.manager import TransactionManager
+from repro.transactions.phoenix import PhoenixQueue
+from repro.transactions.txn import Transaction, TxnState
+
+__all__ = [
+    "CommitDependencyGraph",
+    "PhoenixQueue",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+]

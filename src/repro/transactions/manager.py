@@ -1,0 +1,206 @@
+"""Begin/commit/abort orchestration.
+
+One top-level transaction is active per database at a time (Ode programs
+execute transaction blocks serially within an application); *system*
+transactions — those "not explicitly requested by the user, but required
+for trigger processing" (paper Section 5.5) — run between user transactions
+to execute dependent/!dependent trigger actions and phoenix intentions.
+
+The commit path is ordered exactly as the paper describes: deferred (*end*)
+actions and ``before tcomplete`` events run first (still inside the
+transaction, able to ``tabort`` it), then dirty objects are written back,
+the storage manager makes the transaction durable, and only then do the
+detached-mode hooks spawn their system transactions.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import (
+    DatabaseClosedError,
+    NestedTransactionError,
+    NoActiveTransactionError,
+    TransactionAbort,
+    TransactionError,
+)
+from repro.transactions.dependencies import CommitDependencyGraph
+from repro.transactions.txn import Transaction, TxnState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+
+
+class TransactionManager:
+    """Drives transactions for one :class:`~repro.objects.database.Database`."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        self._next_txid = 1
+        self._current: Transaction | None = None
+        self.outcomes: dict[int, TxnState] = {}
+        self.dependencies = CommitDependencyGraph()
+        self._begin_listeners: list[Callable[[Transaction], None]] = []
+
+    # -- listeners ------------------------------------------------------------
+
+    def on_begin(self, listener: Callable[[Transaction], None]) -> None:
+        """Register a callback invoked for every new transaction.
+
+        The trigger manager uses this to install its coupling-mode hooks.
+        """
+        self._begin_listeners.append(listener)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def begin(self, *, system: bool = False) -> Transaction:
+        if self.db.closed:
+            raise DatabaseClosedError(f"database {self.db.name!r} is closed")
+        if self._current is not None and self._current.is_active:
+            raise NestedTransactionError(
+                f"transaction {self._current.txid} is still active; Ode does "
+                "not support nested transactions (paper Section 5.4.5)"
+            )
+        txn = Transaction(self._next_txid, self.db, system=system)
+        self._next_txid += 1
+        self.db.storage.begin_transaction(txn.txid)
+        self._current = txn
+        for listener in self._begin_listeners:
+            listener(txn)
+        return txn
+
+    def current(self) -> Transaction:
+        # COMMITTING counts as current: before-commit hooks (deferred
+        # trigger actions, `before tcomplete` posting) still run inside
+        # the transaction and perform data operations.
+        if self._current is None or self._current.state not in (
+            TxnState.ACTIVE,
+            TxnState.COMMITTING,
+        ):
+            raise NoActiveTransactionError(
+                "no active transaction; use `with db.transaction():`"
+            )
+        return self._current
+
+    def current_or_none(self) -> Transaction | None:
+        try:
+            return self.current()
+        except NoActiveTransactionError:
+            return None
+
+    # -- commit ------------------------------------------------------------------
+
+    def commit(self, txn: Transaction) -> TxnState:
+        """Attempt to commit; returns the final state.
+
+        A :class:`TransactionAbort` raised by a before-commit hook (an *end*
+        trigger action or a ``before tcomplete`` trigger) turns the commit
+        into an abort, as `tabort` semantics require.
+        """
+        self._require_current(txn)
+        txn.state = TxnState.COMMITTING
+        try:
+            for hook in list(txn.before_commit):
+                hook(txn)
+        except TransactionAbort:
+            txn.state = TxnState.ACTIVE
+            self.abort(txn, explicit=True)
+            return txn.state
+        try:
+            self.dependencies.check_commit_allowed(txn.txid, self.outcomes)
+            self.db.flush_transaction(txn)
+            self.db.storage.commit_transaction(txn.txid)
+        except BaseException:
+            txn.state = TxnState.ACTIVE
+            self.abort(txn, explicit=False)
+            raise
+        txn.state = TxnState.COMMITTED
+        self._finish(txn)
+        for hook in list(txn.after_commit):
+            hook(txn)
+        return txn.state
+
+    # -- abort --------------------------------------------------------------------
+
+    def abort(self, txn: Transaction, *, explicit: bool = True) -> TxnState:
+        """Roll *txn* back.  *explicit* aborts post ``before tabort`` events
+        (via the before-abort hooks); implicit ones — crashes — cannot
+        (paper Section 6)."""
+        self._require_current(txn)
+        if explicit:
+            for hook in list(txn.before_abort):
+                try:
+                    hook(txn)
+                except TransactionAbort:
+                    pass  # already aborting
+        self.db.storage.abort_transaction(txn.txid)
+        txn.cache.clear()
+        txn.dirty.clear()
+        txn.state = TxnState.ABORTED
+        self._finish(txn)
+        for hook in list(txn.after_abort):
+            hook(txn)
+        return txn.state
+
+    def _finish(self, txn: Transaction) -> None:
+        self.outcomes[txn.txid] = txn.state
+        self.dependencies.forget(txn.txid)
+        if self._current is txn:
+            self._current = None
+
+    def _require_current(self, txn: Transaction) -> None:
+        if self._current is not txn:
+            raise TransactionError(f"{txn!r} is not the current transaction")
+
+    # -- conveniences -----------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, *, system: bool = False):
+        """``with`` block with O++ transaction-block semantics.
+
+        ``tabort`` (a :class:`TransactionAbort` escaping the block) aborts
+        and is swallowed — execution continues after the block, as in O++.
+        Any other exception aborts and propagates.
+        """
+        txn = self.begin(system=system)
+        try:
+            yield txn
+        except TransactionAbort:
+            if txn.is_active:
+                self.abort(txn, explicit=True)
+        except BaseException:
+            if txn.is_active:
+                self.abort(txn, explicit=False)
+            raise
+        else:
+            if txn.is_active:
+                self.commit(txn)
+
+    def run_system_transaction(
+        self,
+        body: Callable[[Transaction], None],
+        *,
+        depends_on: int | None = None,
+    ) -> Transaction:
+        """Run *body* in a fresh system transaction and commit it.
+
+        With *depends_on*, the system transaction carries a commit
+        dependency on that transaction (the *dependent* coupling mode);
+        commit raises :class:`~repro.errors.CommitDependencyError` if the
+        parent did not commit, and the action is rolled back.
+        """
+        txn = self.begin(system=True)
+        if depends_on is not None:
+            self.dependencies.add(txn.txid, depends_on)
+        try:
+            body(txn)
+        except TransactionAbort:
+            self.abort(txn, explicit=True)
+            return txn
+        except BaseException:
+            if txn.is_active:
+                self.abort(txn, explicit=False)
+            raise
+        self.commit(txn)  # aborts internally (and raises) on dependency failure
+        return txn

@@ -1,0 +1,122 @@
+"""Phoenix transactions — restart-until-done intentions.
+
+The paper drops ``after tcommit`` because posting it reliably "would be very
+expensive ... Reasonable semantics for after commit require the use of a
+phoenix transaction, one that once started will never stop trying to execute
+until it has completed — even if it must be restarted after the system
+crashes" (Section 6).  We implement exactly that as the optional extension:
+
+* A committing transaction *enqueues* an intention (a small serializable
+  payload) — the enqueue is part of the transaction, so the intention is
+  durable iff the transaction commits.
+* After commit — and again every time the database is opened — the queue is
+  *drained*: each intention runs its registered handler in a fresh system
+  transaction and is removed in that same transaction, so a crash at any
+  point leaves the intention either fully done and gone, or still queued
+  for the next restart.  Handlers must therefore be idempotent-at-the-
+  application-level or tolerate re-execution (the usual phoenix contract).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import TransactionError
+from repro.objects.serialize import decode_value, encode_value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+    from repro.transactions.txn import Transaction
+
+_CATALOG_KEY = "phoenix_queue"
+
+Handler = Callable[["Transaction", Any], None]
+
+
+class PhoenixQueue:
+    """Durable intention queue stored in the database catalog."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        self._handlers: dict[str, Handler] = {}
+
+    def register_handler(self, kind: str, handler: Handler) -> None:
+        """Register the executor for intentions of *kind*."""
+        self._handlers[kind] = handler
+
+    # -- persistence -----------------------------------------------------------
+
+    def _load(self, txn: "Transaction") -> list[dict[str, Any]]:
+        rid = self.db.catalog_get(_CATALOG_KEY)
+        if rid is None:
+            return []
+        raw = self.db.storage.read(txn.txid, rid)
+        value, _ = decode_value(raw, 0)
+        return list(value)
+
+    def _store(self, txn: "Transaction", intentions: list[dict[str, Any]]) -> None:
+        out = bytearray()
+        encode_value(intentions, out)
+        rid = self.db.catalog_get(_CATALOG_KEY)
+        if rid is None:
+            rid = self.db.storage.insert(txn.txid, bytes(out))
+            self.db.catalog_set(txn, _CATALOG_KEY, rid)
+        else:
+            self.db.storage.write(txn.txid, rid, bytes(out))
+
+    # -- API ----------------------------------------------------------------------
+
+    def enqueue(self, txn: "Transaction", kind: str, payload: Any) -> None:
+        """Durably record an intention as part of *txn*."""
+        if not txn.is_active and txn.state.value != "committing":
+            raise TransactionError("phoenix intentions need a live transaction")
+        intentions = self._load(txn)
+        intentions.append({"kind": kind, "payload": payload})
+        self._store(txn, intentions)
+
+    def pending(self, txn: "Transaction") -> list[dict[str, Any]]:
+        """The intentions currently queued (for inspection/tests)."""
+        return self._load(txn)
+
+    def drain(self, *, strict: bool = True) -> int:
+        """Execute and remove every queued intention; returns the count run.
+
+        Each intention runs in its own system transaction: handler first,
+        then removal from the queue — atomically.  A handler exception
+        leaves the intention queued (it will be retried on the next drain
+        or database open), preserving the never-give-up contract.
+
+        With ``strict=False`` (the open-time drain), intentions whose kind
+        has no registered handler yet are skipped and stay queued — the
+        application may register handlers after opening and drain again.
+        """
+        executed = 0
+        skip = 0
+        while True:
+            manager = self.db.txn_manager
+
+            # Peek at the next runnable intention in a read-only system txn.
+            head: dict[str, Any] | None = None
+            with manager.transaction(system=True) as txn:
+                intentions = self._load(txn)
+                if skip < len(intentions):
+                    head = intentions[skip]
+            if head is None:
+                return executed
+            handler = self._handlers.get(head["kind"])
+            if handler is None:
+                if strict:
+                    raise TransactionError(
+                        f"no phoenix handler registered for kind {head['kind']!r}"
+                    )
+                skip += 1
+                continue
+
+            def run(txn: "Transaction", index=skip) -> None:
+                remaining = self._load(txn)
+                intention = remaining.pop(index)
+                handler(txn, intention["payload"])
+                self._store(txn, remaining)
+
+            manager.run_system_transaction(run)
+            executed += 1

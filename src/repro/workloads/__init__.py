@@ -1,0 +1,31 @@
+"""Workload generators for examples, tests, and the benchmark harness.
+
+* :mod:`repro.workloads.credit_card` — the paper's Section 4 credit-card
+  monitoring domain: the canonical ``CredCard``/``Customer``/``Merchant``
+  classes (with the ``DenyCredit`` and ``AutoRaiseLimit`` triggers) plus a
+  seeded operation-mix generator.
+* :mod:`repro.workloads.trading` — the program-trading domain that
+  motivates composite events in the paper's introduction.
+* :mod:`repro.workloads.streams` — generic seeded event-symbol streams
+  (uniform / zipf / bursty) for the detection experiments.
+"""
+
+from repro.workloads.credit_card import (
+    CredCard,
+    CreditCardWorkload,
+    Customer,
+    Merchant,
+)
+from repro.workloads.streams import generate_stream
+from repro.workloads.trading import Portfolio, Stock, TickStream
+
+__all__ = [
+    "CredCard",
+    "CreditCardWorkload",
+    "Customer",
+    "Merchant",
+    "Portfolio",
+    "Stock",
+    "TickStream",
+    "generate_stream",
+]

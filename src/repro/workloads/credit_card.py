@@ -1,0 +1,213 @@
+"""The paper's Section 4 credit-card monitoring domain.
+
+``CredCard`` is a line-for-line transliteration of the paper's class::
+
+    persistent class CredCard {
+        persistent Customer *issuedTo;
+        float credLim, currBal;
+        ...
+        event after Buy, after PayBill, BigBuy;
+        trigger DenyCredit() : perpetual
+            after Buy & (currBal > credLim)
+            ==> { BlackMark("Over Limit", today()); tabort; }
+        trigger AutoRaiseLimit(float amount) :
+            relative((after Buy & MoreCred()), after PayBill)
+            ==> RaiseLimit(amount);
+    };
+
+plus the supporting ``Customer`` and ``Merchant`` classes and a seeded
+workload driver used by the fraud example and experiments E3/E5/E6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import TYPE_CHECKING
+
+from repro.core.declarations import trigger
+from repro.objects.oid import NULL_PTR, PersistentPtr
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+
+
+class Customer(Persistent):
+    """A bank customer."""
+
+    name = field(str, default="")
+    address = field(str, default="")
+
+
+class Merchant(Persistent):
+    """A store purchases are made at."""
+
+    name = field(str, default="")
+    category = field(str, default="retail")
+
+
+def _deny_credit(self, ctx) -> None:
+    """The DenyCredit action: black-mark the attempt and abort (tabort)."""
+    self.black_mark("Over Limit")
+    ctx.tabort("credit limit exceeded")
+
+
+class CredCard(Persistent):
+    """The paper's credit card with its two triggers."""
+
+    issued_to = field(PersistentPtr, default=NULL_PTR)
+    cred_lim = field(float, default=1000.0)
+    curr_bal = field(float, default=0.0)
+    black_marks = field(list, default=[])
+    purchases = field(int, default=0)
+
+    __events__ = ["after buy", "after pay_bill", "BigBuy"]
+    __masks__ = {
+        "over_limit": lambda self: self.curr_bal > self.cred_lim,
+        "MoreCred": lambda self: self.more_cred(),
+    }
+    __triggers__ = [
+        trigger(
+            "DenyCredit",
+            "after buy & over_limit",
+            action=_deny_credit,
+            perpetual=True,
+        ),
+        trigger(
+            "AutoRaiseLimit",
+            "relative((after buy & MoreCred), after pay_bill)",
+            action="raise_limit",
+            params=("amount",),
+        ),
+    ]
+
+    # -- member functions (the declared events wrap these) ----------------------
+
+    def buy(self, store: PersistentPtr | None, amount: float) -> None:
+        """Record a purchase (posts ``after buy`` via a persistent handle)."""
+        self.curr_bal += amount
+        self.purchases += 1
+
+    def pay_bill(self, amount: float) -> None:
+        """Pay down the balance (posts ``after pay_bill``)."""
+        self.curr_bal -= amount
+
+    def raise_limit(self, amount: float) -> None:
+        """AutoRaiseLimit's action body."""
+        self.cred_lim += amount
+
+    def good_cred_hist(self) -> bool:
+        return not self.black_marks
+
+    def more_cred(self) -> bool:
+        """The paper's MoreCred(): near the limit with a clean history."""
+        return self.curr_bal > 0.8 * self.cred_lim and self.good_cred_hist()
+
+    def black_mark(self, problem: str) -> None:
+        self.black_marks = self.black_marks + [problem]
+
+
+@dataclasses.dataclass
+class WorkloadResult:
+    """Outcome counters from one workload run."""
+
+    operations: int = 0
+    buys: int = 0
+    payments: int = 0
+    queries: int = 0
+    denied: int = 0
+
+
+class CreditCardWorkload:
+    """Seeded population + operation-mix driver over ``CredCard`` objects.
+
+    The mix defaults to 60% buys / 30% payments / 10% balance queries with
+    log-normal-ish purchase amounts — enough buys to push cards toward
+    their limits so the triggers actually exercise.
+    """
+
+    def __init__(
+        self,
+        seed: int = 1996,
+        buy_fraction: float = 0.6,
+        pay_fraction: float = 0.3,
+    ):
+        if buy_fraction + pay_fraction > 1.0:
+            raise ValueError("operation fractions exceed 1.0")
+        self.rng = random.Random(seed)
+        self.buy_fraction = buy_fraction
+        self.pay_fraction = pay_fraction
+
+    # -- population -----------------------------------------------------------
+
+    def setup(
+        self,
+        db: "Database",
+        n_cards: int,
+        cred_lim: float = 1000.0,
+        activate_deny: bool = False,
+        activate_raise: bool = False,
+    ) -> list[PersistentPtr]:
+        """Create *n_cards* cards (optionally with triggers activated)."""
+        ptrs: list[PersistentPtr] = []
+        with db.transaction():
+            for i in range(n_cards):
+                customer = db.pnew(Customer, name=f"customer-{i}")
+                card = db.pnew(
+                    CredCard, issued_to=customer.ptr, cred_lim=cred_lim
+                )
+                if activate_deny:
+                    card.DenyCredit()
+                if activate_raise:
+                    card.AutoRaiseLimit(cred_lim * 0.5)
+                ptrs.append(card.ptr)
+        return ptrs
+
+    # -- operations --------------------------------------------------------------
+
+    def run(
+        self,
+        db: "Database",
+        ptrs: list[PersistentPtr],
+        n_ops: int,
+        ops_per_txn: int = 1,
+    ) -> WorkloadResult:
+        """Execute *n_ops* operations over the cards; returns counters."""
+        from repro.errors import TransactionAbort
+
+        result = WorkloadResult()
+        remaining = n_ops
+        while remaining > 0:
+            batch = min(ops_per_txn, remaining)
+            remaining -= batch
+            try:
+                with db.transaction():
+                    for _ in range(batch):
+                        self._one_op(db, ptrs, result)
+            except TransactionAbort:
+                pass  # DenyCredit aborted the batch
+        return result
+
+    def _one_op(self, db: "Database", ptrs, result: WorkloadResult) -> None:
+        from repro.errors import TransactionAbort
+
+        card = db.deref(self.rng.choice(ptrs))
+        roll = self.rng.random()
+        result.operations += 1
+        if roll < self.buy_fraction:
+            amount = round(self.rng.uniform(5.0, 400.0), 2)
+            result.buys += 1
+            try:
+                card.buy(None, amount)
+            except TransactionAbort:
+                result.denied += 1
+                raise  # DenyCredit aborts the whole batch, as tabort must
+        elif roll < self.buy_fraction + self.pay_fraction:
+            amount = round(max(card.curr_bal, 0.0) * self.rng.uniform(0.2, 1.0), 2)
+            card.pay_bill(amount)
+            result.payments += 1
+        else:
+            _ = card.curr_bal  # read-only balance query
+            result.queries += 1

@@ -1,0 +1,125 @@
+"""The program-trading domain (paper Sections 1 and 8).
+
+The introduction motivates composite events with "applications such as
+program trading whose actions are triggered based on patterns of event
+occurrences as opposed to single basic events", and Section 8's future-work
+example is the inter-object trigger "if AT&T goes below 60 and the price of
+gold stabilizes, buy 1000 shares of AT&T".
+
+:class:`Stock` carries the price-movement events and masks those patterns
+need; :class:`Portfolio` holds positions; :class:`TickStream` generates a
+seeded random-walk price feed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.objects.oid import PersistentPtr
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+
+
+class Stock(Persistent):
+    """One listed security with a two-tick price memory."""
+
+    symbol = field(str, default="")
+    price = field(float, default=0.0)
+    prev_price = field(float, default=0.0)
+    prev_prev_price = field(float, default=0.0)
+
+    __events__ = ["after set_price", "Halted"]
+    __masks__ = {
+        "rising": lambda self: self.price > self.prev_price,
+        "falling": lambda self: self.price < self.prev_price,
+        "stable": lambda self: self.prev_price != 0.0
+        and abs(self.price - self.prev_price) / self.prev_price < 0.005,
+    }
+
+    def set_price(self, price: float) -> None:
+        """Apply one tick (posts ``after set_price``)."""
+        self.prev_prev_price = self.prev_price
+        self.prev_price = self.price
+        self.price = price
+
+    def two_tick_drop(self) -> bool:
+        return self.price < self.prev_price < self.prev_prev_price
+
+
+class Portfolio(Persistent):
+    """Positions held by a trading program."""
+
+    owner = field(str, default="")
+    cash = field(float, default=0.0)
+    positions = field(dict, default={})
+    trade_log = field(list, default=[])
+
+    __events__ = ["after buy_shares", "after sell_shares"]
+
+    def buy_shares(self, symbol: str, shares: int, price: float) -> None:
+        cost = shares * price
+        self.cash -= cost
+        positions = dict(self.positions)
+        positions[symbol] = positions.get(symbol, 0) + shares
+        self.positions = positions
+        self.trade_log = self.trade_log + [f"BUY {shares} {symbol} @ {price:.2f}"]
+
+    def sell_shares(self, symbol: str, shares: int, price: float) -> None:
+        positions = dict(self.positions)
+        held = positions.get(symbol, 0)
+        if held < shares:
+            raise ValueError(f"cannot sell {shares} {symbol}; hold {held}")
+        positions[symbol] = held - shares
+        self.positions = positions
+        self.cash += shares * price
+        self.trade_log = self.trade_log + [f"SELL {shares} {symbol} @ {price:.2f}"]
+
+
+class TickStream:
+    """Seeded geometric random-walk price feed for a set of symbols."""
+
+    def __init__(
+        self,
+        symbols: dict[str, float],
+        seed: int = 1996,
+        volatility: float = 0.01,
+        drift: float = 0.0,
+    ):
+        self.rng = random.Random(seed)
+        self.prices = dict(symbols)
+        self.volatility = volatility
+        self.drift = drift
+
+    def next_tick(self) -> tuple[str, float]:
+        """Pick a symbol, move its price one step, return (symbol, price)."""
+        symbol = self.rng.choice(sorted(self.prices))
+        move = self.rng.gauss(self.drift, self.volatility)
+        price = max(0.01, self.prices[symbol] * (1.0 + move))
+        self.prices[symbol] = price
+        return symbol, round(price, 2)
+
+    def ticks(self, count: int):
+        for _ in range(count):
+            yield self.next_tick()
+
+    def apply(
+        self,
+        db: "Database",
+        stocks: dict[str, PersistentPtr],
+        count: int,
+        ticks_per_txn: int = 10,
+    ) -> int:
+        """Drive *count* ticks into the database; returns ticks applied."""
+        applied = 0
+        while applied < count:
+            batch = min(ticks_per_txn, count - applied)
+            with db.transaction():
+                for _ in range(batch):
+                    symbol, price = self.next_tick()
+                    db.deref(stocks[symbol]).set_price(price)
+                    applied += 1
+        return applied

@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Databases register process-globally by name (persistent pointers embed the
+name), so every test gets a uniquely-named database and the registry is
+swept after each test even when the test fails mid-transaction.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.objects.database import Database
+
+_COUNTER = itertools.count()
+
+
+@pytest.fixture(autouse=True)
+def _clean_open_databases():
+    yield
+    for db in list(Database._open_databases.values()):
+        try:
+            db.close()
+        except Exception:
+            db._closed = True
+    Database._open_databases.clear()
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    """A unique on-disk path for a database."""
+    return str(tmp_path / f"testdb-{next(_COUNTER)}")
+
+
+@pytest.fixture(params=["disk", "mm"])
+def any_engine_db(request, db_path):
+    """A fresh database on each storage engine."""
+    db = Database.open(db_path, engine=request.param)
+    yield db
+    if not db.closed:
+        db.close()
+
+
+@pytest.fixture
+def disk_db(db_path):
+    db = Database.open(db_path, engine="disk")
+    yield db
+    if not db.closed:
+        db.close()
+
+
+@pytest.fixture
+def mm_db(db_path):
+    db = Database.open(db_path, engine="mm")
+    yield db
+    if not db.closed:
+        db.close()

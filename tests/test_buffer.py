@@ -1,0 +1,173 @@
+"""Paged-file and buffer-pool tests."""
+
+import pytest
+
+from repro.errors import BufferPoolError, PageError
+from repro.storage.buffer import BufferPool, PagedFile
+from repro.storage.interface import StorageStats
+from repro.storage.page import PAGE_SIZE, SlottedPage
+
+
+@pytest.fixture
+def paged_file(tmp_path):
+    file = PagedFile(str(tmp_path / "data.pages"))
+    yield file
+    file.close()
+
+
+def test_allocate_and_roundtrip(paged_file):
+    page_no = paged_file.allocate_page()
+    assert page_no == 0
+    raw = bytearray(PAGE_SIZE)
+    raw[:5] = b"hello"
+    paged_file.write_page(page_no, raw)
+    assert paged_file.read_page(page_no)[:5] == b"hello"
+
+
+def test_read_out_of_range_raises(paged_file):
+    with pytest.raises(PageError):
+        paged_file.read_page(0)
+
+
+def test_write_wrong_size_raises(paged_file):
+    paged_file.allocate_page()
+    with pytest.raises(PageError):
+        paged_file.write_page(0, b"short")
+
+
+def test_allocated_page_is_zeroed(paged_file):
+    page_no = paged_file.allocate_page()
+    assert paged_file.read_page(page_no) == bytearray(PAGE_SIZE)
+
+
+def test_reopen_preserves_pages(tmp_path):
+    path = str(tmp_path / "x.pages")
+    file = PagedFile(path)
+    file.allocate_page()
+    raw = bytearray(PAGE_SIZE)
+    raw[:3] = b"abc"
+    file.write_page(0, raw)
+    file.close()
+    file2 = PagedFile(path)
+    assert file2.num_pages == 1
+    assert file2.read_page(0)[:3] == b"abc"
+    file2.close()
+
+
+class TestBufferPool:
+    def _pool(self, paged_file, capacity=3, stats=None):
+        return BufferPool(paged_file, capacity=capacity, stats=stats)
+
+    def test_fetch_pins_page(self, paged_file):
+        pool = self._pool(paged_file)
+        page_no = paged_file.allocate_page()
+        page = pool.fetch(page_no)
+        assert isinstance(page, SlottedPage)
+        pool.unpin(page_no, dirty=False)
+
+    def test_unpin_unfetched_raises(self, paged_file):
+        pool = self._pool(paged_file)
+        paged_file.allocate_page()
+        with pytest.raises(BufferPoolError):
+            pool.unpin(0, dirty=False)
+
+    def test_fetch_same_page_twice_shares_frame(self, paged_file):
+        pool = self._pool(paged_file)
+        page_no = paged_file.allocate_page()
+        a = pool.fetch(page_no)
+        b = pool.fetch(page_no)
+        assert a is b
+        pool.unpin(page_no, dirty=False)
+        pool.unpin(page_no, dirty=False)
+
+    def test_dirty_page_written_back_on_eviction(self, paged_file):
+        pool = self._pool(paged_file, capacity=1)
+        p0 = paged_file.allocate_page()
+        p1 = paged_file.allocate_page()
+        page = pool.fetch(p0)
+        page.insert(b"dirty-data")
+        pool.unpin(p0, dirty=True)
+        pool.fetch(p1)  # evicts p0
+        pool.unpin(p1, dirty=False)
+        fresh = SlottedPage(paged_file.read_page(p0))
+        assert list(fresh.records()) == [(0, b"dirty-data")]
+
+    def test_all_pinned_exhausts_pool(self, paged_file):
+        pool = self._pool(paged_file, capacity=1)
+        p0 = paged_file.allocate_page()
+        p1 = paged_file.allocate_page()
+        pool.fetch(p0)
+        with pytest.raises(BufferPoolError):
+            pool.fetch(p1)
+
+    def test_flush_all_writes_dirty_frames(self, paged_file):
+        pool = self._pool(paged_file)
+        p0 = paged_file.allocate_page()
+        page = pool.fetch(p0)
+        page.insert(b"flushed")
+        pool.unpin(p0, dirty=True)
+        pool.flush_all()
+        fresh = SlottedPage(paged_file.read_page(p0))
+        assert list(fresh.records()) == [(0, b"flushed")]
+
+    def test_drop_all_discards_unwritten_changes(self, paged_file):
+        pool = self._pool(paged_file)
+        p0 = paged_file.allocate_page()
+        page = pool.fetch(p0)
+        page.insert(b"lost")
+        pool.unpin(p0, dirty=True)
+        pool.drop_all()
+        fresh = SlottedPage(paged_file.read_page(p0))
+        assert list(fresh.records()) == []
+
+    def test_drop_all_with_pins_raises(self, paged_file):
+        pool = self._pool(paged_file)
+        p0 = paged_file.allocate_page()
+        pool.fetch(p0)
+        with pytest.raises(BufferPoolError):
+            pool.drop_all()
+
+    def test_hit_miss_eviction_stats(self, paged_file):
+        stats = StorageStats()
+        pool = self._pool(paged_file, capacity=2, stats=stats)
+        pages = [paged_file.allocate_page() for _ in range(3)]
+        pool.fetch(pages[0])
+        pool.unpin(pages[0], dirty=False)
+        pool.fetch(pages[0])
+        pool.unpin(pages[0], dirty=False)
+        assert stats.page_hits == 1
+        assert stats.page_misses == 1
+        pool.fetch(pages[1])
+        pool.unpin(pages[1], dirty=False)
+        pool.fetch(pages[2])  # evicts LRU
+        pool.unpin(pages[2], dirty=False)
+        assert stats.page_evictions == 1
+
+    def test_lru_evicts_least_recently_used(self, paged_file):
+        pool = self._pool(paged_file, capacity=2)
+        pages = [paged_file.allocate_page() for _ in range(3)]
+        pool.fetch(pages[0])
+        pool.unpin(pages[0], dirty=False)
+        pool.fetch(pages[1])
+        pool.unpin(pages[1], dirty=False)
+        pool.fetch(pages[0])  # touch 0: now 1 is LRU
+        pool.unpin(pages[0], dirty=False)
+        pool.fetch(pages[2])
+        pool.unpin(pages[2], dirty=False)
+        assert pages[1] not in pool.cached_pages()
+        assert pages[0] in pool.cached_pages()
+
+    def test_pre_write_hook_called_before_writeback(self, paged_file):
+        calls = []
+        pool = BufferPool(paged_file, capacity=1, pre_write=lambda: calls.append(1))
+        p0 = paged_file.allocate_page()
+        p1 = paged_file.allocate_page()
+        page = pool.fetch(p0)
+        page.insert(b"data")
+        pool.unpin(p0, dirty=True)
+        pool.fetch(p1)  # eviction writes p0 -> hook fires
+        assert calls == [1]
+
+    def test_capacity_must_be_positive(self, paged_file):
+        with pytest.raises(BufferPoolError):
+            BufferPool(paged_file, capacity=0)

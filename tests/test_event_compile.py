@@ -1,0 +1,214 @@
+"""Compilation-pipeline tests: AST desugaring, NFA/DFA, validation, Figure 1."""
+
+import pytest
+
+from repro.errors import EventError, UnknownEventError, UnknownMaskError
+from repro.events.ast import (
+    AnyEvent,
+    BasicEvent,
+    ExtAnyEvent,
+    Masked,
+    Plus,
+    Relative,
+    Seq,
+    Star,
+    Union,
+)
+from repro.events.compile import compile_expression
+from repro.events.dfa import determinize
+from repro.events.fsm import DEAD, EventDecl
+from repro.events.nfa import build_nfa
+from repro.events.parser import parse
+
+DECLS = ["BigBuy", "after PayBill", "after Buy"]
+
+
+class TestDesugar:
+    def test_relative_becomes_seq_with_ext_any(self):
+        expr = Relative(BasicEvent("user", "A"), BasicEvent("user", "B"))
+        desugared = expr.desugar()
+        assert desugared == Seq(
+            (BasicEvent("user", "A"), Star(ExtAnyEvent()), BasicEvent("user", "B"))
+        )
+
+    def test_plus_becomes_seq_star(self):
+        expr = Plus(BasicEvent("user", "A"))
+        assert expr.desugar() == Seq(
+            (BasicEvent("user", "A"), Star(BasicEvent("user", "A")))
+        )
+
+    def test_masked_becomes_pseudo_obligation(self):
+        expr = Masked(BasicEvent("user", "A"), "m")
+        desugared = expr.desugar()
+        assert desugared == Seq(
+            (BasicEvent("user", "A"), BasicEvent("pseudo", "true:m"))
+        )
+
+    def test_nullable_detection(self):
+        a = BasicEvent("user", "A")
+        assert Star(a).nullable()
+        assert not a.nullable()
+        assert Seq((Star(a), Star(a))).nullable()
+        assert not Seq((a, Star(a))).nullable()
+        assert Union((a, Star(a))).nullable()
+        assert Plus(Star(a)).nullable()
+        assert not Plus(a).nullable()
+
+
+class TestEventDecl:
+    def test_parse_member_event(self):
+        decl = EventDecl.parse("after Buy")
+        assert decl.kind == "after"
+        assert decl.symbol == "after Buy"
+        assert decl.is_method_event
+
+    def test_parse_user_event(self):
+        decl = EventDecl.parse("BigBuy")
+        assert decl.kind == "user"
+        assert decl.symbol == "BigBuy"
+
+    def test_transaction_event(self):
+        decl = EventDecl.parse("before tcomplete")
+        assert decl.is_transaction_event
+        assert not decl.is_method_event
+
+    def test_after_tcomplete_rejected(self):
+        with pytest.raises(EventError):
+            EventDecl("after", "tcomplete")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(EventError):
+            EventDecl.parse("after Buy extra")
+
+
+class TestValidation:
+    def test_undeclared_event_rejected(self):
+        with pytest.raises(UnknownEventError, match="after Steal"):
+            compile_expression("after Steal", DECLS)
+
+    def test_wrong_kind_rejected(self):
+        # Declared as `after Buy`, used as user event `Buy`.
+        with pytest.raises(UnknownEventError):
+            compile_expression("Buy", DECLS)
+
+    def test_unknown_mask_rejected_when_known_given(self):
+        with pytest.raises(UnknownMaskError, match="mystery"):
+            compile_expression("after Buy & mystery", DECLS, known_masks=["real"])
+
+    def test_unchecked_masks_allowed_without_known(self):
+        cm = compile_expression("after Buy & anything", DECLS)
+        assert "anything" in cm.masks
+
+    def test_nullable_rejected(self):
+        with pytest.raises(EventError, match="empty"):
+            compile_expression("*BigBuy", DECLS)
+
+
+class TestDfaStructure:
+    def test_unanchored_machine_is_complete(self):
+        cm = compile_expression("after Buy, after PayBill", DECLS)
+        for state in cm.fsm.states:
+            assert set(state.transitions) == set(cm.fsm.alphabet)
+
+    def test_anchored_machine_may_be_partial(self):
+        cm = compile_expression("^(after Buy, after PayBill)", DECLS)
+        assert cm.anchored
+        start = cm.fsm.states[cm.fsm.start]
+        assert "BigBuy" not in start.transitions  # dead, not looping
+
+    def test_anchored_dead_on_wrong_event(self):
+        cm = compile_expression("^(after Buy, after PayBill)", DECLS)
+        state, consumed = cm.fsm.move(cm.fsm.start, "BigBuy")
+        assert state == DEAD
+        assert consumed
+
+    def test_out_of_alphabet_symbol_ignored(self):
+        cm = compile_expression("after Buy", DECLS)
+        state, consumed = cm.fsm.move(cm.fsm.start, "after SomethingElse")
+        assert state == cm.fsm.start
+        assert not consumed
+
+    def test_mask_state_annotated(self):
+        cm = compile_expression("after Buy & m", DECLS)
+        mask_states = cm.fsm.mask_states()
+        assert len(mask_states) == 1
+        assert cm.fsm.states[mask_states[0]].masks == ("m",)
+
+    def test_obligations_only_from_masked_desugar(self):
+        expr, _ = parse("after Buy & m")
+        desugared = Seq((Star(ExtAnyEvent()), expr.desugar()))
+        alphabet = frozenset(
+            {"BigBuy", "after PayBill", "after Buy", "true:m", "false:m"}
+        )
+        nfa = build_nfa(desugared, alphabet)
+        assert len(nfa.obligations) == 1
+
+
+class TestFigure1:
+    """Structural reproduction of paper Figure 1 (AutoRaiseLimit's FSM)."""
+
+    @pytest.fixture
+    def machine(self):
+        return compile_expression(
+            "relative((after Buy & MoreCred()), after PayBill)",
+            DECLS,
+            known_masks=["MoreCred"],
+        ).fsm
+
+    def test_four_states(self, machine):
+        assert len(machine) == 4
+
+    def test_single_mask_state_is_state_after_buy(self, machine):
+        assert machine.mask_states() == [1]
+        assert machine.states[1].masks == ("MoreCred",)
+
+    def test_single_accept_state(self, machine):
+        assert len(machine.accept_states()) == 1
+
+    def test_state0_loops_on_bigbuy_and_paybill(self, machine):
+        start = machine.states[machine.start]
+        assert start.transitions["BigBuy"] == machine.start
+        assert start.transitions["after PayBill"] == machine.start
+        assert start.transitions["after Buy"] == 1
+
+    def test_false_edge_returns_to_start(self, machine):
+        assert machine.states[1].transitions["false:MoreCred"] == machine.start
+
+    def test_true_edge_advances(self, machine):
+        armed = machine.states[1].transitions["true:MoreCred"]
+        assert armed not in (machine.start, 1)
+        # Armed state loops on BigBuy/Buy and accepts on PayBill.
+        armed_state = machine.states[armed]
+        assert armed_state.transitions["BigBuy"] == armed
+        assert armed_state.transitions["after Buy"] == armed
+        accept = armed_state.transitions["after PayBill"]
+        assert machine.states[accept].accept
+
+    def test_behaviour_matches_paper_narrative(self, machine):
+        more_cred = {"value": False}
+        evaluate = lambda name: more_cred["value"]
+        state, _ = machine.quiesce(machine.start, evaluate)
+        # Buy without MoreCred: back to start.
+        result = machine.advance(state, "after Buy", evaluate)
+        assert result.state == machine.start and not result.accepted
+        # Buy with MoreCred: armed.
+        more_cred["value"] = True
+        result = machine.advance(result.state, "after Buy", evaluate)
+        armed = result.state
+        assert not result.accepted
+        # Any number of other events keep it armed.
+        for symbol in ("BigBuy", "after Buy", "BigBuy"):
+            result = machine.advance(result.state, symbol, evaluate)
+            assert not result.accepted
+        # PayBill fires.
+        result = machine.advance(result.state, "after PayBill", evaluate)
+        assert result.accepted
+
+
+class TestDescribe:
+    def test_describe_mentions_mask_and_accept(self):
+        cm = compile_expression("after Buy & m", DECLS)
+        text = cm.describe()
+        assert "*[m]" in text
+        assert "(accept)" in text
+        assert "after Buy" in text

@@ -1,0 +1,164 @@
+"""Event-language parser tests."""
+
+import pytest
+
+from repro.errors import EventParseError
+from repro.events.ast import (
+    AnyEvent,
+    BasicEvent,
+    Masked,
+    Plus,
+    Relative,
+    Seq,
+    Star,
+    Union,
+)
+from repro.events.parser import parse
+
+
+def expr_of(text):
+    expr, _ = parse(text)
+    return expr
+
+
+class TestBasics:
+    def test_after_event(self):
+        assert expr_of("after Buy") == BasicEvent("after", "Buy")
+
+    def test_before_event(self):
+        assert expr_of("before PayBill") == BasicEvent("before", "PayBill")
+
+    def test_user_event(self):
+        assert expr_of("BigBuy") == BasicEvent("user", "BigBuy")
+
+    def test_any(self):
+        assert expr_of("any") == AnyEvent()
+
+    def test_transaction_event(self):
+        assert expr_of("before tcomplete") == BasicEvent("before", "tcomplete")
+
+
+class TestOperators:
+    def test_sequence(self):
+        expr = expr_of("after Buy, after PayBill")
+        assert isinstance(expr, Seq)
+        assert len(expr.parts) == 2
+
+    def test_sequence_associates_flat(self):
+        expr = expr_of("A, B, C")
+        assert isinstance(expr, Seq)
+        assert len(expr.parts) == 3
+
+    def test_union(self):
+        expr = expr_of("BigBuy || after Buy")
+        assert isinstance(expr, Union)
+
+    def test_union_binds_tighter_than_sequence(self):
+        expr = expr_of("A, B || C")
+        assert isinstance(expr, Seq)
+        assert isinstance(expr.parts[1], Union)
+
+    def test_star_prefix(self):
+        expr = expr_of("*BigBuy")
+        assert expr == Star(BasicEvent("user", "BigBuy"))
+
+    def test_plus_prefix(self):
+        expr = expr_of("+BigBuy")
+        assert expr == Plus(BasicEvent("user", "BigBuy"))
+
+    def test_nested_star(self):
+        assert expr_of("**A") == Star(Star(BasicEvent("user", "A")))
+
+    def test_parentheses_group(self):
+        expr = expr_of("(A, B) || C")
+        assert isinstance(expr, Union)
+        assert isinstance(expr.parts[0], Seq)
+
+    def test_mask(self):
+        expr = expr_of("after Buy & over_limit")
+        assert expr == Masked(BasicEvent("after", "Buy"), "over_limit")
+
+    def test_mask_with_call_parens(self):
+        expr = expr_of("after Buy & MoreCred()")
+        assert expr == Masked(BasicEvent("after", "Buy"), "MoreCred")
+
+    def test_mask_parenthesized_name(self):
+        expr = expr_of("after Buy & (over_limit)")
+        assert expr == Masked(BasicEvent("after", "Buy"), "over_limit")
+
+    def test_chained_masks(self):
+        expr = expr_of("A & m1 & m2")
+        assert expr == Masked(Masked(BasicEvent("user", "A"), "m1"), "m2")
+
+    def test_mask_applies_to_group(self):
+        expr = expr_of("(A, B) & m")
+        assert isinstance(expr, Masked)
+        assert isinstance(expr.child, Seq)
+
+    def test_relative(self):
+        expr = expr_of("relative(A, B)")
+        assert expr == Relative(BasicEvent("user", "A"), BasicEvent("user", "B"))
+
+    def test_relative_with_complex_args(self):
+        expr = expr_of("relative((after Buy & MoreCred()), after PayBill)")
+        assert isinstance(expr, Relative)
+        assert isinstance(expr.first, Masked)
+
+    def test_anchor(self):
+        expr, anchored = parse("^(A, B)")
+        assert anchored
+        assert isinstance(expr, Seq)
+
+    def test_no_anchor_by_default(self):
+        _, anchored = parse("A")
+        assert not anchored
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "after",
+            "A,",
+            "A ||",
+            "(A",
+            "A)",
+            "relative(A)",
+            "relative(A, B, C)",
+            "A & ",
+            "& m",
+            "A ^ B",
+            "after after",
+            "A @ B",
+            "*",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(EventParseError):
+            parse(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(EventParseError) as excinfo:
+            parse("A, , B")
+        assert "^" in str(excinfo.value)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "after Buy",
+            "(after Buy, after PayBill)",
+            "(BigBuy || after Buy)",
+            "(*BigBuy)",
+            "(+BigBuy)",
+            "(after Buy & m)",
+            "relative((after Buy & m), after PayBill)",
+            "((A, B) || (*C))",
+        ],
+    )
+    def test_parse_unparse_parse_fixpoint(self, text):
+        expr1, _ = parse(text)
+        expr2, _ = parse(expr1.unparse())
+        assert expr1 == expr2

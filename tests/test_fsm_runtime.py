@@ -1,0 +1,198 @@
+"""Extended-FSM run-time semantics: advance, quiesce, masks, dead states."""
+
+import pytest
+
+from repro.errors import FSMError
+from repro.events.compile import compile_expression
+from repro.events.fsm import DEAD
+
+DECLS = ["A", "B", "C"]
+
+
+def drive(fsm, stream, mask_values=None):
+    """Run *stream* through *fsm*; returns list of accept flags."""
+    values = mask_values or {}
+    evaluate = lambda name: values.get(name, False)
+    state = fsm.start
+    state, _ = fsm.quiesce(state, evaluate)
+    hits = []
+    for symbol in stream:
+        result = fsm.advance(state, symbol, evaluate)
+        state = result.state
+        hits.append(result.accepted)
+    return hits
+
+
+class TestSequences:
+    def test_contiguous_sequence_required(self):
+        fsm = compile_expression("A, B", DECLS).fsm
+        assert drive(fsm, ["A", "B"]) == [False, True]
+        assert drive(fsm, ["A", "C", "B"]) == [False, False, False]
+
+    def test_match_can_start_anywhere(self):
+        fsm = compile_expression("A, B", DECLS).fsm
+        assert drive(fsm, ["C", "C", "A", "B"]) == [False, False, False, True]
+
+    def test_overlapping_matches(self):
+        fsm = compile_expression("A, A", DECLS).fsm
+        assert drive(fsm, ["A", "A", "A"]) == [False, True, True]
+
+    def test_fires_every_match_when_machine_keeps_running(self):
+        fsm = compile_expression("A", DECLS).fsm
+        assert drive(fsm, ["A", "B", "A"]) == [True, False, True]
+
+
+class TestUnionStar:
+    def test_union(self):
+        fsm = compile_expression("A || B", DECLS).fsm
+        assert drive(fsm, ["C", "A", "B"]) == [False, True, True]
+
+    def test_star_interior(self):
+        fsm = compile_expression("A, *B, C", DECLS).fsm
+        assert drive(fsm, ["A", "C"]) == [False, True]
+        assert drive(fsm, ["A", "B", "B", "C"]) == [False, False, False, True]
+        # An interrupted run (B then C with no A before it) does not match.
+        assert drive(fsm, ["B", "C"]) == [False, False]
+        assert drive(fsm, ["A", "B", "C", "C"]) == [False, False, True, False]
+
+    def test_plus(self):
+        fsm = compile_expression("+A, B", DECLS).fsm
+        assert drive(fsm, ["A", "B"]) == [False, True]
+        assert drive(fsm, ["A", "A", "B"]) == [False, False, True]
+        assert drive(fsm, ["B"]) == [False]
+
+
+class TestAnchored:
+    def test_anchored_matches_from_activation(self):
+        fsm = compile_expression("^(A, B)", DECLS).fsm
+        assert drive(fsm, ["A", "B"]) == [False, True]
+
+    def test_anchored_dies_on_mismatch(self):
+        fsm = compile_expression("^(A, B)", DECLS).fsm
+        assert drive(fsm, ["C", "A", "B"]) == [False, False, False]
+
+    def test_dead_state_stays_dead(self):
+        fsm = compile_expression("^A", DECLS).fsm
+        state, consumed = fsm.move(fsm.start, "B")
+        assert state == DEAD
+        result = fsm.advance(DEAD, "A", lambda m: True)
+        assert result.state == DEAD
+        assert not result.accepted
+
+
+class TestMasks:
+    def test_mask_gates_acceptance(self):
+        fsm = compile_expression("A & hot", DECLS).fsm
+        assert drive(fsm, ["A"], {"hot": False}) == [False]
+        assert drive(fsm, ["A"], {"hot": True}) == [True]
+
+    def test_mask_evaluated_at_event_time(self):
+        fsm = compile_expression("(A & hot), B", DECLS).fsm
+        values = {"hot": True}
+        evaluate = lambda name: values[name]
+        state = fsm.start
+        result = fsm.advance(state, "A", evaluate)
+        values["hot"] = False  # changing later must not matter
+        result = fsm.advance(result.state, "B", evaluate)
+        assert result.accepted
+
+    def test_failed_mask_falls_back_to_search(self):
+        fsm = compile_expression("(A & hot), B", DECLS).fsm
+        values = {"hot": False}
+        evaluate = lambda name: values[name]
+        state = fsm.start
+        state = fsm.advance(state, "A", evaluate).state
+        values["hot"] = True
+        state = fsm.advance(state, "A", evaluate).state  # fresh A, mask true
+        result = fsm.advance(state, "B", evaluate)
+        assert result.accepted
+
+    def test_chained_masks_all_must_hold(self):
+        fsm = compile_expression("A & m1 & m2", DECLS).fsm
+        assert drive(fsm, ["A"], {"m1": True, "m2": True}) == [True]
+        assert drive(fsm, ["A"], {"m1": True, "m2": False}) == [False]
+        assert drive(fsm, ["A"], {"m1": False, "m2": True}) == [False]
+
+    def test_masks_on_union_branches(self):
+        fsm = compile_expression("(A & m1) || (B & m2)", DECLS).fsm
+        assert drive(fsm, ["A"], {"m1": True}) == [True]
+        assert drive(fsm, ["B"], {"m2": True}) == [True]
+        assert drive(fsm, ["B"], {"m1": True, "m2": False}) == [False]
+
+    def test_mask_evaluation_counts(self):
+        fsm = compile_expression("A & m", DECLS).fsm
+        calls = []
+
+        def evaluate(name):
+            calls.append(name)
+            return False
+
+        state = fsm.start
+        fsm.advance(state, "A", evaluate)
+        assert calls == ["m"]
+        calls.clear()
+        fsm.advance(state, "B", evaluate)  # no mask state entered
+        assert calls == []
+
+    def test_pathological_cascade_raises(self):
+        # `any` in user expressions excludes pseudo-events, so build the
+        # loop explicitly through a union that includes nothing else —
+        # (A & m) looping via star re-arms only on real A events, which is
+        # fine; a truly non-quiescing machine needs a mask state whose
+        # True-edge leads back to itself.  `+(A & m) , B` armed by A keeps
+        # quiescing normally, so instead check the guard directly.
+        from repro.events.fsm import Fsm, FsmState
+
+        looping = Fsm(
+            [
+                FsmState(0, False, ("m",), {"true:m": 0, "A": 0}),
+            ],
+            start=0,
+            alphabet=frozenset({"A", "true:m", "false:m"}),
+            anchored=False,
+        )
+        with pytest.raises(FSMError, match="quiesce"):
+            looping.advance(0, "A", lambda name: True)
+
+
+class TestAcceptDuringCascade:
+    def test_accept_state_with_overlapping_mask_obligation_still_fires(self):
+        """Regression (found by the property-based oracle): in
+        ``+((A & m), A)`` the accept state also awaits *m* for the
+        overlapping next iteration; when *m* is false the cascade moves the
+        machine off the accept state — but the completed match must fire.
+        """
+        fsm = compile_expression("+((A & m), A)", DECLS).fsm
+        values = {"m": True}
+        evaluate = lambda name: values[name]
+        state = fsm.start
+        state = fsm.advance(state, "A", evaluate).state  # m true: armed
+        values["m"] = False  # next-iteration mask will fail...
+        result = fsm.advance(state, "A", evaluate)
+        assert result.accepted  # ...but the completed match still fires
+
+    def test_accept_seen_mid_cascade_with_true_mask_fires_once(self):
+        fsm = compile_expression("+((A & m), A)", DECLS).fsm
+        evaluate = lambda name: True
+        state = fsm.start
+        state = fsm.advance(state, "A", evaluate).state
+        result = fsm.advance(state, "A", evaluate)
+        assert result.accepted  # fired exactly once for this posting
+
+
+class TestQuiesceAtActivation:
+    def test_start_state_mask_evaluated_on_quiesce(self):
+        # (+A) & m: after each A run the mask guards acceptance; also the
+        # start of `(*A) & m`-style expressions can carry obligations.
+        fsm = compile_expression("(+A) & m", DECLS).fsm
+        assert drive(fsm, ["A"], {"m": True}) == [True]
+        assert drive(fsm, ["A"], {"m": False}) == [False]
+
+
+class TestTransitionCounts:
+    def test_transition_count_and_len(self):
+        fsm = compile_expression("A, B", DECLS).fsm
+        assert len(fsm) >= 3
+        assert fsm.transition_count() == sum(
+            len(s.transitions) for s in fsm.states
+        )

@@ -1,0 +1,181 @@
+"""Secondary-index tests: key encoding, maintenance, queries, MM refusal."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObjectError, SchemaError
+from repro.objects.database import Database
+from repro.objects.index import encode_key
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+
+class Product(Persistent):
+    sku = field(str, default="")
+    price = field(float, default=0.0)
+    stock = field(int, default=0)
+
+
+class DiscountedProduct(Product):
+    discount = field(float, default=0.1)
+
+
+class TestKeyEncoding:
+    @pytest.mark.parametrize(
+        "lo,hi",
+        [
+            (-10, 10),
+            (-10.5, -10.4),
+            (0, 1),
+            (-1e300, 1e300),
+            (1, 1.5),
+            ("apple", "banana"),
+            ("", "a"),
+            (False, True),
+            (None, False),
+            (True, 0),       # bools sort below numbers
+            (1e308, "a"),    # numbers sort below strings
+        ],
+    )
+    def test_order_preserved(self, lo, hi):
+        assert encode_key(lo) < encode_key(hi)
+
+    def test_equal_values_equal_keys(self):
+        assert encode_key(2) == encode_key(2.0)
+        assert encode_key("x") == encode_key("x")
+
+    def test_unindexable_type_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_key([1, 2])
+
+    def test_huge_int_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_key(2**70 + 1)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        a=st.one_of(st.integers(-(2**50), 2**50), st.floats(allow_nan=False, allow_infinity=False)),
+        b=st.one_of(st.integers(-(2**50), 2**50), st.floats(allow_nan=False, allow_infinity=False)),
+    )
+    def test_numeric_order_property(self, a, b):
+        ka, kb = encode_key(a), encode_key(b)
+        if a < b:
+            assert ka < kb
+        elif a > b:
+            assert ka > kb
+        else:
+            assert ka == kb
+
+
+class TestIndexLifecycle:
+    @pytest.fixture
+    def db(self, db_path):
+        database = Database.open(db_path, engine="disk")
+        yield database
+        if not database.closed:
+            database.close()
+
+    def test_mm_ode_refuses_indexes(self, mm_db):
+        with mm_db.transaction():
+            with pytest.raises(ObjectError, match="B-trees"):
+                mm_db.create_index(Product, "price")
+
+    def test_create_and_find(self, db):
+        with db.transaction():
+            db.create_index(Product, "price")
+            db.pnew(Product, sku="a", price=10.0)
+            db.pnew(Product, sku="b", price=20.0)
+            db.pnew(Product, sku="c", price=10.0)
+        with db.transaction():
+            found = sorted(h.sku for h in db.find(Product, "price", 10.0))
+            assert found == ["a", "c"]
+            assert db.find(Product, "price", 99.0) == []
+
+    def test_backfill_of_existing_objects(self, db):
+        with db.transaction():
+            db.pnew(Product, sku="pre", price=5.0)
+        with db.transaction():
+            db.create_index(Product, "price")
+        with db.transaction():
+            assert [h.sku for h in db.find(Product, "price", 5.0)] == ["pre"]
+
+    def test_updates_maintain_index(self, db):
+        with db.transaction():
+            db.create_index(Product, "price")
+            ptr = db.pnew(Product, sku="x", price=10.0).ptr
+        with db.transaction():
+            db.deref(ptr).price = 33.0
+        with db.transaction():
+            assert db.find(Product, "price", 10.0) == []
+            assert [h.sku for h in db.find(Product, "price", 33.0)] == ["x"]
+
+    def test_pdelete_maintains_index(self, db):
+        with db.transaction():
+            db.create_index(Product, "price")
+            ptr = db.pnew(Product, sku="gone", price=7.0).ptr
+        with db.transaction():
+            db.pdelete(ptr)
+        with db.transaction():
+            assert db.find(Product, "price", 7.0) == []
+
+    def test_aborted_update_leaves_index_unchanged(self, db):
+        with db.transaction():
+            db.create_index(Product, "price")
+            ptr = db.pnew(Product, sku="x", price=10.0).ptr
+        txn = db.txn_manager.begin()
+        db.deref(ptr).price = 99.0
+        db.txn_manager.abort(txn)
+        with db.transaction():
+            assert [h.sku for h in db.find(Product, "price", 10.0)] == ["x"]
+            assert db.find(Product, "price", 99.0) == []
+
+    def test_range_query(self, db):
+        with db.transaction():
+            db.create_index(Product, "price")
+            for i in range(20):
+                db.pnew(Product, sku=f"p{i}", price=float(i))
+        with db.transaction():
+            prices = [h.price for h in db.find_range(Product, "price", 5.0, 8.0)]
+            assert prices == [5.0, 6.0, 7.0, 8.0]
+
+    def test_index_covers_subclasses(self, db):
+        with db.transaction():
+            db.create_index(Product, "price")
+            db.pnew(Product, sku="base", price=1.0)
+            db.pnew(DiscountedProduct, sku="disc", price=1.0)
+        with db.transaction():
+            found = sorted(h.sku for h in db.find(Product, "price", 1.0))
+            assert found == ["base", "disc"]
+
+    def test_index_survives_reopen(self, db_path):
+        db = Database.open(db_path, engine="disk")
+        with db.transaction():
+            db.create_index(Product, "stock")
+            db.pnew(Product, sku="kept", stock=42)
+        db.close()
+        db2 = Database.open(db_path, engine="disk")
+        with db2.transaction():
+            assert [h.sku for h in db2.find(Product, "stock", 42)] == ["kept"]
+            # Maintenance continues in the new session.
+            db2.pnew(Product, sku="new", stock=42)
+        with db2.transaction():
+            found = sorted(h.sku for h in db2.find(Product, "stock", 42))
+            assert found == ["kept", "new"]
+        db2.close()
+
+    def test_duplicate_index_rejected(self, db):
+        with db.transaction():
+            db.create_index(Product, "price")
+            with pytest.raises(ObjectError, match="already exists"):
+                db.create_index(Product, "price")
+
+    def test_unknown_field_rejected(self, db):
+        with db.transaction():
+            with pytest.raises(SchemaError):
+                db.create_index(Product, "nonexistent")
+
+    def test_find_without_index_raises(self, db):
+        with db.transaction():
+            with pytest.raises(ObjectError, match="no index"):
+                db.find(Product, "sku", "a")

@@ -1,0 +1,177 @@
+"""Inheritance tests: events and triggers across class hierarchies."""
+
+import pytest
+
+from repro.core.declarations import trigger
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+
+class BaseAccount(Persistent):
+    balance = field(float, default=0.0)
+    log = field(list, default=[])
+
+    __events__ = ["after deposit"]
+    __triggers__ = [
+        trigger(
+            "OnDeposit",
+            "after deposit",
+            action=lambda self, ctx: self.note("base-trigger"),
+            perpetual=True,
+        )
+    ]
+
+    def deposit(self, amount):
+        self.balance += amount
+
+    def note(self, tag):
+        self.log = self.log + [tag]
+
+
+class SavingsAccount(BaseAccount):
+    rate = field(float, default=0.01)
+
+    __events__ = ["after add_interest"]
+    __triggers__ = [
+        trigger(
+            "OnInterest",
+            "after add_interest",
+            action=lambda self, ctx: self.note("derived-trigger"),
+            perpetual=True,
+        ),
+        trigger(
+            "DepositThenInterest",
+            "after deposit, after add_interest",
+            action=lambda self, ctx: self.note("composite-across-levels"),
+            perpetual=True,
+        ),
+    ]
+
+    def add_interest(self):
+        self.balance *= 1 + self.rate
+
+
+class OverridingAccount(BaseAccount):
+    def deposit(self, amount):  # override: doubles everything
+        self.balance += 2 * amount
+
+
+class TestEventInheritance:
+    def test_base_events_posted_to_derived_objects(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            acct = db.pnew(SavingsAccount)
+            ptr = acct.ptr
+            acct.OnDeposit()  # base-class trigger on derived object
+            acct.deposit(10.0)
+        with db.transaction():
+            assert db.deref(ptr).log == ["base-trigger"]
+
+    def test_derived_declares_new_events(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            acct = db.pnew(SavingsAccount)
+            ptr = acct.ptr
+            acct.OnInterest()
+            acct.add_interest()
+        with db.transaction():
+            assert db.deref(ptr).log == ["derived-trigger"]
+
+    def test_composite_spans_base_and_derived_events(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            acct = db.pnew(SavingsAccount)
+            ptr = acct.ptr
+            acct.DepositThenInterest()
+            acct.deposit(10.0)
+            acct.add_interest()
+        with db.transaction():
+            assert db.deref(ptr).log == ["composite-across-levels"]
+
+    def test_base_trigger_ignores_derived_events(self, any_engine_db):
+        """'A base class trigger should not see the events of a derived
+        class' — derived event integers miss the base FSM's transitions."""
+        db = any_engine_db
+        with db.transaction():
+            acct = db.pnew(SavingsAccount)
+            ptr = acct.ptr
+            acct.OnDeposit()
+            acct.add_interest()  # derived event: must not disturb base FSM
+            acct.deposit(1.0)
+        with db.transaction():
+            assert db.deref(ptr).log == ["base-trigger"]
+
+    def test_base_objects_unaffected_by_derived_declarations(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            base = db.pnew(BaseAccount)
+            assert not hasattr(base.obj, "add_interest")
+            base.OnDeposit()
+            base.deposit(5.0)
+            assert base.log == ["base-trigger"]
+
+
+class TestVirtualDispatch:
+    def test_wrapper_calls_overridden_method(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            acct = db.pnew(OverridingAccount)
+            ptr = acct.ptr
+            acct.OnDeposit()
+            acct.deposit(10.0)
+        with db.transaction():
+            loaded = db.deref(ptr)
+            assert loaded.balance == 20.0  # override ran
+            assert loaded.log == ["base-trigger"]  # event still posted
+
+
+class TestMetatypeInheritance:
+    def test_derived_metatype_merges_events(self):
+        symbols = {d.symbol for d in SavingsAccount.__metatype__.declared_events}
+        assert symbols == {"after deposit", "after add_interest"}
+
+    def test_derived_all_triggers_include_base(self):
+        names = {i.name for i in SavingsAccount.__metatype__.all_trigger_infos}
+        assert names == {"OnDeposit", "OnInterest", "DepositThenInterest"}
+
+    def test_own_trigger_infos_exclude_base(self):
+        names = {i.name for i in SavingsAccount.__metatype__.trigger_infos}
+        assert names == {"OnInterest", "DepositThenInterest"}
+
+    def test_trigger_numbers_index_defining_class(self):
+        base_info = BaseAccount.__metatype__.trigger_info(0)
+        assert base_info.name == "OnDeposit"
+        derived_first = SavingsAccount.__metatype__.trigger_info(0)
+        assert derived_first.name == "OnInterest"
+
+    def test_event_int_shared_between_base_and_derived(self):
+        base_int = BaseAccount.__metatype__.event_ints["after deposit"]
+        derived_int = SavingsAccount.__metatype__.event_ints["after deposit"]
+        assert base_int == derived_int
+
+    def test_trigobjtype_points_at_defining_class(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            acct = db.pnew(SavingsAccount)
+            acct.OnDeposit()
+            acct.OnInterest()
+            triggers = db.trigger_system.active_triggers(acct.ptr)
+            by_name = {info.name: tstate for _, tstate, info in triggers}
+            assert by_name["OnDeposit"].trigobjtype == "BaseAccount"
+            assert by_name["OnInterest"].trigobjtype == "SavingsAccount"
+
+
+class TestPassiveDerived:
+    def test_passive_subclass_of_active_base_inherits_machinery(self, any_engine_db):
+        db = any_engine_db
+
+        class PlainChild(BaseAccount):
+            nickname = field(str, default="")
+
+        with db.transaction():
+            child = db.pnew(PlainChild)
+            ptr = child.ptr
+            child.OnDeposit()
+            child.deposit(3.0)
+        with db.transaction():
+            assert db.deref(ptr).log == ["base-trigger"]

@@ -1,0 +1,167 @@
+"""End-to-end integration: the paper's Section 4 credit-card scenario."""
+
+import pytest
+
+from repro.objects.database import Database
+from repro.workloads.credit_card import CredCard, CreditCardWorkload, Customer
+
+
+class TestPaperScenario:
+    @pytest.fixture
+    def card(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            customer = db.pnew(Customer, name="Narain")
+            handle = db.pnew(
+                CredCard, issued_to=customer.ptr, cred_lim=1000.0
+            )
+            handle.DenyCredit()
+            handle.AutoRaiseLimit(500.0)
+            return handle.ptr
+
+    def test_normal_purchase_commits(self, any_engine_db, card):
+        db = any_engine_db
+        with db.transaction():
+            db.deref(card).buy(None, 300.0)
+        with db.transaction():
+            assert db.deref(card).curr_bal == 300.0
+
+    def test_deny_credit_blocks_over_limit(self, any_engine_db, card):
+        db = any_engine_db
+        with db.transaction():
+            db.deref(card).buy(None, 300.0)
+        # tabort from the trigger aborts the purchase transaction; the O++
+        # transaction-block semantics swallow the abort.
+        with db.transaction():
+            db.deref(card).buy(None, 900.0)
+        with db.transaction():
+            loaded = db.deref(card)
+            assert loaded.curr_bal == 300.0
+            # The black mark was part of the aborted transaction: rolled
+            # back with it (event roll-back via state roll-back).
+            assert loaded.black_marks == []
+
+    def test_auto_raise_limit_lifecycle(self, any_engine_db, card):
+        db = any_engine_db
+        with db.transaction():
+            db.deref(card).buy(None, 850.0)  # >80% of limit, good history
+        with db.transaction():
+            db.deref(card).pay_bill(100.0)  # relative: any later PayBill
+        with db.transaction():
+            loaded = db.deref(card)
+            assert loaded.cred_lim == 1500.0
+            names = {
+                info.name
+                for _, _, info in db.trigger_system.active_triggers(card)
+            }
+            assert names == {"DenyCredit"}  # AutoRaiseLimit was once-only
+
+    def test_auto_raise_requires_more_cred_at_buy_time(self, any_engine_db, card):
+        db = any_engine_db
+        with db.transaction():
+            db.deref(card).buy(None, 100.0)  # only 10%: MoreCred false
+        with db.transaction():
+            db.deref(card).pay_bill(50.0)
+        with db.transaction():
+            assert db.deref(card).cred_lim == 1000.0  # unchanged
+
+    def test_paybill_much_later_still_fires_relative(self, any_engine_db, card):
+        db = any_engine_db
+        with db.transaction():
+            db.deref(card).buy(None, 850.0)
+        for _ in range(3):
+            with db.transaction():
+                db.deref(card).buy(None, 10.0)
+        with db.transaction():
+            db.deref(card).pay_bill(5.0)
+        with db.transaction():
+            assert db.deref(card).cred_lim == 1500.0
+
+
+class TestGlobalCompositeEvents:
+    """Ode vs Sentinel: trigger state is persistent, so a composite event's
+    constituent events may span applications (sessions)."""
+
+    def test_composite_spans_sessions(self, db_path):
+        db = Database.open(db_path, engine="disk")
+        with db.transaction():
+            handle = db.pnew(CredCard, cred_lim=1000.0)
+            ptr = handle.ptr
+            handle.AutoRaiseLimit(250.0)
+            handle.buy(None, 900.0)  # arms the relative pattern
+        db.close()
+
+        db2 = Database.open(db_path, engine="disk")  # "another application"
+        with db2.transaction():
+            db2.deref(ptr).pay_bill(10.0)  # completes the pattern
+        with db2.transaction():
+            assert db2.deref(ptr).cred_lim == 1250.0
+        db2.close()
+
+    def test_activation_args_persist_across_sessions(self, db_path):
+        db = Database.open(db_path, engine="disk")
+        with db.transaction():
+            handle = db.pnew(CredCard, cred_lim=1000.0)
+            ptr = handle.ptr
+            handle.AutoRaiseLimit(750.0)
+        db.close()
+        db2 = Database.open(db_path, engine="disk")
+        with db2.transaction():
+            triggers = db2.trigger_system.active_triggers(ptr)
+            (_, tstate, info) = triggers[0]
+            assert info.name == "AutoRaiseLimit"
+            assert tstate.params == {"amount": 750.0}
+        db2.close()
+
+    def test_crash_preserves_armed_trigger_state(self, db_path):
+        db = Database.open(db_path, engine="disk")
+        with db.transaction():
+            handle = db.pnew(CredCard, cred_lim=1000.0)
+            ptr = handle.ptr
+            handle.AutoRaiseLimit(500.0)
+        with db.transaction():
+            db.deref(ptr).buy(None, 900.0)  # committed: armed state durable
+        db.simulate_crash()
+        db2 = Database.open(db_path, engine="disk")
+        with db2.transaction():
+            db2.deref(ptr).pay_bill(1.0)
+        with db2.transaction():
+            assert db2.deref(ptr).cred_lim == 1500.0
+        db2.close()
+
+    def test_crash_rolls_back_uncommitted_fsm_advance(self, db_path):
+        db = Database.open(db_path, engine="disk")
+        with db.transaction():
+            handle = db.pnew(CredCard, cred_lim=1000.0)
+            ptr = handle.ptr
+            handle.AutoRaiseLimit(500.0)
+        txn = db.txn_manager.begin()
+        db.deref(ptr).buy(None, 900.0)  # advances FSM, NOT committed
+        db.simulate_crash()
+        db2 = Database.open(db_path, engine="disk")
+        with db2.transaction():
+            db2.deref(ptr).pay_bill(1.0)  # must NOT fire: arm was undone
+        with db2.transaction():
+            assert db2.deref(ptr).cred_lim == 1000.0
+        db2.close()
+
+
+class TestWorkloadDriver:
+    def test_workload_is_deterministic(self, mm_db):
+        workload = CreditCardWorkload(seed=7)
+        ptrs = workload.setup(mm_db, 10, activate_deny=True)
+        result = workload.run(mm_db, ptrs, 200)
+        assert result.operations == 200
+        assert result.buys + result.payments + result.queries == 200
+        assert result.buys > result.payments > 0
+
+    def test_deny_credit_under_workload(self, mm_db):
+        workload = CreditCardWorkload(seed=11, buy_fraction=0.9, pay_fraction=0.05)
+        ptrs = workload.setup(mm_db, 4, cred_lim=300.0, activate_deny=True)
+        workload.run(mm_db, ptrs, 300)
+        with mm_db.transaction():
+            for ptr in ptrs:
+                card = mm_db.deref(ptr)
+                # DenyCredit aborts any transaction that would exceed the
+                # limit, so committed balances never exceed it.
+                assert card.curr_bal <= card.cred_lim + 1e-9

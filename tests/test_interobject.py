@@ -1,0 +1,139 @@
+"""Inter-object trigger tests (Section 8 extension)."""
+
+import pytest
+
+from repro.core.interobject import InterObjectTrigger
+from repro.errors import TriggerDeclarationError
+from repro.objects.database import Database
+from repro.workloads.trading import Stock
+
+BOUGHT: list[dict] = []
+
+
+@pytest.fixture(autouse=True)
+def _clear():
+    BOUGHT.clear()
+    yield
+    BOUGHT.clear()
+
+
+def make_stocks(db):
+    with db.transaction():
+        att = db.pnew(Stock, symbol="T", price=70.0, prev_price=70.0)
+        gold = db.pnew(Stock, symbol="GC", price=2000.0, prev_price=2000.0)
+        return att.ptr, gold.ptr
+
+
+def make_trigger(db, att, gold, name="buy_att", perpetual=False):
+    return InterObjectTrigger(
+        db,
+        name,
+        anchors={
+            "att_low": (att, "after set_price & below60"),
+            "gold_stable": (gold, "after set_price & stable"),
+        },
+        expression="(att_low, gold_stable) || (gold_stable, att_low)",
+        action=lambda self, ctx: BOUGHT.append(ctx.params["anchors"]),
+        anchor_masks={
+            "att_low": {"below60": lambda self: self.price < 60},
+            "gold_stable": {
+                "stable": lambda self: abs(self.price - self.prev_price) < 1.0
+            },
+        },
+        perpetual=perpetual,
+    )
+
+
+class TestPaperScenario:
+    def test_fires_when_both_conditions_met(self, any_engine_db):
+        db = any_engine_db
+        att, gold = make_stocks(db)
+        make_trigger(db, att, gold)
+        with db.transaction():
+            db.deref(att).set_price(59.0)
+        with db.transaction():
+            db.deref(gold).set_price(2000.5)
+        assert len(BOUGHT) == 1
+        assert BOUGHT[0]["att_low"] == att
+        assert BOUGHT[0]["gold_stable"] == gold
+
+    def test_either_order_of_anchor_events(self, any_engine_db):
+        db = any_engine_db
+        att, gold = make_stocks(db)
+        make_trigger(db, att, gold)
+        with db.transaction():
+            db.deref(gold).set_price(2000.4)  # stable first
+        with db.transaction():
+            db.deref(att).set_price(58.0)
+        assert len(BOUGHT) == 1
+
+    def test_no_fire_when_condition_unmet(self, any_engine_db):
+        db = any_engine_db
+        att, gold = make_stocks(db)
+        make_trigger(db, att, gold)
+        with db.transaction():
+            db.deref(att).set_price(65.0)  # not below 60
+        with db.transaction():
+            db.deref(gold).set_price(2000.1)
+        assert BOUGHT == []
+
+    def test_once_only_fires_once(self, any_engine_db):
+        db = any_engine_db
+        att, gold = make_stocks(db)
+        make_trigger(db, att, gold)
+        with db.transaction():
+            db.deref(att).set_price(59.0)
+        with db.transaction():
+            db.deref(gold).set_price(2000.2)
+        with db.transaction():
+            db.deref(att).set_price(55.0)
+        with db.transaction():
+            db.deref(gold).set_price(2000.3)
+        assert len(BOUGHT) == 1
+
+    def test_empty_anchors_rejected(self, any_engine_db):
+        with pytest.raises(TriggerDeclarationError):
+            InterObjectTrigger(
+                any_engine_db, "nope", {}, "x", lambda s, c: None
+            )
+
+
+class TestPersistence:
+    def test_survives_session_cycle(self, db_path):
+        db = Database.open(db_path, engine="disk")
+        att, gold = make_stocks(db)
+        make_trigger(db, att, gold)
+        with db.transaction():
+            db.deref(att).set_price(59.0)  # first half matched
+        db.close()
+
+        # A new "application": re-create the trigger object (recompilation
+        # analogue), then complete the pattern.
+        db2 = Database.open(db_path, engine="disk")
+        make_trigger(db2, att, gold)
+        with db2.transaction():
+            db2.deref(gold).set_price(2000.2)
+        assert len(BOUGHT) == 1
+        db2.close()
+
+    def test_recreation_does_not_duplicate_activations(self, any_engine_db):
+        db = any_engine_db
+        att, gold = make_stocks(db)
+        make_trigger(db, att, gold)
+        make_trigger(db, att, gold)  # idempotent re-registration
+        with db.transaction():
+            assert len(db.trigger_system.active_triggers(att)) == 1
+
+    def test_deactivate_removes_everything(self, any_engine_db):
+        db = any_engine_db
+        att, gold = make_stocks(db)
+        inter = make_trigger(db, att, gold)
+        inter.deactivate()
+        with db.transaction():
+            assert db.trigger_system.active_triggers(att) == []
+            assert db.trigger_system.active_triggers(gold) == []
+        with db.transaction():
+            db.deref(att).set_price(10.0)
+        with db.transaction():
+            db.deref(gold).set_price(2000.2)
+        assert BOUGHT == []

@@ -1,0 +1,148 @@
+"""Lock-manager tests: grants, conflicts, upgrades, deadlocks."""
+
+import pytest
+
+from repro.errors import DeadlockError, LockError
+from repro.storage.locks import LockManager, LockMode, LockRequestStatus
+
+
+@pytest.fixture
+def lm():
+    return LockManager()
+
+
+GRANTED = LockRequestStatus.GRANTED
+WAIT = LockRequestStatus.WAIT
+
+
+class TestBasicGrants:
+    def test_s_lock_granted(self, lm):
+        assert lm.acquire(1, "r", LockMode.S) is GRANTED
+        assert lm.mode_held(1, "r") is LockMode.S
+
+    def test_x_lock_granted(self, lm):
+        assert lm.acquire(1, "r", LockMode.X) is GRANTED
+
+    def test_shared_locks_compatible(self, lm):
+        assert lm.acquire(1, "r", LockMode.S) is GRANTED
+        assert lm.acquire(2, "r", LockMode.S) is GRANTED
+        assert lm.holders_of("r") == {1, 2}
+
+    def test_x_conflicts_with_s(self, lm):
+        lm.acquire(1, "r", LockMode.S)
+        assert lm.acquire(2, "r", LockMode.X) is WAIT
+
+    def test_s_conflicts_with_x(self, lm):
+        lm.acquire(1, "r", LockMode.X)
+        assert lm.acquire(2, "r", LockMode.S) is WAIT
+
+    def test_reacquire_same_mode_is_noop(self, lm):
+        lm.acquire(1, "r", LockMode.S)
+        assert lm.acquire(1, "r", LockMode.S) is GRANTED
+        assert lm.stats.s_acquired == 1
+
+    def test_x_holder_can_request_s(self, lm):
+        lm.acquire(1, "r", LockMode.X)
+        assert lm.acquire(1, "r", LockMode.S) is GRANTED
+        assert lm.mode_held(1, "r") is LockMode.X  # not downgraded
+
+    def test_distinct_resources_do_not_conflict(self, lm):
+        assert lm.acquire(1, "a", LockMode.X) is GRANTED
+        assert lm.acquire(2, "b", LockMode.X) is GRANTED
+
+
+class TestUpgrade:
+    def test_upgrade_s_to_x_when_sole_holder(self, lm):
+        lm.acquire(1, "r", LockMode.S)
+        assert lm.acquire(1, "r", LockMode.X) is GRANTED
+        assert lm.mode_held(1, "r") is LockMode.X
+        assert lm.stats.upgrades == 1
+
+    def test_upgrade_blocked_by_other_reader(self, lm):
+        lm.acquire(1, "r", LockMode.S)
+        lm.acquire(2, "r", LockMode.S)
+        assert lm.acquire(1, "r", LockMode.X) is WAIT
+
+
+class TestRelease:
+    def test_release_all_frees_resources(self, lm):
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(1, "b", LockMode.S)
+        lm.release_all(1)
+        assert lm.acquire(2, "a", LockMode.X) is GRANTED
+        assert lm.locks_held(1) == frozenset()
+
+    def test_retry_waiters_grants_after_release(self, lm):
+        lm.acquire(1, "r", LockMode.X)
+        assert lm.acquire(2, "r", LockMode.S) is WAIT
+        lm.release_all(1)
+        assert lm.retry_waiters() == [2]
+        assert lm.mode_held(2, "r") is LockMode.S
+
+    def test_release_clears_waits_for_edges(self, lm):
+        lm.acquire(1, "r", LockMode.X)
+        lm.acquire(2, "r", LockMode.S)
+        lm.release_all(2)
+        assert lm.waits_for_edges() == {}
+
+
+class TestDeadlock:
+    def test_two_party_deadlock_detected(self, lm):
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+        assert lm.acquire(1, "b", LockMode.X) is WAIT
+        with pytest.raises(DeadlockError) as excinfo:
+            lm.acquire(2, "a", LockMode.X)
+        assert excinfo.value.txid == 2
+        assert lm.stats.deadlocks == 1
+
+    def test_three_party_cycle_detected(self, lm):
+        for txid, resource in ((1, "a"), (2, "b"), (3, "c")):
+            lm.acquire(txid, resource, LockMode.X)
+        assert lm.acquire(1, "b", LockMode.X) is WAIT
+        assert lm.acquire(2, "c", LockMode.X) is WAIT
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, "a", LockMode.X)
+
+    def test_victim_can_proceed_after_release(self, lm):
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+        lm.acquire(1, "b", LockMode.X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "a", LockMode.X)
+        lm.release_all(2)  # victim aborts
+        assert lm.retry_waiters() == [1]
+        assert lm.mode_held(1, "b") is LockMode.X
+
+    def test_no_false_deadlock_on_simple_wait(self, lm):
+        lm.acquire(1, "r", LockMode.X)
+        assert lm.acquire(2, "r", LockMode.X) is WAIT  # no cycle, no raise
+
+
+class TestFairness:
+    def test_new_reader_queues_behind_waiting_writer(self, lm):
+        lm.acquire(1, "r", LockMode.S)
+        assert lm.acquire(2, "r", LockMode.X) is WAIT
+        # Reader 3 must not starve the waiting writer.
+        assert lm.acquire(3, "r", LockMode.S) is WAIT
+
+    def test_acquire_or_raise_on_conflict(self, lm):
+        lm.acquire(1, "r", LockMode.X)
+        with pytest.raises(LockError):
+            lm.acquire_or_raise(2, "r", LockMode.S)
+
+
+class TestStats:
+    def test_counts_accumulate(self, lm):
+        lm.acquire(1, "a", LockMode.S)
+        lm.acquire(1, "b", LockMode.X)
+        lm.acquire(2, "b", LockMode.S)
+        snapshot = lm.stats.snapshot()
+        assert snapshot["s_acquired"] == 1
+        assert snapshot["x_acquired"] == 1
+        assert snapshot["waits"] == 1
+
+    def test_reset(self, lm):
+        lm.acquire(1, "a", LockMode.S)
+        lm.stats.reset()
+        assert lm.stats.s_acquired == 0

@@ -1,0 +1,90 @@
+"""Lock-trace simulator tests (the E6 substrate)."""
+
+import pytest
+
+from repro.storage.locks import LockMode
+from repro.workloads.locksim import (
+    LockStep,
+    LockTraceSimulator,
+    hot_set_workload,
+    trace_for_read,
+    trace_for_read_with_triggers,
+)
+
+
+class TestTraces:
+    def test_read_trace_is_single_s_lock(self):
+        trace = trace_for_read(5)
+        assert trace == [LockStep(("obj", 5), LockMode.S)]
+
+    def test_trigger_trace_adds_x_locks(self):
+        trace = trace_for_read_with_triggers(5, [501, 502], index_bucket=1)
+        modes = [step.mode for step in trace]
+        assert modes == [LockMode.S, LockMode.S, LockMode.X, LockMode.X]
+
+
+class TestSimulator:
+    def test_read_only_workload_never_waits(self):
+        sim = LockTraceSimulator(
+            hot_set_workload(4, triggers_per_object=0), n_clients=8, seed=1
+        )
+        result = sim.run(200)
+        assert result.completed == 200
+        assert result.aborted_deadlock == 0
+        assert result.wait_steps == 0
+        assert result.x_locks == 0
+
+    def test_trigger_workload_creates_contention(self):
+        sim = LockTraceSimulator(
+            hot_set_workload(4, triggers_per_object=2), n_clients=8, seed=1
+        )
+        result = sim.run(200)
+        assert result.completed + result.aborted_deadlock == 200
+        assert result.x_locks > 0
+        assert result.wait_steps > 0  # the paper's amplified waiting
+
+    def test_deadlocks_occur_and_are_resolved(self):
+        # Tiny hot set + many clients + several X locks per txn: cycles.
+        sim = LockTraceSimulator(
+            hot_set_workload(2, triggers_per_object=3, ops_per_txn=6),
+            n_clients=12,
+            seed=3,
+        )
+        result = sim.run(300)
+        assert result.completed + result.aborted_deadlock == 300
+        assert result.aborted_deadlock > 0
+        assert result.completed > 0  # the system still makes progress
+
+    def test_single_client_never_conflicts(self):
+        sim = LockTraceSimulator(
+            hot_set_workload(2, triggers_per_object=3), n_clients=1, seed=9
+        )
+        result = sim.run(50)
+        assert result.completed == 50
+        assert result.wait_steps == 0
+        assert result.aborted_deadlock == 0
+
+    def test_amplification_monotone_in_trigger_count(self):
+        """More active triggers per object -> at least as much waiting."""
+        fractions = []
+        for triggers in (0, 1, 4):
+            sim = LockTraceSimulator(
+                hot_set_workload(4, triggers_per_object=triggers),
+                n_clients=8,
+                seed=5,
+            )
+            result = sim.run(300)
+            fractions.append(result.wait_fraction)
+        assert fractions[0] == 0.0
+        assert fractions[1] > 0.0
+        assert fractions[2] >= fractions[1] * 0.5  # noisy, but nonzero
+
+    def test_deterministic_given_seed(self):
+        runs = []
+        for _ in range(2):
+            sim = LockTraceSimulator(
+                hot_set_workload(4, triggers_per_object=2), n_clients=6, seed=42
+            )
+            result = sim.run(100)
+            runs.append((result.completed, result.aborted_deadlock, result.wait_steps))
+        assert runs[0] == runs[1]

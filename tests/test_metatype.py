@@ -1,0 +1,83 @@
+"""Metatype and type-registry tests."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownTypeError
+from repro.objects.metatype import TypeRegistry, global_type_registry
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+
+class Vehicle(Persistent):
+    wheels = field(int, default=4)
+
+
+class Car(Vehicle):
+    doors = field(int, default=4)
+
+
+class Truck(Vehicle):
+    payload = field(float, default=0.0)
+
+
+class TestRegistry:
+    def test_find_by_name(self):
+        registry = global_type_registry()
+        assert registry.find("Vehicle").pyclass is Vehicle
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(UnknownTypeError):
+            global_type_registry().find("NoSuchClass")
+
+    def test_register_idempotent(self):
+        registry = TypeRegistry()
+
+        class Local(Persistent):
+            pass
+
+        first = registry.register(Local)
+        second = registry.register(Local)
+        assert first is second
+
+    def test_subclasses_of(self):
+        registry = global_type_registry()
+        subs = {m.name for m in registry.subclasses_of(Vehicle.__metatype__)}
+        assert {"Vehicle", "Car", "Truck"} <= subs
+
+    def test_require_by_class_for_non_persistent(self):
+        with pytest.raises(UnknownTypeError):
+            global_type_registry().require_by_class(dict)
+
+    def test_register_shim_resolves_via_find(self):
+        registry = TypeRegistry()
+        shim = object()
+        registry.register_shim("Dynamic", shim)
+        assert registry.find("Dynamic") is shim
+
+
+class TestMetatype:
+    def test_base_metatypes_nearest_first(self):
+        registry = global_type_registry()
+        bases = Car.__metatype__.base_metatypes(registry)
+        assert bases[0].name == "Vehicle"
+
+    def test_is_subtype_of(self):
+        assert Car.__metatype__.is_subtype_of(Vehicle.__metatype__)
+        assert not Vehicle.__metatype__.is_subtype_of(Car.__metatype__)
+
+    def test_trigger_info_out_of_range(self):
+        with pytest.raises(SchemaError):
+            Vehicle.__metatype__.trigger_info(0)
+
+    def test_trigger_by_name_missing(self):
+        with pytest.raises(SchemaError):
+            Vehicle.__metatype__.trigger_by_name("Nope")
+
+    def test_has_active_facilities(self):
+        assert not Vehicle.__metatype__.has_active_facilities()
+        from repro.workloads.credit_card import CredCard
+
+        assert CredCard.__metatype__.has_active_facilities()
+
+    def test_repr(self):
+        assert "Vehicle" in repr(Vehicle.__metatype__)

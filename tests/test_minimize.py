@@ -1,0 +1,133 @@
+"""Minimization and mask-pruning tests, including equivalence properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.compile import compile_expression
+from repro.events.minimize import minimize_fsm, prune_irrelevant_masks
+
+DECLS = ["A", "B", "C"]
+
+
+def drive(fsm, stream, mask_values=None):
+    values = mask_values or {}
+    evaluate = lambda name: values.get(name, False)
+    state = fsm.start
+    state, _ = fsm.quiesce(state, evaluate)
+    hits = []
+    for symbol in stream:
+        result = fsm.advance(state, symbol, evaluate)
+        state = result.state
+        hits.append(result.accepted)
+    return hits
+
+
+class TestMinimization:
+    def test_minimized_never_larger(self):
+        for text in ["A, B", "(A || B), (A || B)", "A, *B, C", "+(A, B), C"]:
+            raw = compile_expression(text, DECLS, minimize=False).fsm
+            small = compile_expression(text, DECLS, minimize=True).fsm
+            assert len(small) <= len(raw)
+
+    def test_redundant_union_collapses(self):
+        fsm = compile_expression("A || A || A", DECLS).fsm
+        reference = compile_expression("A", DECLS).fsm
+        assert len(fsm) == len(reference)
+
+    def test_minimize_is_idempotent(self):
+        fsm = compile_expression("A, *B, C", DECLS).fsm
+        again = minimize_fsm(fsm)
+        assert len(again) == len(fsm)
+
+    def test_anchored_minimization_keeps_dead_semantics(self):
+        fsm = compile_expression("^(A, B)", DECLS, minimize=True).fsm
+        assert drive(fsm, ["C", "A", "B"]) == [False, False, False]
+        assert drive(fsm, ["A", "B"]) == [False, True]
+
+    def test_mask_states_never_merge_with_plain(self):
+        fsm = compile_expression("(A & m), B", DECLS).fsm
+        for state in fsm.states:
+            if state.masks:
+                twins = [
+                    other
+                    for other in fsm.states
+                    if other is not state
+                    and other.transitions == state.transitions
+                    and other.accept == state.accept
+                    and not other.masks
+                ]
+                # any structural twin without masks must have been kept
+                # separate precisely because behaviour differs.
+                assert all(twin.masks != state.masks for twin in twins)
+
+
+class TestMaskPruning:
+    def test_irrelevant_mask_dropped(self):
+        # relative(...) produces a state that re-evaluates the mask although
+        # both outcomes coincide — pruning removes it (Figure 1 shape).
+        machine = compile_expression(
+            "relative((A & m), B)", DECLS, known_masks=["m"]
+        ).fsm
+        assert len(machine.mask_states()) == 1
+
+    def test_prune_noop_returns_same_object(self):
+        fsm = compile_expression("A & m", DECLS, minimize=False).fsm
+        pruned = prune_irrelevant_masks(fsm)
+        # The only mask state has diverging outcomes: nothing to prune.
+        again = prune_irrelevant_masks(pruned)
+        assert again is pruned
+
+    def test_pruned_machine_behaves_identically(self):
+        text = "relative((A & m), B)"
+        pruned = compile_expression(text, DECLS).fsm
+        raw = compile_expression(text, DECLS, minimize=False).fsm
+        streams = [
+            ["A", "B"],
+            ["A", "A", "B"],
+            ["C", "A", "C", "B"],
+            ["B", "A", "B"],
+        ]
+        for stream in streams:
+            for hot in (True, False):
+                assert drive(raw, stream, {"m": hot}) == drive(
+                    pruned, stream, {"m": hot}
+                )
+
+
+_EXPRS = st.sampled_from(
+    [
+        "A",
+        "A, B",
+        "A || B",
+        "A, B, C",
+        "(A || B), C",
+        "A, *B, C",
+        "+A, B",
+        "+(A || B), C",
+        "(A, B) || (B, C)",
+        "A, *(B || C), A",
+        "relative(A, B)",
+        "relative((A, B), C)",
+    ]
+)
+_STREAMS = st.lists(st.sampled_from(DECLS), min_size=0, max_size=40)
+
+
+@settings(max_examples=150, deadline=None)
+@given(text=_EXPRS, stream=_STREAMS)
+def test_minimized_equals_unminimized(text, stream):
+    small = compile_expression(text, DECLS, minimize=True).fsm
+    big = compile_expression(text, DECLS, minimize=False).fsm
+    assert drive(small, stream) == drive(big, stream)
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=_EXPRS, stream=_STREAMS, anchored=st.booleans())
+def test_anchored_flag_consistency(text, stream, anchored):
+    if anchored:
+        text_full = "^(" + text + ")"
+    else:
+        text_full = text
+    small = compile_expression(text_full, DECLS, minimize=True).fsm
+    big = compile_expression(text_full, DECLS, minimize=False).fsm
+    assert drive(small, stream) == drive(big, stream)

@@ -1,0 +1,152 @@
+"""Edge cases across modules that the focused suites don't reach."""
+
+import pytest
+
+from repro.core.trigger_def import CouplingMode
+from repro.errors import (
+    DatabaseError,
+    NoActiveTransactionError,
+    TriggerDeclarationError,
+)
+from repro.events.compile import compile_expression
+from repro.events.fsm import DEAD, EventDecl, FSMError
+from repro.objects.database import Database
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+from repro.storage import open_storage
+from repro.storage.interface import StorageStats
+
+
+class Thing(Persistent):
+    v = field(int, default=0)
+
+
+class TestStorageFactory:
+    def test_open_storage_unknown_engine(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown storage engine"):
+            open_storage(str(tmp_path / "x"), engine="tape")
+
+    def test_stats_snapshot_and_reset(self):
+        stats = StorageStats()
+        stats.reads = 5
+        assert stats.snapshot()["reads"] == 5
+        stats.reset()
+        assert stats.snapshot()["reads"] == 0
+
+    def test_active_transactions(self, mm_db):
+        assert mm_db.storage.active_transactions() == frozenset()
+        txn = mm_db.txn_manager.begin()
+        assert mm_db.storage.active_transactions() == {txn.txid}
+        mm_db.txn_manager.abort(txn)
+
+
+class TestCouplingParse:
+    def test_deferred_alias(self):
+        assert CouplingMode.parse("deferred") is CouplingMode.END
+
+    def test_enum_passthrough(self):
+        assert CouplingMode.parse(CouplingMode.DEPENDENT) is CouplingMode.DEPENDENT
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TriggerDeclarationError):
+            CouplingMode.parse("eventually")
+
+
+class TestEventDeclStr:
+    def test_str_is_symbol(self):
+        assert str(EventDecl("after", "Buy")) == "after Buy"
+        assert str(EventDecl.parse("BigBuy")) == "BigBuy"
+
+
+class TestFsmEdges:
+    def test_dead_state_has_no_descriptor(self):
+        fsm = compile_expression("^A", ["A", "B"]).fsm
+        with pytest.raises(FSMError):
+            fsm.state(DEAD)
+
+    def test_quiesce_from_dead_is_noop(self):
+        fsm = compile_expression("^A", ["A", "B"]).fsm
+        state, steps = fsm.quiesce(DEAD, lambda m: True)
+        assert state == DEAD
+        assert steps == 0
+
+    def test_accept_and_mask_state_listings(self):
+        fsm = compile_expression("A & m, B", ["A", "B"]).fsm
+        assert fsm.accept_states()
+        assert fsm.mask_states()
+
+
+class TestDatabaseEdges:
+    def test_named_unknown_raises(self):
+        with pytest.raises(DatabaseError):
+            Database.named("never-opened")
+
+    def test_close_is_idempotent(self, db_path):
+        db = Database.open(db_path, engine="mm")
+        db.close()
+        db.close()  # no error
+
+    def test_simulate_crash_then_close(self, db_path):
+        db = Database.open(db_path, engine="disk")
+        db.simulate_crash()
+        db.close()  # no error after crash
+
+    def test_catalog_get_requires_txn(self, mm_db):
+        with pytest.raises(NoActiveTransactionError):
+            mm_db.catalog_get("anything")
+
+    def test_handle_equality_and_hash(self, mm_db):
+        with mm_db.transaction():
+            a = mm_db.pnew(Thing)
+            same = mm_db.deref(a.ptr)
+            other = mm_db.pnew(Thing)
+            assert a == same
+            assert a != other
+            assert len({a, same, other}) == 2
+
+    def test_handle_repr(self, mm_db):
+        with mm_db.transaction():
+            handle = mm_db.pnew(Thing, v=3)
+            assert "Thing" in repr(handle)
+
+    def test_txn_repr_and_attachment(self, mm_db):
+        txn = mm_db.txn_manager.begin()
+        assert "Transaction" in repr(txn)
+        bucket = txn.attachment("k", list)
+        bucket.append(1)
+        assert txn.attachment("k", list) == [1]
+        mm_db.txn_manager.abort(txn)
+
+
+class TestDeclarationEdges:
+    def test_event_without_method_rejected(self):
+        with pytest.raises(TriggerDeclarationError, match="no\\s+method"):
+
+            class Ghost(Persistent):
+                __events__ = ["after vanish"]
+
+    def test_duplicate_event_rejected(self):
+        with pytest.raises(TriggerDeclarationError, match="twice"):
+
+            class Doubled(Persistent):
+                __events__ = ["Ping", "Ping"]
+
+    def test_non_trigger_in_triggers_rejected(self):
+        with pytest.raises(TriggerDeclarationError, match="trigger"):
+
+            class Wrong(Persistent):
+                __events__ = ["Ping"]
+                __triggers__ = ["not a TriggerDecl"]
+
+    def test_action_method_missing_raises_at_fire(self, mm_db):
+        from repro.core.declarations import trigger
+
+        class Misnamed(Persistent):
+            __events__ = ["Go"]
+            __triggers__ = [trigger("T", "Go", action="does_not_exist")]
+
+        with mm_db.transaction():
+            handle = mm_db.pnew(Misnamed)
+            handle.T()
+            with pytest.raises(TriggerDeclarationError, match="does_not_exist"):
+                handle.post_event("Go")

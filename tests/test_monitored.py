@@ -1,0 +1,193 @@
+"""Local-rule / monitored-class tests (Section 8 extension)."""
+
+import pytest
+
+from repro.core.declarations import trigger
+from repro.core.monitored import LocalTriggerSystem, Monitored
+from repro.errors import (
+    TriggerArgumentError,
+    TriggerError,
+    TriggerNotActiveError,
+    UnknownEventError,
+)
+
+ALARMS: list[float] = []
+
+
+class Sensor(Monitored):
+    __events__ = ["after update", "Spike"]
+    __masks__ = {"hot": lambda self: self.reading > 90}
+    __triggers__ = [
+        trigger(
+            "Alarm",
+            "after update & hot",
+            action=lambda self, ctx: ALARMS.append(self.reading),
+            perpetual=True,
+        ),
+        trigger(
+            "SpikeOnce",
+            "Spike",
+            action=lambda self, ctx: ALARMS.append(-1.0),
+        ),
+        trigger(
+            "Deferred",
+            "after update",
+            action=lambda self, ctx: ALARMS.append(-2.0),
+            coupling="end",
+            perpetual=True,
+        ),
+        trigger(
+            "Detached",
+            "after update",
+            action=lambda self, ctx: None,
+            coupling="dependent",
+        ),
+    ]
+
+    def __init__(self):
+        self.reading = 0.0
+
+    def update(self, value):
+        self.reading = value
+
+
+@pytest.fixture(autouse=True)
+def _clear():
+    ALARMS.clear()
+    yield
+    ALARMS.clear()
+
+
+class TestLocalRules:
+    def test_monitor_and_fire(self):
+        system = LocalTriggerSystem()
+        sensor = Sensor()
+        handle = system.monitor(sensor)
+        handle.Alarm()
+        handle.update(50.0)
+        handle.update(95.0)
+        assert ALARMS == [95.0]
+
+    def test_unmonitored_instance_pays_nothing(self):
+        system = LocalTriggerSystem()
+        sensor = Sensor()
+        sensor.update(200.0)  # direct call: no proxy, no posting
+        assert ALARMS == []
+        assert system.stats.events_posted == 0
+
+    def test_once_only_local_rule(self):
+        system = LocalTriggerSystem()
+        sensor = Sensor()
+        handle = system.monitor(sensor)
+        handle.SpikeOnce()
+        handle.post_event("Spike")
+        handle.post_event("Spike")
+        assert ALARMS == [-1.0]
+        assert system.active_count(sensor) == 0
+
+    def test_deactivate(self):
+        system = LocalTriggerSystem()
+        sensor = Sensor()
+        handle = system.monitor(sensor)
+        local_id = handle.Alarm()
+        system.deactivate(local_id)
+        handle.update(99.0)
+        assert ALARMS == []
+        with pytest.raises(TriggerNotActiveError):
+            system.deactivate(local_id)
+
+    def test_wrong_arity_raises(self):
+        system = LocalTriggerSystem()
+        sensor = Sensor()
+        info = Sensor.__metatype__.trigger_by_name("Alarm")
+        with pytest.raises(TriggerArgumentError):
+            system.activate(sensor, info, "extra")
+
+    def test_detached_modes_rejected(self):
+        system = LocalTriggerSystem()
+        sensor = Sensor()
+        info = Sensor.__metatype__.trigger_by_name("Detached")
+        with pytest.raises(TriggerError, match="local rules"):
+            system.activate(sensor, info)
+
+    def test_unknown_user_event_raises(self):
+        system = LocalTriggerSystem()
+        handle = system.monitor(Sensor())
+        with pytest.raises(UnknownEventError):
+            handle.post_event("Nope")
+
+    def test_plain_object_cannot_be_monitored(self):
+        system = LocalTriggerSystem()
+        with pytest.raises(TriggerError):
+            system.monitor(object())
+
+    def test_no_storage_cost(self):
+        """Local rules never touch a storage manager — zero write locks."""
+        system = LocalTriggerSystem()
+        sensor = Sensor()
+        handle = system.monitor(sensor)
+        handle.Alarm()
+        for v in (95.0, 99.0, 101.0):
+            handle.update(v)
+        assert system.stats.fsm_advances == 3
+        assert system.stats.state_writes == 0  # the whole point
+
+    def test_end_coupling_queues_until_drain(self):
+        system = LocalTriggerSystem()
+        sensor = Sensor()
+        handle = system.monitor(sensor)
+        handle.Deferred()
+        handle.update(10.0)
+        assert ALARMS == []
+        system.drain_end_list()
+        assert ALARMS == [-2.0]
+
+    def test_clear_deallocates_everything(self):
+        system = LocalTriggerSystem()
+        sensor = Sensor()
+        handle = system.monitor(sensor)
+        handle.Alarm()
+        system.clear()
+        assert system.active_count() == 0
+        handle.update(99.0)
+        assert ALARMS == []
+
+
+class TestDatabaseAttached:
+    def test_local_states_deallocated_at_end_of_transaction(self, mm_db):
+        db = mm_db
+        system = LocalTriggerSystem(db)
+        sensor = Sensor()
+        handle = system.monitor(sensor)
+        with db.transaction():
+            handle.Alarm()
+            handle.update(95.0)
+            assert ALARMS == [95.0]
+            assert system.active_count() == 1
+        # End of transaction: local data structures deallocated.
+        assert system.active_count() == 0
+
+    def test_end_list_drained_at_commit(self, mm_db):
+        db = mm_db
+        system = LocalTriggerSystem(db)
+        sensor = Sensor()
+        handle = system.monitor(sensor)
+        with db.transaction():
+            handle.Deferred()
+            handle.update(1.0)
+            assert ALARMS == []
+        assert ALARMS == [-2.0]
+
+    def test_cleared_on_abort(self, mm_db):
+        from repro.errors import TransactionAbort
+
+        db = mm_db
+        system = LocalTriggerSystem(db)
+        sensor = Sensor()
+        handle = system.monitor(sensor)
+        with db.transaction():
+            handle.Deferred()
+            handle.update(1.0)
+            raise TransactionAbort()
+        assert ALARMS == []
+        assert system.active_count() == 0

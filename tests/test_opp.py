@@ -1,0 +1,216 @@
+"""Tests for the miniature O++ front end (the paper's Section 4 syntax)."""
+
+import pytest
+
+from repro.errors import TriggerDeclarationError
+from repro.opp import compile_opp_class
+
+CREDCARD_SOURCE = """
+persistent class PaperCard {
+    float credLim = 1000;
+    float currBal = 0;
+    int marks = 0;
+    event after Buy, after PayBill, BigBuy;
+    trigger DenyCredit() : perpetual
+        after Buy & over_limit ==> { BlackMark(); tabort; }
+    trigger AutoRaiseLimit(float amount) :
+        relative((after Buy & MoreCred()), after PayBill)
+        ==> RaiseLimit(amount);
+}
+"""
+
+
+def _methods():
+    def Buy(self, store, amount):
+        self.currBal += amount
+
+    def PayBill(self, amount):
+        self.currBal -= amount
+
+    def RaiseLimit(self, amount):
+        self.credLim += amount
+
+    def BlackMark(self):
+        self.marks += 1
+
+    return {"Buy": Buy, "PayBill": PayBill, "RaiseLimit": RaiseLimit,
+            "BlackMark": BlackMark}
+
+
+def _masks():
+    return {
+        "over_limit": lambda self: self.currBal > self.credLim,
+        "MoreCred": lambda self: self.currBal > 0.8 * self.credLim,
+    }
+
+
+@pytest.fixture(scope="module")
+def PaperCard():
+    return compile_opp_class(CREDCARD_SOURCE, methods=_methods(), masks=_masks())
+
+
+class TestCompilation:
+    def test_class_name_and_fields(self, PaperCard):
+        card = PaperCard()
+        assert type(card).__name__ == "PaperCard"
+        assert card.credLim == 1000.0
+        assert card.currBal == 0.0
+        assert card.marks == 0
+
+    def test_events_declared(self, PaperCard):
+        symbols = {d.symbol for d in PaperCard.__metatype__.declared_events}
+        assert symbols == {"after Buy", "after PayBill", "BigBuy"}
+
+    def test_triggers_compiled(self, PaperCard):
+        names = {i.name for i in PaperCard.__metatype__.trigger_infos}
+        assert names == {"DenyCredit", "AutoRaiseLimit"}
+        deny = PaperCard.__metatype__.trigger_by_name("DenyCredit")
+        assert deny.perpetual
+        auto = PaperCard.__metatype__.trigger_by_name("AutoRaiseLimit")
+        assert auto.params == ("amount",)
+        assert not auto.perpetual
+
+    def test_figure1_machine_comes_out_of_the_syntax(self, PaperCard):
+        auto = PaperCard.__metatype__.trigger_by_name("AutoRaiseLimit")
+        assert len(auto.compiled.fsm) == 4  # paper Figure 1
+
+
+class TestRuntime:
+    def test_full_paper_scenario(self, PaperCard, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            card = db.pnew(PaperCard)
+            ptr = card.ptr
+            card.DenyCredit()
+            card.AutoRaiseLimit(500.0)
+        with db.transaction():
+            db.deref(ptr).Buy(None, 300.0)
+        with db.transaction():
+            db.deref(ptr).Buy(None, 900.0)  # denied: block + tabort
+        with db.transaction():
+            loaded = db.deref(ptr)
+            assert loaded.currBal == 300.0
+            assert loaded.marks == 0  # rolled back with the tabort
+        with db.transaction():
+            db.deref(ptr).Buy(None, 550.0)  # arms MoreCred
+        with db.transaction():
+            db.deref(ptr).PayBill(100.0)
+        with db.transaction():
+            assert db.deref(ptr).credLim == 1500.0
+
+    def test_coupling_keyword(self, any_engine_db):
+        fired = []
+        cls = compile_opp_class(
+            """
+            persistent class DeferredThing {
+                int n = 0;
+                event after Poke;
+                trigger Later() : perpetual end after Poke ==> Note();
+            }
+            """,
+            methods={
+                "Poke": lambda self: None,
+                "Note": lambda self: fired.append(1),
+            },
+        )
+        db = any_engine_db
+        with db.transaction():
+            thing = db.pnew(cls)
+            thing.Later()
+            thing.Poke()
+            assert fired == []  # deferred until commit
+        assert fired == [1]
+
+    def test_constraint_syntax(self, any_engine_db):
+        from repro.errors import ConstraintViolationError
+
+        cls = compile_opp_class(
+            """
+            persistent class Bounded {
+                float level = 0;
+                event after Fill;
+                constraint capacity : within;
+            }
+            """,
+            methods={"Fill": lambda self, amount: setattr(self, "level", self.level + amount)},
+            masks={"within": lambda self: self.level <= 10.0},
+        )
+        db = any_engine_db
+        with db.transaction():
+            ptr = db.pnew(cls).ptr
+        with pytest.raises(ConstraintViolationError):
+            with db.transaction():
+                db.deref(ptr).Fill(50.0)
+        with db.transaction():
+            assert db.deref(ptr).level == 0.0
+
+    def test_inheritance_via_base_clause(self, PaperCard, any_engine_db):
+        gold = compile_opp_class(
+            """
+            persistent class GoldPaperCard : PaperCard {
+                float fee = 95;
+            }
+            """
+        )
+        db = any_engine_db
+        with db.transaction():
+            card = db.pnew(gold)
+            ptr = card.ptr
+            assert card.fee == 95.0
+            card.DenyCredit()  # inherited trigger activates on derived
+        with db.transaction():
+            db.deref(ptr).Buy(None, 2000.0)
+            # tabort propagates out of the block: swallowed by transaction()
+        with db.transaction():
+            assert db.deref(ptr).currBal == 0.0  # purchase denied
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "class NotPersistent { }",
+            "persistent class X { double weird; }",
+            "persistent class X { event after A; trigger T : A ==> f(); }",  # missing ()
+            "persistent class X { event after A; trigger T() : A; }",  # no ==>
+            "persistent class X { gibberish here; }",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(TriggerDeclarationError):
+            compile_opp_class(source)
+
+    def test_unknown_constraint_predicate(self):
+        with pytest.raises(TriggerDeclarationError, match="no predicate"):
+            compile_opp_class(
+                """
+                persistent class X {
+                    int v = 0;
+                    event after F;
+                    constraint c : missing_mask;
+                }
+                """,
+                methods={"F": lambda self: None},
+            )
+
+    def test_action_literal_arguments(self, any_engine_db):
+        values = []
+        cls = compile_opp_class(
+            """
+            persistent class LitArgs {
+                int n = 0;
+                event after Go;
+                trigger T() : perpetual after Go ==> Record(42, 'tag', 2.5);
+            }
+            """,
+            methods={
+                "Go": lambda self: None,
+                "Record": lambda self, a, b, c: values.append((a, b, c)),
+            },
+        )
+        db = any_engine_db
+        with db.transaction():
+            thing = db.pnew(cls)
+            thing.T()
+            thing.Go()
+        assert values == [(42, "tag", 2.5)]

@@ -1,0 +1,115 @@
+"""Phoenix-transaction tests: durable intentions that survive crashes."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.objects.database import Database
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+
+class Ledger(Persistent):
+    entries = field(list, default=[])
+
+
+def test_enqueue_then_drain_runs_handler(any_engine_db):
+    db = any_engine_db
+    ran = []
+    db.phoenix.register_handler("note", lambda txn, payload: ran.append(payload))
+    with db.transaction() as txn:
+        db.phoenix.enqueue(txn, "note", {"msg": "hello"})
+    assert db.phoenix.drain() == 1
+    assert ran == [{"msg": "hello"}]
+    assert db.phoenix.drain() == 0  # queue now empty
+
+
+def test_intention_dropped_if_enqueuing_txn_aborts(any_engine_db):
+    db = any_engine_db
+    ran = []
+    db.phoenix.register_handler("note", lambda txn, payload: ran.append(payload))
+    txn = db.txn_manager.begin()
+    db.phoenix.enqueue(txn, "note", "vanishes")
+    db.txn_manager.abort(txn)
+    assert db.phoenix.drain() == 0
+    assert ran == []
+
+
+def test_unregistered_kind_raises(any_engine_db):
+    db = any_engine_db
+    with db.transaction() as txn:
+        db.phoenix.enqueue(txn, "mystery", None)
+    with pytest.raises(TransactionError):
+        db.phoenix.drain()
+
+
+def test_failed_handler_leaves_intention_queued(any_engine_db):
+    db = any_engine_db
+    attempts = []
+
+    def flaky(txn, payload):
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise RuntimeError("transient failure")
+
+    db.phoenix.register_handler("flaky", flaky)
+    with db.transaction() as txn:
+        db.phoenix.enqueue(txn, "flaky", None)
+    with pytest.raises(RuntimeError):
+        db.phoenix.drain()
+    # Never-give-up: the intention is still there and succeeds on retry.
+    assert db.phoenix.drain() == 1
+    assert len(attempts) == 2
+
+
+def test_intentions_survive_crash_and_rerun_on_open(db_path):
+    """The paper's phoenix contract: restart after a crash, keep trying."""
+    db = Database.open(db_path, engine="disk")
+    with db.transaction() as txn:
+        ptr = db.pnew(Ledger).ptr
+        db.phoenix.enqueue(txn, "post-commit", {"target": ptr.rid})
+    # Crash before any drain happens (the automatic post-commit drain is
+    # part of the trigger system, not the raw queue).
+    db.simulate_crash()
+
+    executed = []
+
+    # Reopen: Database.__init__ drains at open, so the handler must be
+    # registered before.  We emulate "the application registers handlers
+    # then opens" by registering right after construction but before a
+    # manual drain; the open-time drain will fail to find the handler, so
+    # open via a subclass hook instead: simplest is to drain manually.
+    db2 = Database.open(db_path, engine="disk")
+    db2.phoenix.register_handler(
+        "post-commit", lambda txn, payload: executed.append(payload)
+    )
+    assert db2.phoenix.drain() == 1
+    assert executed == [{"target": ptr.rid}]
+    db2.close()
+
+
+def test_handler_runs_in_its_own_system_transaction(any_engine_db):
+    db = any_engine_db
+    seen = {}
+
+    def handler(txn, payload):
+        assert txn.system
+        handle = db.pnew(Ledger)
+        seen["ptr"] = handle.ptr
+
+    db.phoenix.register_handler("make", handler)
+    with db.transaction() as txn:
+        db.phoenix.enqueue(txn, "make", None)
+    db.phoenix.drain()
+    with db.transaction():
+        assert db.deref(seen["ptr"]).entries == []
+
+
+def test_multiple_intentions_drain_in_order(any_engine_db):
+    db = any_engine_db
+    order = []
+    db.phoenix.register_handler("step", lambda txn, payload: order.append(payload))
+    with db.transaction() as txn:
+        for i in range(5):
+            db.phoenix.enqueue(txn, "step", i)
+    assert db.phoenix.drain() == 5
+    assert order == [0, 1, 2, 3, 4]

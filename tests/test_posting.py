@@ -1,0 +1,413 @@
+"""PostEvent semantics: wrappers, masks, fire-after-all-posted, cascades."""
+
+import pytest
+
+from repro.core.declarations import trigger
+from repro.errors import TransactionAbort, UnknownEventError
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+
+class Machine(Persistent):
+    temp = field(float, default=20.0)
+    log = field(list, default=[])
+
+    __events__ = ["before heat", "after heat", "after cool", "Alert"]
+    __masks__ = {
+        "hot": lambda self: self.temp > 100.0,
+    }
+    __triggers__ = [
+        trigger(
+            "LogBefore",
+            "before heat",
+            action=lambda self, ctx: self.log_add("before-heat"),
+            perpetual=True,
+        ),
+        trigger(
+            "LogAfter",
+            "after heat",
+            action=lambda self, ctx: self.log_add("after-heat"),
+            perpetual=True,
+        ),
+        trigger(
+            "Overheat",
+            "after heat & hot",
+            action=lambda self, ctx: self.log_add("overheat"),
+            perpetual=True,
+        ),
+    ]
+
+    def heat(self, amount):
+        self.temp += amount
+
+    def cool(self, amount):
+        self.temp -= amount
+
+    def log_add(self, entry):
+        self.log = self.log + [entry]
+
+
+class TestBeforeAfterEvents:
+    def test_before_and_after_posted_around_call(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            machine = db.pnew(Machine)
+            ptr = machine.ptr
+            machine.LogBefore()
+            machine.LogAfter()
+            machine.heat(5.0)
+        with db.transaction():
+            assert db.deref(ptr).log == ["before-heat", "after-heat"]
+
+    def test_before_mask_sees_pre_call_state(self, any_engine_db):
+        db = any_engine_db
+
+        class Probe(Persistent):
+            v = field(int, default=0)
+            seen = field(list, default=[])
+
+            __events__ = ["before bump", "after bump"]
+            __triggers__ = [
+                trigger(
+                    "Before",
+                    "before bump",
+                    action=lambda self, ctx: self.mark("pre", self.v),
+                    perpetual=True,
+                ),
+                trigger(
+                    "After",
+                    "after bump",
+                    action=lambda self, ctx: self.mark("post", self.v),
+                    perpetual=True,
+                ),
+            ]
+
+            def bump(self):
+                self.v += 1
+
+            def mark(self, tag, value):
+                self.seen = self.seen + [(tag, value)]
+
+        with db.transaction():
+            probe = db.pnew(Probe)
+            ptr = probe.ptr
+            probe.Before()
+            probe.After()
+            probe.bump()
+        with db.transaction():
+            assert db.deref(ptr).seen == [("pre", 0), ("post", 1)]
+
+    def test_volatile_instances_post_nothing(self, any_engine_db):
+        machine = Machine()
+        machine.heat(500.0)  # direct call: no handle, no events
+        assert machine.log == []
+        assert machine.temp == 520.0
+
+    def test_wrapper_returns_method_value(self, any_engine_db):
+        db = any_engine_db
+
+        class Calc(Persistent):
+            __events__ = ["after compute"]
+
+            def compute(self, x):
+                return x * 2
+
+        with db.transaction():
+            calc = db.pnew(Calc)
+            assert calc.compute(21) == 42
+
+
+class TestMasksInPosting:
+    def test_mask_false_suppresses(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            machine = db.pnew(Machine)
+            ptr = machine.ptr
+            machine.Overheat()
+            machine.heat(10.0)  # temp 30: not hot
+        with db.transaction():
+            assert db.deref(ptr).log == []
+
+    def test_mask_true_fires(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            machine = db.pnew(Machine)
+            ptr = machine.ptr
+            machine.Overheat()
+            machine.heat(200.0)
+        with db.transaction():
+            assert db.deref(ptr).log == ["overheat"]
+
+    def test_mask_sees_trigger_params(self, any_engine_db):
+        db = any_engine_db
+
+        class Threshold(Persistent):
+            v = field(float, default=0.0)
+            fired = field(int, default=0)
+
+            __events__ = ["after set"]
+            __masks__ = {
+                "above": lambda self, params: self.v > params["limit"],
+            }
+            __triggers__ = [
+                trigger(
+                    "Watch",
+                    "after set & above",
+                    action=lambda self, ctx: self.mark(),
+                    params=("limit",),
+                    perpetual=True,
+                )
+            ]
+
+            def set(self, v):
+                self.v = v
+
+            def mark(self):
+                self.fired += 1
+
+        with db.transaction():
+            t = db.pnew(Threshold)
+            ptr = t.ptr
+            t.Watch(100.0)
+            t.set(50.0)
+            t.set(150.0)
+        with db.transaction():
+            assert db.deref(ptr).fired == 1
+
+
+class TestUserEvents:
+    def test_post_event_by_name(self, any_engine_db):
+        db = any_engine_db
+
+        class Alarmed(Persistent):
+            count = field(int, default=0)
+            __events__ = ["Alert"]
+            __triggers__ = [
+                trigger(
+                    "OnAlert",
+                    "Alert",
+                    action=lambda self, ctx: self.inc(),
+                    perpetual=True,
+                )
+            ]
+
+            def inc(self):
+                self.count += 1
+
+        with db.transaction():
+            a = db.pnew(Alarmed)
+            ptr = a.ptr
+            a.OnAlert()
+            a.post_event("Alert")
+            a.post_event("Alert")
+        with db.transaction():
+            assert db.deref(ptr).count == 2
+
+    def test_undeclared_user_event_raises(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            machine = db.pnew(Machine)
+            with pytest.raises(UnknownEventError):
+                machine.post_event("Nonexistent")
+
+
+class TestFireAfterAllPosted:
+    def test_action_cannot_affect_sibling_masks(self, any_engine_db):
+        """Paper: 'no triggers are fired until all triggers have had the
+        basic event posted ... to prevent the action of one trigger from
+        affecting the mask of another trigger.'"""
+        db = any_engine_db
+
+        class Pair(Persistent):
+            flag = field(bool, default=True)
+            log = field(list, default=[])
+
+            __events__ = ["after poke"]
+            __masks__ = {"flag_on": lambda self: self.flag}
+            __triggers__ = [
+                trigger(
+                    "First",
+                    "after poke & flag_on",
+                    action=lambda self, ctx: self.flip_and_log("first"),
+                    perpetual=True,
+                ),
+                trigger(
+                    "Second",
+                    "after poke & flag_on",
+                    action=lambda self, ctx: self.flip_and_log("second"),
+                    perpetual=True,
+                ),
+            ]
+
+            def poke(self):
+                pass
+
+            def flip_and_log(self, tag):
+                self.flag = False  # would suppress the sibling if masks ran late
+                self.log = self.log + [tag]
+
+        with db.transaction():
+            pair = db.pnew(Pair)
+            ptr = pair.ptr
+            pair.First()
+            pair.Second()
+            pair.poke()
+        with db.transaction():
+            # Both fired: masks were evaluated before any action ran.
+            assert sorted(db.deref(ptr).log) == ["first", "second"]
+
+    def test_firing_order_is_activation_order(self, any_engine_db):
+        db = any_engine_db
+
+        class Ordered(Persistent):
+            log = field(list, default=[])
+            __events__ = ["Go"]
+            __triggers__ = [
+                trigger("T1", "Go", action=lambda s, c: s.add("one"), perpetual=True),
+                trigger("T2", "Go", action=lambda s, c: s.add("two"), perpetual=True),
+            ]
+
+            def add(self, tag):
+                self.log = self.log + [tag]
+
+        with db.transaction():
+            obj = db.pnew(Ordered)
+            ptr = obj.ptr
+            obj.T2()  # activated first
+            obj.T1()
+            obj.post_event("Go")
+        with db.transaction():
+            assert db.deref(ptr).log == ["two", "one"]
+
+
+class TestCascades:
+    def test_action_method_calls_cascade_triggers(self, any_engine_db):
+        db = any_engine_db
+
+        class Chain(Persistent):
+            log = field(list, default=[])
+            __events__ = ["after step1", "after step2"]
+            __triggers__ = [
+                trigger(
+                    "OnStep1",
+                    "after step1",
+                    action=lambda self, ctx: self.step2(),
+                    perpetual=True,
+                ),
+                trigger(
+                    "OnStep2",
+                    "after step2",
+                    action=lambda self, ctx: self.add("cascaded"),
+                    perpetual=True,
+                ),
+            ]
+
+            def step1(self):
+                self.add("step1")
+
+            def step2(self):
+                self.add("step2")
+
+            def add(self, tag):
+                self.log = self.log + [tag]
+
+        with db.transaction():
+            chain = db.pnew(Chain)
+            ptr = chain.ptr
+            chain.OnStep1()
+            chain.OnStep2()
+            chain.step1()
+        with db.transaction():
+            # step1 fired OnStep1, whose action called step2 through the
+            # handle, firing OnStep2 — two levels of (conceptual) nesting.
+            assert db.deref(ptr).log == ["step1", "step2", "cascaded"]
+
+
+class TestOnceOnlyVsPerpetual:
+    def test_once_only_deactivates_after_fire(self, any_engine_db):
+        db = any_engine_db
+
+        class Once(Persistent):
+            n = field(int, default=0)
+            __events__ = ["Hit"]
+            __triggers__ = [
+                trigger("One", "Hit", action=lambda s, c: s.inc(), perpetual=False)
+            ]
+
+            def inc(self):
+                self.n += 1
+
+        with db.transaction():
+            obj = db.pnew(Once)
+            ptr = obj.ptr
+            obj.One()
+            obj.post_event("Hit")
+            obj.post_event("Hit")
+        with db.transaction():
+            assert db.deref(ptr).n == 1
+            assert db.trigger_system.active_triggers(ptr) == []
+
+    def test_perpetual_keeps_firing(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            machine = db.pnew(Machine)
+            ptr = machine.ptr
+            machine.Overheat()
+            machine.heat(200.0)
+            machine.heat(10.0)
+        with db.transaction():
+            assert db.deref(ptr).log == ["overheat", "overheat"]
+            assert len(db.trigger_system.active_triggers(ptr)) == 1
+
+
+class TestTabort:
+    def test_tabort_from_action_aborts_transaction(self, any_engine_db):
+        db = any_engine_db
+
+        class Guarded(Persistent):
+            v = field(int, default=0)
+            __events__ = ["after set"]
+            __masks__ = {"neg": lambda self: self.v < 0}
+            __triggers__ = [
+                trigger(
+                    "NoNegative",
+                    "after set & neg",
+                    action=lambda self, ctx: ctx.tabort("negative"),
+                    perpetual=True,
+                )
+            ]
+
+            def set(self, v):
+                self.v = v
+
+        with db.transaction():
+            ptr = db.pnew(Guarded).ptr
+            db.deref(ptr).NoNegative()
+        with db.transaction():
+            db.deref(ptr).set(5)
+        with db.transaction():
+            db.deref(ptr).set(-3)  # fires, tabort
+        with db.transaction():
+            assert db.deref(ptr).v == 5  # the -3 transaction rolled back
+
+
+class TestPostingStats:
+    def test_skip_counter_for_triggerless_objects(self, any_engine_db):
+        db = any_engine_db
+        db.trigger_system.stats.reset()
+        with db.transaction():
+            machine = db.pnew(Machine)
+            machine.heat(1.0)  # no active triggers: posting short-circuits
+        stats = db.trigger_system.stats
+        assert stats.skipped_no_triggers >= 1
+        assert stats.fsm_advances == 0
+
+    def test_state_writes_counted(self, any_engine_db):
+        db = any_engine_db
+        db.trigger_system.stats.reset()
+        with db.transaction():
+            machine = db.pnew(Machine)
+            machine.LogAfter()
+            machine.heat(1.0)
+        assert db.trigger_system.stats.state_writes >= 1
+        assert db.trigger_system.stats.firings == 1

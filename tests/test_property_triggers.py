@@ -1,0 +1,151 @@
+"""Model-based property tests of the full trigger system.
+
+An independent pure-Python model reimplements the *specified* semantics of
+the paper's two credit-card triggers (DenyCredit: perpetual immediate
+tabort on over-limit buys; AutoRaiseLimit: once-only relative pattern) and
+random operation batches are applied to both the real database and the
+model.  Invariants:
+
+* committed balances/limits match the model exactly;
+* transactions aborted by DenyCredit leave no trace (including the FSM
+  arming that happened earlier in the same transaction);
+* a simulated crash preserves exactly the committed prefix, and the
+  reopened database continues to agree with the model.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransactionAbort
+from repro.objects.database import Database
+from repro.workloads.credit_card import CredCard
+
+# One batch = a list of operations executed in one transaction, plus
+# whether the user aborts at the end.
+_OP = st.one_of(
+    st.tuples(st.just("buy"), st.floats(1.0, 500.0)),
+    st.tuples(st.just("pay"), st.floats(1.0, 300.0)),
+)
+_BATCH = st.tuples(st.lists(_OP, min_size=1, max_size=4), st.booleans())
+_SCRIPT = st.lists(_BATCH, max_size=12)
+
+LIMIT = 1000.0
+RAISE_BY = 400.0
+
+
+class _Model:
+    """Executable specification of the two paper triggers."""
+
+    def __init__(self):
+        self.balance = 0.0
+        self.limit = LIMIT
+        self.armed = False
+        self.raise_active = True
+
+    def apply_batch(self, ops, user_aborts):
+        balance, limit = self.balance, self.limit
+        armed, raise_active = self.armed, self.raise_active
+        for op, amount in ops:
+            if op == "buy":
+                balance += amount
+                if balance > limit:
+                    return  # DenyCredit: tabort, whole batch discarded
+                if raise_active and not armed and balance > 0.8 * limit:
+                    armed = True  # MoreCred() held at this buy
+            else:
+                balance -= amount
+                if raise_active and armed:
+                    limit += RAISE_BY  # AutoRaiseLimit fires, once-only
+                    raise_active = False
+                    armed = False
+        if user_aborts:
+            return
+        self.balance, self.limit = balance, limit
+        self.armed, self.raise_active = armed, raise_active
+
+
+def _apply_batch_real(db, ptr, ops, user_aborts):
+    try:
+        with db.transaction():
+            card = db.deref(ptr)
+            for op, amount in ops:
+                if op == "buy":
+                    card.buy(None, amount)
+                else:
+                    card.pay_bill(amount)
+            if user_aborts:
+                raise TransactionAbort("user abort")
+    except TransactionAbort:
+        pass
+
+
+def _assert_agrees(db, ptr, model):
+    with db.transaction():
+        card = db.deref(ptr)
+        assert card.curr_bal == pytest.approx(model.balance)
+        assert card.cred_lim == pytest.approx(model.limit)
+        names = {
+            info.name for _, _, info in db.trigger_system.active_triggers(ptr)
+        }
+        assert ("AutoRaiseLimit" in names) == model.raise_active
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(script=_SCRIPT)
+def test_trigger_system_matches_model(tmp_path_factory, script):
+    path = str(tmp_path_factory.mktemp("model") / "bank")
+    db = Database.open(path, engine="mm")
+    try:
+        with db.transaction():
+            handle = db.pnew(CredCard, cred_lim=LIMIT)
+            ptr = handle.ptr
+            handle.DenyCredit()
+            handle.AutoRaiseLimit(RAISE_BY)
+        model = _Model()
+        for ops, user_aborts in script:
+            _apply_batch_real(db, ptr, ops, user_aborts)
+            model.apply_batch(ops, user_aborts)
+            _assert_agrees(db, ptr, model)
+    finally:
+        db.close()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(script=_SCRIPT, crash_after=st.integers(0, 12))
+def test_crash_preserves_committed_prefix(tmp_path_factory, script, crash_after):
+    path = str(tmp_path_factory.mktemp("crash") / "bank")
+    db = Database.open(path, engine="disk")
+    with db.transaction():
+        handle = db.pnew(CredCard, cred_lim=LIMIT)
+        ptr = handle.ptr
+        handle.DenyCredit()
+        handle.AutoRaiseLimit(RAISE_BY)
+    model = _Model()
+    for index, (ops, user_aborts) in enumerate(script):
+        if index == crash_after:
+            break
+        _apply_batch_real(db, ptr, ops, user_aborts)
+        model.apply_batch(ops, user_aborts)
+    db.simulate_crash()
+
+    db2 = Database.open(path, engine="disk")
+    try:
+        _assert_agrees(db2, ptr, model)
+        # The recovered database keeps agreeing when the tail is replayed.
+        for ops, user_aborts in script[min(crash_after, len(script)):]:
+            _apply_batch_real(db2, ptr, ops, user_aborts)
+            model.apply_batch(ops, user_aborts)
+        _assert_agrees(db2, ptr, model)
+        with db2.transaction():
+            assert db2.trigger_system.verify_integrity() == []
+    finally:
+        db2.close()

@@ -1,0 +1,77 @@
+"""eventRep registry tests (paper Section 5.2)."""
+
+from repro.core.registry import EventRegistry, EventRep
+
+
+class TestAssignment:
+    def test_same_event_same_integer(self):
+        registry = EventRegistry()
+        a = registry.assign("CredCard", "after Buy")
+        b = registry.assign("CredCard", "after Buy")
+        assert a == b
+
+    def test_distinct_events_distinct_integers(self):
+        registry = EventRegistry()
+        nums = {
+            registry.assign("CredCard", "after Buy"),
+            registry.assign("CredCard", "after PayBill"),
+            registry.assign("CredCard", "BigBuy"),
+            registry.assign("Stock", "after Buy"),  # different owner class
+        }
+        assert len(nums) == 4
+
+    def test_multiple_inheritance_cannot_collide(self):
+        """The Section 6 lesson: per-class dense numbering collided under
+        multiple inheritance; globally-unique assignment cannot."""
+        registry = EventRegistry()
+        base1 = registry.assign("Base1", "after f")
+        base2 = registry.assign("Base2", "after g")
+        assert base1 != base2
+
+    def test_eventrep_object_assigns_via_registry(self):
+        registry = EventRegistry()
+        rep1 = EventRep("CredCard", "after Buy", registry)
+        rep2 = EventRep("CredCard", "after Buy", registry)
+        assert rep1.eventnum == rep2.eventnum
+        assert "after Buy" in repr(rep1)
+
+    def test_lookup_without_assignment(self):
+        registry = EventRegistry()
+        assert registry.lookup("X", "y") is None
+        num = registry.assign("X", "y")
+        assert registry.lookup("X", "y") == num
+
+    def test_describe(self):
+        registry = EventRegistry()
+        num = registry.assign("CredCard", "after Buy")
+        assert registry.describe(num) == "CredCard.after Buy"
+        assert "unknown" in registry.describe(9999)
+
+    def test_len_counts_distinct(self):
+        registry = EventRegistry()
+        registry.assign("A", "x")
+        registry.assign("A", "x")
+        registry.assign("A", "y")
+        assert len(registry) == 2
+
+    def test_clear_resets(self):
+        registry = EventRegistry()
+        registry.assign("A", "x")
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.lookups == 0
+
+    def test_lookup_instrumentation(self):
+        registry = EventRegistry()
+        registry.assign("A", "x")
+        registry.lookup("A", "x")
+        assert registry.lookups == 2
+
+    def test_assignment_is_deterministic_per_order(self):
+        """Recompiling the same declarations yields the same integers —
+        the property that lets persistent FSM state numbers stay valid."""
+        r1, r2 = EventRegistry(), EventRegistry()
+        for registry in (r1, r2):
+            for cls, symbol in [("C", "after a"), ("C", "after b"), ("D", "u")]:
+                registry.assign(cls, symbol)
+        assert r1.lookup("D", "u") == r2.lookup("D", "u")

@@ -1,0 +1,136 @@
+"""Field-declaration and Persistent-base tests."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.objects.metatype import global_type_registry
+from repro.objects.oid import NULL_PTR, PersistentPtr
+from repro.objects.persistent import Persistent, fields_of
+from repro.objects.schema import collect_fields, field
+
+
+class Point(Persistent):
+    x = field(float, default=0.0)
+    y = field(float, default=0.0)
+    label = field(str, default="origin")
+
+
+class Labeled(Persistent):
+    name = field(str)
+    ref = field(PersistentPtr, default=NULL_PTR)
+    tags = field(list, default=[])
+    meta = field(dict, default={})
+
+
+class Derived(Point):
+    z = field(float, default=0.0)
+
+
+class TestFieldDescriptor:
+    def test_defaults_applied(self):
+        p = Point()
+        assert (p.x, p.y, p.label) == (0.0, 0.0, "origin")
+
+    def test_kwargs_override_defaults(self):
+        p = Point(x=1.5, label="moved")
+        assert p.x == 1.5
+        assert p.label == "moved"
+
+    def test_unknown_kwarg_raises(self):
+        with pytest.raises(SchemaError, match="no field"):
+            Point(w=3)
+
+    def test_type_check_on_assignment(self):
+        p = Point()
+        with pytest.raises(SchemaError):
+            p.label = 42
+
+    def test_int_accepted_for_float_and_coerced(self):
+        p = Point(x=2)
+        assert p.x == 2.0
+        assert isinstance(p.x, float)
+
+    def test_bool_rejected_for_int_field(self):
+        class Counted(Persistent):
+            n = field(int, default=0)
+
+        c = Counted()
+        with pytest.raises(SchemaError):
+            c.n = True
+
+    def test_none_allowed_when_nullable(self):
+        class Maybe(Persistent):
+            v = field(str, default=None)
+
+        assert Maybe().v is None
+
+    def test_not_nullable_rejects_none(self):
+        class Req(Persistent):
+            v = field(str, default="x", nullable=False)
+
+        r = Req()
+        with pytest.raises(SchemaError):
+            r.v = None
+
+    def test_unset_field_raises_attribute_error(self):
+        item = Labeled.__new__(Labeled)
+        with pytest.raises(AttributeError):
+            _ = item.name
+
+    def test_container_defaults_not_shared(self):
+        a = Labeled(name="a")
+        b = Labeled(name="b")
+        a.tags.append("x")
+        assert b.tags == []
+
+    def test_unsupported_field_type_raises(self):
+        with pytest.raises(SchemaError):
+            field(set)
+
+
+class TestSchemaCollection:
+    def test_collect_fields_includes_bases_first(self):
+        names = list(collect_fields(Derived))
+        assert names.index("x") < names.index("z")
+        assert set(names) == {"x", "y", "label", "z"}
+
+    def test_fields_of_requires_persistent(self):
+        with pytest.raises(SchemaError):
+            fields_of(int)
+
+    def test_metatype_registered_on_subclass(self):
+        assert global_type_registry().find("Point") is Point.__metatype__
+        assert Point.__metatype__.fields.keys() == {"x", "y", "label"}
+
+
+class TestRoundtripHelpers:
+    def test_to_fields_only_declared(self):
+        p = Point(x=1.0)
+        p.__dict__["_p_ptr"] = "not-a-field"
+        assert set(p.to_fields()) == {"x", "y", "label"}
+
+    def test_from_fields_bypasses_init(self):
+        calls = []
+
+        class Tracked(Persistent):
+            v = field(int, default=0)
+
+            def __init__(self, **kw):
+                calls.append(1)
+                super().__init__(**kw)
+
+        t = Tracked.from_fields({"v": 7})
+        assert t.v == 7
+        assert calls == []
+
+    def test_from_fields_ignores_dropped_fields(self):
+        p = Point.from_fields({"x": 1.0, "removed_field": 9})
+        assert p.x == 1.0
+        assert "removed_field" not in p.__dict__
+
+    def test_from_fields_validates(self):
+        with pytest.raises(SchemaError):
+            Point.from_fields({"label": 123})
+
+    def test_repr_shows_fields(self):
+        assert "label='origin'" in repr(Point())

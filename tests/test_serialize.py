@@ -1,0 +1,142 @@
+"""Serialization tests: tagged values, object records, pointers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.objects.oid import NULL_PTR, PersistentPtr
+from repro.objects.serialize import (
+    FLAG_HAS_TRIGGERS,
+    decode_object,
+    decode_value,
+    encode_object,
+    encode_value,
+    peek_flags,
+)
+
+
+def roundtrip(value):
+    out = bytearray()
+    encode_value(value, out)
+    decoded, pos = decode_value(bytes(out), 0)
+    assert pos == len(out)
+    return decoded
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            0,
+            -1,
+            2**40,
+            3.14,
+            float("inf"),
+            True,
+            False,
+            "",
+            "hello",
+            "uniçode ✓",
+            b"",
+            b"\x00\xff",
+            [],
+            [1, "two", 3.0, None],
+            {},
+            {"k": [1, {"nested": b"bytes"}]},
+            PersistentPtr("bank", 42),
+            NULL_PTR,
+            [PersistentPtr("a", 1), PersistentPtr("b", 2)],
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert roundtrip(value) == value
+
+    def test_bool_stays_bool(self):
+        assert roundtrip(True) is True
+        assert isinstance(roundtrip(True), bool)
+
+    def test_int_stays_int(self):
+        assert isinstance(roundtrip(1), int)
+        assert not isinstance(roundtrip(1), bool)
+
+    def test_unserializable_raises(self):
+        with pytest.raises(SerializationError):
+            roundtrip(object())
+
+    def test_non_string_dict_key_raises(self):
+        with pytest.raises(SerializationError):
+            roundtrip({1: "x"})
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(SerializationError):
+            decode_value(b"\xfa", 0)
+
+
+_VALUES = st.recursive(
+    st.one_of(
+        st.none(),
+        st.integers(-(2**62), 2**62),
+        st.floats(allow_nan=False),
+        st.booleans(),
+        st.text(max_size=40),
+        st.binary(max_size=40),
+        st.builds(PersistentPtr, st.text(max_size=10), st.integers(-1, 2**40)),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(value=_VALUES)
+def test_value_roundtrip_property(value):
+    assert roundtrip(value) == value
+
+
+class TestObjectRecords:
+    def test_roundtrip(self):
+        fields = {"name": "Narain", "balance": 12.5, "tags": ["a", "b"]}
+        raw = encode_object("CredCard", fields, flags=0)
+        type_name, decoded, flags = decode_object(raw)
+        assert type_name == "CredCard"
+        assert decoded == fields
+        assert flags == 0
+
+    def test_flags_roundtrip_and_peek(self):
+        raw = encode_object("T", {}, flags=FLAG_HAS_TRIGGERS)
+        assert peek_flags(raw) == FLAG_HAS_TRIGGERS
+        _, _, flags = decode_object(raw)
+        assert flags == FLAG_HAS_TRIGGERS
+
+    def test_bad_version_raises(self):
+        raw = bytearray(encode_object("T", {}))
+        raw[0] = 99
+        with pytest.raises(SerializationError):
+            decode_object(bytes(raw))
+
+    def test_field_error_names_field(self):
+        with pytest.raises(SerializationError, match="bad_field"):
+            encode_object("T", {"bad_field": object()})
+
+
+class TestPointer:
+    def test_encode_decode(self):
+        ptr = PersistentPtr("mydb", 12345)
+        decoded, pos = PersistentPtr.decode_from(ptr.encode(), 0)
+        assert decoded == ptr
+        assert pos == len(ptr.encode())
+
+    def test_null_detection(self):
+        assert NULL_PTR.is_null()
+        assert not PersistentPtr("db", 0).is_null()
+
+    def test_ordering_and_hash(self):
+        a = PersistentPtr("db", 1)
+        b = PersistentPtr("db", 2)
+        assert a < b
+        assert len({a, b, PersistentPtr("db", 1)}) == 2

@@ -1,0 +1,348 @@
+"""Storage-engine tests, parametrized over disk (EOS-like) and MM (Dali-like)."""
+
+import pytest
+
+from repro.errors import RecordNotFoundError, StorageError
+from repro.storage.disk import DiskStorageManager, pack_rid, unpack_rid
+from repro.storage.mainmem import MainMemoryStorageManager
+
+
+@pytest.fixture(params=["disk", "mm"])
+def engine_factory(request, tmp_path):
+    """A callable that (re)opens the same storage manager."""
+    path = str(tmp_path / "store")
+    if request.param == "disk":
+        return lambda: DiskStorageManager(path)
+    return lambda: MainMemoryStorageManager(path)
+
+
+@pytest.fixture
+def sm(engine_factory):
+    manager = engine_factory()
+    yield manager
+    try:
+        manager.close()
+    except StorageError:
+        pass
+
+
+class TestBasicOperations:
+    def test_insert_read_roundtrip(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"payload")
+        assert sm.read(1, rid) == b"payload"
+        sm.commit_transaction(1)
+
+    def test_write_replaces(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"v1")
+        sm.write(1, rid, b"v2")
+        assert sm.read(1, rid) == b"v2"
+        sm.commit_transaction(1)
+
+    def test_delete_removes(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"doomed")
+        sm.delete(1, rid)
+        assert not sm.exists(1, rid)
+        with pytest.raises(RecordNotFoundError):
+            sm.read(1, rid)
+        sm.commit_transaction(1)
+
+    def test_scan_sees_all_records(self, sm):
+        sm.begin_transaction(1)
+        rids = {sm.insert(1, f"rec{i}".encode()): f"rec{i}".encode() for i in range(20)}
+        found = dict(sm.scan(1))
+        assert found == rids
+        sm.commit_transaction(1)
+
+    def test_read_missing_raises(self, sm):
+        sm.begin_transaction(1)
+        with pytest.raises(RecordNotFoundError):
+            sm.read(1, 1 << 40)
+        sm.commit_transaction(1)
+
+    def test_operation_outside_transaction_raises(self, sm):
+        with pytest.raises(StorageError):
+            sm.insert(99, b"no txn")
+
+    def test_double_begin_raises(self, sm):
+        sm.begin_transaction(1)
+        with pytest.raises(StorageError):
+            sm.begin_transaction(1)
+        sm.commit_transaction(1)
+
+
+class TestAbort:
+    def test_abort_undoes_insert(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"temp")
+        sm.abort_transaction(1)
+        sm.begin_transaction(2)
+        assert not sm.exists(2, rid)
+        sm.commit_transaction(2)
+
+    def test_abort_undoes_update(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"original")
+        sm.commit_transaction(1)
+        sm.begin_transaction(2)
+        sm.write(2, rid, b"changed")
+        sm.abort_transaction(2)
+        sm.begin_transaction(3)
+        assert sm.read(3, rid) == b"original"
+        sm.commit_transaction(3)
+
+    def test_abort_undoes_delete(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"survivor")
+        sm.commit_transaction(1)
+        sm.begin_transaction(2)
+        sm.delete(2, rid)
+        sm.abort_transaction(2)
+        sm.begin_transaction(3)
+        assert sm.read(3, rid) == b"survivor"
+        sm.commit_transaction(3)
+
+    def test_abort_undoes_in_reverse_order(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"a")
+        sm.commit_transaction(1)
+        sm.begin_transaction(2)
+        sm.write(2, rid, b"b")
+        sm.write(2, rid, b"c")
+        sm.delete(2, rid)
+        sm.abort_transaction(2)
+        sm.begin_transaction(3)
+        assert sm.read(3, rid) == b"a"
+        sm.commit_transaction(3)
+
+    def test_abort_releases_locks(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"locked")
+        sm.abort_transaction(1)
+        assert sm.lock_manager.locks_held(1) == frozenset()
+
+
+class TestRoot:
+    def test_root_starts_unset(self, sm):
+        assert sm.get_root() == sm.NO_ROOT
+
+    def test_set_root_persists_in_txn(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"catalog")
+        sm.set_root(1, rid)
+        sm.commit_transaction(1)
+        assert sm.get_root() == rid
+
+    def test_abort_rolls_back_root(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"catalog")
+        sm.set_root(1, rid)
+        sm.commit_transaction(1)
+        sm.begin_transaction(2)
+        rid2 = sm.insert(2, b"other")
+        sm.set_root(2, rid2)
+        sm.abort_transaction(2)
+        assert sm.get_root() == rid
+
+
+class TestDurability:
+    def test_close_reopen_preserves_committed(self, engine_factory):
+        sm = engine_factory()
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"durable")
+        sm.set_root(1, rid)
+        sm.commit_transaction(1)
+        sm.close()
+        sm2 = engine_factory()
+        sm2.begin_transaction(1)
+        assert sm2.read(1, rid) == b"durable"
+        assert sm2.get_root() == rid
+        sm2.commit_transaction(1)
+        sm2.close()
+
+    def test_crash_preserves_committed_loses_uncommitted(self, engine_factory):
+        sm = engine_factory()
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"committed")
+        sm.commit_transaction(1)
+        sm.begin_transaction(2)
+        sm.write(2, rid, b"uncommitted")
+        uncommitted_rid = sm.insert(2, b"phantom")
+        sm.simulate_crash()
+        sm2 = engine_factory()
+        sm2.begin_transaction(1)
+        assert sm2.read(1, rid) == b"committed"
+        assert not sm2.exists(1, uncommitted_rid)
+        sm2.commit_transaction(1)
+        sm2.close()
+
+    def test_crash_after_abort_does_not_resurrect(self, engine_factory):
+        """The compensation-logging path: abort, then later commit, then crash."""
+        sm = engine_factory()
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"v1")
+        sm.commit_transaction(1)
+        sm.begin_transaction(2)
+        sm.write(2, rid, b"aborted-value")
+        sm.abort_transaction(2)
+        sm.begin_transaction(3)
+        sm.write(3, rid, b"v2")
+        sm.commit_transaction(3)
+        sm.simulate_crash()
+        sm2 = engine_factory()
+        sm2.begin_transaction(1)
+        assert sm2.read(1, rid) == b"v2"
+        sm2.commit_transaction(1)
+        sm2.close()
+
+    def test_checkpoint_truncates_log_keeps_data(self, engine_factory):
+        sm = engine_factory()
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"data")
+        sm.commit_transaction(1)
+        sm.checkpoint()
+        sm.begin_transaction(2)
+        assert sm.read(2, rid) == b"data"
+        sm.commit_transaction(2)
+        sm.close()
+        sm2 = engine_factory()
+        sm2.begin_transaction(1)
+        assert sm2.read(1, rid) == b"data"
+        sm2.commit_transaction(1)
+        sm2.close()
+
+    def test_checkpoint_with_active_txn_raises(self, sm):
+        sm.begin_transaction(1)
+        with pytest.raises(StorageError):
+            sm.checkpoint()
+        sm.commit_transaction(1)
+
+    def test_close_aborts_open_transactions(self, engine_factory):
+        sm = engine_factory()
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"committed")
+        sm.commit_transaction(1)
+        sm.begin_transaction(2)
+        sm.write(2, rid, b"in-flight")
+        sm.close()
+        sm2 = engine_factory()
+        sm2.begin_transaction(1)
+        assert sm2.read(1, rid) == b"committed"
+        sm2.commit_transaction(1)
+        sm2.close()
+
+
+class TestStats:
+    def test_counters_track_operations(self, sm):
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"x")
+        sm.read(1, rid)
+        sm.write(1, rid, b"y")
+        sm.delete(1, rid)
+        sm.commit_transaction(1)
+        snapshot = sm.stats.snapshot()
+        assert snapshot["inserts"] == 1
+        assert snapshot["reads"] == 1
+        assert snapshot["writes"] == 1
+        assert snapshot["deletes"] == 1
+        assert snapshot["commits"] == 1
+
+
+class TestDiskSpecific:
+    def test_rid_packing_roundtrip(self):
+        for page_no, slot_no in [(1, 0), (7, 65535), (123456, 42)]:
+            assert unpack_rid(pack_rid(page_no, slot_no)) == (page_no, slot_no)
+
+    def test_large_record_forwarding(self, tmp_path):
+        sm = DiskStorageManager(str(tmp_path / "fwd"))
+        sm.begin_transaction(1)
+        rids = [sm.insert(1, bytes([i]) * 60) for i in range(200)]
+        big = b"B" * 3900
+        sm.write(1, rids[3], big)
+        assert sm.read(1, rids[3]) == big
+        # Grow the forwarded record again (target relocation).
+        bigger = b"C" * 3950
+        sm.write(1, rids[3], bigger)
+        assert sm.read(1, rids[3]) == bigger
+        # Shrink it back (stays behind the forward pointer).
+        sm.write(1, rids[3], b"small")
+        assert sm.read(1, rids[3]) == b"small"
+        sm.commit_transaction(1)
+        # Scan must not yield moved bodies as separate records.
+        sm.begin_transaction(2)
+        found = dict(sm.scan(2))
+        assert found[rids[3]] == b"small"
+        assert len(found) == 200
+        sm.commit_transaction(2)
+        sm.close()
+
+    def test_forwarded_record_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "fwd2")
+        sm = DiskStorageManager(path)
+        sm.begin_transaction(1)
+        rids = [sm.insert(1, b"x" * 60) for _ in range(100)]
+        sm.write(1, rids[0], b"Y" * 3900)
+        sm.commit_transaction(1)
+        sm.close()
+        sm2 = DiskStorageManager(path)
+        sm2.begin_transaction(1)
+        assert sm2.read(1, rids[0]) == b"Y" * 3900
+        sm2.commit_transaction(1)
+        sm2.close()
+
+    def test_delete_forwarded_record(self, tmp_path):
+        sm = DiskStorageManager(str(tmp_path / "fwd3"))
+        sm.begin_transaction(1)
+        rids = [sm.insert(1, b"x" * 60) for _ in range(100)]
+        sm.write(1, rids[5], b"Z" * 3900)
+        sm.delete(1, rids[5])
+        assert not sm.exists(1, rids[5])
+        sm.commit_transaction(1)
+        sm.close()
+
+    def test_small_buffer_pool_still_correct(self, tmp_path):
+        sm = DiskStorageManager(str(tmp_path / "small"), buffer_capacity=2)
+        sm.begin_transaction(1)
+        rids = [sm.insert(1, bytes([i % 250]) * 500) for i in range(64)]
+        sm.commit_transaction(1)
+        sm.begin_transaction(2)
+        for i, rid in enumerate(rids):
+            assert sm.read(2, rid) == bytes([i % 250]) * 500
+        sm.commit_transaction(2)
+        assert sm.stats.page_evictions > 0
+        sm.close()
+
+
+class TestMainMemorySpecific:
+    def test_non_durable_touches_no_files(self, tmp_path):
+        sm = MainMemoryStorageManager(None, durable=False)
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"volatile")
+        assert sm.read(1, rid) == b"volatile"
+        sm.commit_transaction(1)
+        sm.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_durable_requires_path(self):
+        with pytest.raises(StorageError):
+            MainMemoryStorageManager(None, durable=True)
+
+    def test_snapshot_plus_oplog_recovery(self, tmp_path):
+        path = str(tmp_path / "dali")
+        sm = MainMemoryStorageManager(path)
+        sm.begin_transaction(1)
+        rid = sm.insert(1, b"snapshotted")
+        sm.commit_transaction(1)
+        sm.checkpoint()  # record goes into the snapshot
+        sm.begin_transaction(2)
+        rid2 = sm.insert(2, b"logged-after-snapshot")
+        sm.commit_transaction(2)
+        sm.simulate_crash()  # rid2 only in the op log
+        sm2 = MainMemoryStorageManager(path)
+        sm2.begin_transaction(1)
+        assert sm2.read(1, rid) == b"snapshotted"
+        assert sm2.read(1, rid2) == b"logged-after-snapshot"
+        sm2.commit_transaction(1)
+        sm2.close()

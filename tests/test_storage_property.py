@@ -1,0 +1,116 @@
+"""Property-based storage tests: engines behave like a model dict, and
+crash recovery preserves exactly the committed prefix."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.storage.disk import DiskStorageManager
+from repro.storage.mainmem import MainMemoryStorageManager
+
+# One op = (kind, slot_index, payload).  Slot indexes address the list of
+# rids created so far, modulo its length.
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "write", "delete", "commit", "abort"]),
+        st.integers(0, 30),
+        st.binary(min_size=0, max_size=120),
+    ),
+    max_size=50,
+)
+
+
+def _run_model(sm, ops):
+    """Drive *sm* and a model dict; returns (committed state, rids)."""
+    committed: dict[int, bytes] = {}
+    pending: dict[int, bytes | None] = {}
+    rids: list[int] = []
+    txid = 1
+    sm.begin_transaction(txid)
+
+    def restart(keep: bool):
+        nonlocal pending, txid
+        if keep:
+            for rid, value in pending.items():
+                if value is None:
+                    committed.pop(rid, None)
+                else:
+                    committed[rid] = value
+        pending = {}
+        txid += 1
+        sm.begin_transaction(txid)
+
+    for kind, index, payload in ops:
+        if kind == "insert":
+            rid = sm.insert(txid, payload)
+            rids.append(rid)
+            pending[rid] = payload
+        elif kind == "commit":
+            sm.commit_transaction(txid)
+            restart(keep=True)
+        elif kind == "abort":
+            sm.abort_transaction(txid)
+            restart(keep=False)
+        elif rids:
+            rid = rids[index % len(rids)]
+            current = pending.get(rid, committed.get(rid))
+            if kind == "write" and current is not None:
+                sm.write(txid, rid, payload)
+                pending[rid] = payload
+            elif kind == "delete" and current is not None:
+                sm.delete(txid, rid)
+                pending[rid] = None
+    sm.abort_transaction(txid)  # leave only committed state behind
+    return committed
+
+
+@pytest.mark.parametrize("engine", ["disk", "mm"])
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(ops=_OPS)
+def test_engine_matches_model(engine, tmp_path_factory, ops):
+    path = str(tmp_path_factory.mktemp("prop") / "store")
+    sm = (
+        DiskStorageManager(path)
+        if engine == "disk"
+        else MainMemoryStorageManager(path)
+    )
+    try:
+        committed = _run_model(sm, ops)
+        sm.begin_transaction(10_000)
+        assert dict(sm.scan(10_000)) == committed
+        sm.commit_transaction(10_000)
+    finally:
+        sm.close()
+
+
+@pytest.mark.parametrize("engine", ["disk", "mm"])
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(ops=_OPS)
+def test_crash_recovery_preserves_committed_state(engine, tmp_path_factory, ops):
+    path = str(tmp_path_factory.mktemp("crash") / "store")
+
+    def factory():
+        return (
+            DiskStorageManager(path)
+            if engine == "disk"
+            else MainMemoryStorageManager(path)
+        )
+
+    sm = factory()
+    committed = _run_model(sm, ops)
+    sm.simulate_crash()
+    recovered = factory()
+    try:
+        recovered.begin_transaction(1)
+        assert dict(recovered.scan(1)) == committed
+        recovered.commit_transaction(1)
+    finally:
+        recovered.close()

@@ -1,0 +1,168 @@
+"""Timed-trigger tests (Section 8 extension)."""
+
+import pytest
+
+from repro.core.declarations import trigger
+from repro.core.timers import TimerService, VirtualClock
+from repro.errors import TriggerError
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+
+class Reminder(Persistent):
+    fired = field(int, default=0)
+    escalated = field(int, default=0)
+    paid = field(bool, default=False)
+
+    __events__ = ["Tick", "Timeout", "after place", "after pay"]
+    __masks__ = {"unpaid": lambda self: not self.paid}
+    __triggers__ = [
+        trigger("OnTick", "Tick", action=lambda s, c: s.bump(), perpetual=True),
+        trigger(
+            "EscalateUnpaid",
+            "(after place, Timeout) & unpaid",
+            action=lambda s, c: s.escalate(),
+        ),
+    ]
+
+    def place(self):
+        pass
+
+    def pay(self):
+        self.paid = True
+
+    def bump(self):
+        self.fired += 1
+
+    def escalate(self):
+        self.escalated += 1
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        clock.advance(5.0)
+        assert clock.now == 5.0
+
+    def test_no_backwards(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(TriggerError):
+            clock.advance(-1.0)
+        with pytest.raises(TriggerError):
+            clock.set(5.0)
+
+
+class TestTimerService:
+    @pytest.fixture
+    def target(self, mm_db):
+        with mm_db.transaction():
+            handle = mm_db.pnew(Reminder)
+            handle.OnTick()
+            return handle.ptr
+
+    def test_one_shot_timer_fires_once(self, mm_db, target):
+        service = TimerService(mm_db)
+        service.schedule(target, "Tick", delay=10.0)
+        assert service.advance_to(5.0) == 0
+        assert service.advance_to(10.0) == 1
+        assert service.advance_to(100.0) == 0
+        with mm_db.transaction():
+            assert mm_db.deref(target).fired == 1
+
+    def test_periodic_timer_repeats(self, mm_db, target):
+        service = TimerService(mm_db)
+        service.schedule(target, "Tick", delay=10.0, period=10.0)
+        assert service.advance_to(35.0) == 3  # at 10, 20, 30
+        with mm_db.transaction():
+            assert mm_db.deref(target).fired == 3
+
+    def test_cancel(self, mm_db, target):
+        service = TimerService(mm_db)
+        timer_id = service.schedule(target, "Tick", delay=10.0)
+        assert service.cancel(timer_id)
+        assert not service.cancel(timer_id)
+        assert service.advance_to(20.0) == 0
+
+    def test_absolute_schedule(self, mm_db, target):
+        service = TimerService(mm_db)
+        service.schedule(target, "Tick", at=42.0)
+        service.advance_to(41.9)
+        assert service.fired == 0
+        service.advance_to(42.0)
+        assert service.fired == 1
+
+    def test_bad_schedules_rejected(self, mm_db, target):
+        service = TimerService(mm_db, clock=VirtualClock(100.0))
+        with pytest.raises(TriggerError):
+            service.schedule(target, "Tick")  # neither delay nor at
+        with pytest.raises(TriggerError):
+            service.schedule(target, "Tick", delay=1.0, at=2.0)
+        with pytest.raises(TriggerError):
+            service.schedule(target, "Tick", at=50.0)  # in the past
+        with pytest.raises(TriggerError):
+            service.schedule(target, "Tick", delay=1.0, period=0.0)
+
+    def test_timers_fire_in_due_order(self, mm_db):
+        order = []
+
+        class Probe(Persistent):
+            __events__ = ["E1", "E2"]
+            __triggers__ = [
+                trigger("On1", "E1", action=lambda s, c: order.append(1), perpetual=True),
+                trigger("On2", "E2", action=lambda s, c: order.append(2), perpetual=True),
+            ]
+
+        with mm_db.transaction():
+            probe = mm_db.pnew(Probe)
+            probe.On1()
+            probe.On2()
+            ptr = probe.ptr
+        service = TimerService(mm_db)
+        service.schedule(ptr, "E2", delay=20.0)
+        service.schedule(ptr, "E1", delay=10.0)
+        service.advance_to(30.0)
+        assert order == [1, 2]
+
+    def test_timeout_composite_pattern(self, mm_db):
+        """The motivating use: escalate an order not paid before a timeout."""
+        with mm_db.transaction():
+            order = mm_db.pnew(Reminder)
+            ptr = order.ptr
+            order.EscalateUnpaid()
+            order.place()
+        service = TimerService(mm_db)
+        service.schedule(ptr, "Timeout", delay=30.0)
+        service.advance_to(31.0)
+        with mm_db.transaction():
+            assert mm_db.deref(ptr).escalated == 1
+
+    def test_timeout_suppressed_when_paid(self, mm_db):
+        with mm_db.transaction():
+            order = mm_db.pnew(Reminder)
+            ptr = order.ptr
+            order.EscalateUnpaid()
+            order.place()
+        service = TimerService(mm_db)
+        service.schedule(ptr, "Timeout", delay=30.0)
+        with mm_db.transaction():
+            mm_db.deref(ptr).pay()
+        service.advance_to(31.0)
+        with mm_db.transaction():
+            assert mm_db.deref(ptr).escalated == 0
+
+    def test_fires_within_callers_transaction_if_open(self, mm_db, target):
+        service = TimerService(mm_db)
+        service.schedule(target, "Tick", delay=1.0)
+        with mm_db.transaction():
+            service.advance_to(2.0)
+            # The firing happened inside this still-open transaction.
+            assert mm_db.deref(target).fired == 1
+
+    def test_pending_count(self, mm_db, target):
+        service = TimerService(mm_db)
+        service.schedule(target, "Tick", delay=1.0)
+        service.schedule(target, "Tick", delay=2.0)
+        assert service.pending() == 2
+        service.advance_to(1.5)
+        assert service.pending() == 1

@@ -1,0 +1,223 @@
+"""Trigger activation/deactivation, index, flags, and TriggerState tests."""
+
+import pytest
+
+from repro.core.declarations import trigger
+from repro.core.trigger_state import TriggerState
+from repro.errors import (
+    TriggerArgumentError,
+    TriggerError,
+    TriggerNotActiveError,
+)
+from repro.objects.oid import PersistentPtr
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+from repro.objects.serialize import FLAG_HAS_TRIGGERS
+
+
+class Gadget(Persistent):
+    clicks = field(int, default=0)
+    log = field(list, default=[])
+
+    __events__ = ["after click", "Ping"]
+    __triggers__ = [
+        trigger(
+            "OnClick",
+            "after click",
+            action=lambda self, ctx: self.log_append("clicked"),
+            perpetual=True,
+        ),
+        trigger(
+            "OnPing",
+            "Ping",
+            action=lambda self, ctx: self.log_append(f"ping:{ctx.params['tag']}"),
+            params=("tag",),
+        ),
+    ]
+
+    def click(self):
+        self.clicks += 1
+
+    def log_append(self, entry):
+        self.log = self.log + [entry]
+
+
+class TestActivation:
+    def test_activation_returns_trigger_id(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            trigger_id = gadget.OnClick()
+            assert isinstance(trigger_id, PersistentPtr)
+
+    def test_unactivated_trigger_never_fires(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            ptr = gadget.ptr
+            gadget.click()
+        with db.transaction():
+            assert db.deref(ptr).log == []
+
+    def test_activated_trigger_fires(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            ptr = gadget.ptr
+            gadget.OnClick()
+            gadget.click()
+        with db.transaction():
+            assert db.deref(ptr).log == ["clicked"]
+
+    def test_activation_args_stored_and_passed(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            ptr = gadget.ptr
+            gadget.OnPing("alpha")
+            gadget.post_event("Ping")
+        with db.transaction():
+            assert db.deref(ptr).log == ["ping:alpha"]
+
+    def test_wrong_arg_count_raises(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            with pytest.raises(TriggerArgumentError):
+                gadget.OnPing()
+            with pytest.raises(TriggerArgumentError):
+                gadget.OnPing("a", "b")
+
+    def test_activation_on_wrong_class_raises(self, any_engine_db):
+        db = any_engine_db
+
+        class Unrelated(Persistent):
+            v = field(int, default=0)
+
+        with db.transaction():
+            other = db.pnew(Unrelated)
+            info = Gadget.__metatype__.trigger_by_name("OnClick")
+            with pytest.raises(TriggerError):
+                db.trigger_system.activate(db, other.ptr, info)
+
+    def test_activation_sets_has_triggers_flag(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            assert not gadget.obj.__dict__["_p_flags"] & FLAG_HAS_TRIGGERS
+            gadget.OnClick()
+            assert gadget.obj.__dict__["_p_flags"] & FLAG_HAS_TRIGGERS
+
+    def test_multiple_activations_of_same_trigger(self, any_engine_db):
+        """The same trigger can be activated twice with different args."""
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            ptr = gadget.ptr
+            gadget.OnPing("one")
+            gadget.OnPing("two")
+            gadget.post_event("Ping")
+        with db.transaction():
+            assert sorted(db.deref(ptr).log) == ["ping:one", "ping:two"]
+
+
+class TestDeactivation:
+    def test_deactivate_stops_firing(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            ptr = gadget.ptr
+            trigger_id = gadget.OnClick()
+            gadget.click()
+            db.trigger_system.deactivate(trigger_id)
+            gadget.click()
+        with db.transaction():
+            assert db.deref(ptr).log == ["clicked"]
+
+    def test_deactivate_unknown_raises(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            with pytest.raises(TriggerNotActiveError):
+                db.trigger_system.deactivate(PersistentPtr(db.name, 999_999))
+
+    def test_deactivate_clears_flag_when_last(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            trigger_id = gadget.OnClick()
+            db.trigger_system.deactivate(trigger_id)
+            assert not gadget.obj.__dict__["_p_flags"] & FLAG_HAS_TRIGGERS
+
+    def test_flag_kept_while_other_triggers_remain(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            keep = gadget.OnClick()
+            drop = gadget.OnPing("x")
+            db.trigger_system.deactivate(drop)
+            assert gadget.obj.__dict__["_p_flags"] & FLAG_HAS_TRIGGERS
+
+    def test_pdelete_deactivates_everything(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            ptr = gadget.ptr
+            gadget.OnClick()
+            gadget.OnPing("x")
+        with db.transaction():
+            db.pdelete(ptr)
+            assert db.trigger_system.active_triggers(ptr) == []
+
+
+class TestActiveTriggers:
+    def test_listing(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            gadget = db.pnew(Gadget)
+            gadget.OnClick()
+            gadget.OnPing("tag1")
+            triggers = db.trigger_system.active_triggers(gadget.ptr)
+            names = sorted(info.name for _, _, info in triggers)
+            assert names == ["OnClick", "OnPing"]
+            ping_state = next(
+                tstate for _, tstate, info in triggers if info.name == "OnPing"
+            )
+            assert ping_state.params == {"tag": "tag1"}
+
+    def test_activation_rolls_back_with_transaction(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            ptr = db.pnew(Gadget).ptr
+        txn = db.txn_manager.begin()
+        db.deref(ptr).OnClick()
+        db.txn_manager.abort(txn)
+        with db.transaction():
+            assert db.trigger_system.active_triggers(ptr) == []
+            # flag also rolled back
+            assert not db.deref(ptr).obj.__dict__["_p_flags"] & FLAG_HAS_TRIGGERS
+
+
+class TestTriggerStateRecord:
+    def test_encode_decode_roundtrip(self):
+        state = TriggerState(
+            triggernum=1,
+            trigobj=PersistentPtr("db", 7),
+            statenum=3,
+            trigobjtype="CredCard",
+            params={"amount": 500.0},
+        )
+        decoded = TriggerState.decode(state.encode())
+        assert decoded == state
+
+    def test_arg_tuple_orders_by_declaration(self):
+        state = TriggerState(0, PersistentPtr("d", 1), 0, "T", {"b": 2, "a": 1})
+        assert state.arg_tuple(("a", "b")) == (1, 2)
+
+    def test_corrupt_record_raises(self):
+        from repro.errors import TriggerError
+        from repro.objects.serialize import encode_value
+
+        out = bytearray()
+        encode_value({"not": "a trigger state"}, out)
+        with pytest.raises(TriggerError):
+            TriggerState.decode(bytes(out))

@@ -1,0 +1,169 @@
+"""Transaction-event tests: before tcomplete / before tabort (Section 5.5)."""
+
+import pytest
+
+from repro.core.declarations import trigger
+from repro.errors import TransactionAbort
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+SEEN: list[str] = []
+
+
+class Watched(Persistent):
+    v = field(int, default=0)
+    commits_seen = field(int, default=0)
+
+    __events__ = ["after poke", "before tcomplete", "before tabort"]
+    __triggers__ = [
+        trigger(
+            "AtCommit",
+            "before tcomplete",
+            action=lambda self, ctx: SEEN.append("tcomplete"),
+            perpetual=True,
+        ),
+        trigger(
+            "AtAbort",
+            "before tabort",
+            action=lambda self, ctx: SEEN.append("tabort"),
+            perpetual=True,
+        ),
+        trigger(
+            "PokeThenCommit",
+            "after poke, before tcomplete",
+            action=lambda self, ctx: SEEN.append("poke-then-commit"),
+            perpetual=True,
+        ),
+    ]
+
+    def poke(self):
+        self.v += 1
+
+
+@pytest.fixture(autouse=True)
+def _clear():
+    SEEN.clear()
+    yield
+    SEEN.clear()
+
+
+def test_tcomplete_posted_on_commit_when_accessed(any_engine_db):
+    db = any_engine_db
+    with db.transaction():
+        obj = db.pnew(Watched)
+        ptr = obj.ptr
+        obj.AtCommit()
+    SEEN.clear()
+    with db.transaction():
+        db.deref(ptr)  # merely accessing registers interest
+    assert SEEN == ["tcomplete"]
+
+
+def test_tcomplete_not_posted_when_object_untouched(any_engine_db):
+    db = any_engine_db
+    with db.transaction():
+        obj = db.pnew(Watched)
+        obj.AtCommit()
+    SEEN.clear()
+    with db.transaction():
+        pass  # object never accessed in this transaction
+    assert SEEN == []
+
+
+def test_tabort_posted_on_explicit_abort(any_engine_db):
+    db = any_engine_db
+    with db.transaction():
+        obj = db.pnew(Watched)
+        ptr = obj.ptr
+        obj.AtAbort()
+    SEEN.clear()
+    with db.transaction():
+        db.deref(ptr)
+        raise TransactionAbort()
+    assert SEEN == ["tabort"]
+
+
+def test_tabort_not_posted_on_implicit_abort(any_engine_db):
+    """Crash-style aborts cannot post events (paper Section 6)."""
+    db = any_engine_db
+    with db.transaction():
+        obj = db.pnew(Watched)
+        ptr = obj.ptr
+        obj.AtAbort()
+    SEEN.clear()
+    txn = db.txn_manager.begin()
+    db.deref(ptr)
+    db.txn_manager.abort(txn, explicit=False)
+    assert SEEN == []
+
+
+def test_composite_spanning_poke_and_commit(any_engine_db):
+    """Transaction events participate in composite expressions."""
+    db = any_engine_db
+    with db.transaction():
+        obj = db.pnew(Watched)
+        ptr = obj.ptr
+        obj.PokeThenCommit()
+    SEEN.clear()
+    with db.transaction():
+        db.deref(ptr).poke()
+    assert "poke-then-commit" in SEEN
+    SEEN.clear()
+    # Without a poke immediately before tcomplete, no fire.
+    with db.transaction():
+        _ = db.deref(ptr).v
+    assert "poke-then-commit" not in SEEN
+
+
+def test_tcomplete_effects_are_committed(any_engine_db):
+    db = any_engine_db
+
+    class Stamped(Persistent):
+        stamps = field(int, default=0)
+        __events__ = ["before tcomplete"]
+        __triggers__ = [
+            trigger(
+                "Stamp",
+                "before tcomplete",
+                action=lambda self, ctx: self.stamp(),
+                perpetual=True,
+            )
+        ]
+
+        def stamp(self):
+            self.stamps += 1
+
+    with db.transaction():
+        obj = db.pnew(Stamped)
+        ptr = obj.ptr
+        obj.Stamp()
+    with db.transaction():
+        db.deref(ptr)
+    with db.transaction():
+        assert db.deref(ptr).stamps >= 1
+
+
+def test_tcomplete_trigger_can_veto_commit(any_engine_db):
+    db = any_engine_db
+
+    class Vetoer(Persistent):
+        v = field(int, default=0)
+        __events__ = ["before tcomplete"]
+        __masks__ = {"bad": lambda self: self.v < 0}
+        __triggers__ = [
+            trigger(
+                "Veto",
+                "before tcomplete & bad",
+                action=lambda self, ctx: ctx.tabort("invalid state at commit"),
+                perpetual=True,
+            )
+        ]
+
+    with db.transaction():
+        obj = db.pnew(Vetoer)
+        ptr = obj.ptr
+        obj.Veto()
+    with db.transaction():
+        db.deref(ptr).v = -1  # commit-time constraint catches this
+    with db.transaction():
+        assert db.deref(ptr).v == 0

@@ -1,0 +1,145 @@
+"""Write-ahead log tests: framing, torn tails, inverses."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WALError
+from repro.storage.wal import LogRecord, LogRecordKind, WriteAheadLog
+
+
+@pytest.fixture
+def wal(tmp_path):
+    log = WriteAheadLog(str(tmp_path / "test.wal"))
+    yield log
+    log.close()
+
+
+def test_append_assigns_increasing_lsns(wal):
+    r1 = wal.append(1, LogRecordKind.BEGIN)
+    r2 = wal.append(1, LogRecordKind.INSERT, 7, b"", b"data")
+    assert r2.lsn == r1.lsn + 1
+
+
+def test_replay_returns_appended_records(wal):
+    wal.append(1, LogRecordKind.BEGIN)
+    wal.append(1, LogRecordKind.UPDATE, 5, b"old", b"new")
+    wal.append(1, LogRecordKind.COMMIT)
+    records = list(wal.replay())
+    assert [r.kind for r in records] == [
+        LogRecordKind.BEGIN,
+        LogRecordKind.UPDATE,
+        LogRecordKind.COMMIT,
+    ]
+    assert records[1].rid == 5
+    assert records[1].before == b"old"
+    assert records[1].after == b"new"
+
+
+def test_lsn_continues_after_reopen(tmp_path):
+    path = str(tmp_path / "reopen.wal")
+    log = WriteAheadLog(path)
+    last = log.append(1, LogRecordKind.BEGIN).lsn
+    log.close()
+    log2 = WriteAheadLog(path)
+    assert log2.append(2, LogRecordKind.BEGIN).lsn == last + 1
+    log2.close()
+
+
+def test_torn_tail_is_ignored(tmp_path):
+    path = str(tmp_path / "torn.wal")
+    log = WriteAheadLog(path)
+    log.append(1, LogRecordKind.BEGIN)
+    log.append(1, LogRecordKind.INSERT, 3, b"", b"payload")
+    log.close()
+    # Simulate a crash mid-append: chop bytes off the end.
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.truncate(size - 4)
+    log2 = WriteAheadLog(path)
+    records = list(log2.replay())
+    assert [r.kind for r in records] == [LogRecordKind.BEGIN]
+    log2.close()
+
+
+def test_corrupt_crc_stops_replay(tmp_path):
+    path = str(tmp_path / "corrupt.wal")
+    log = WriteAheadLog(path)
+    log.append(1, LogRecordKind.BEGIN)
+    log.append(1, LogRecordKind.INSERT, 3, b"", b"payload")
+    log.close()
+    with open(path, "r+b") as fh:
+        fh.seek(-1, os.SEEK_END)
+        last = fh.read(1)
+        fh.seek(-1, os.SEEK_END)
+        fh.write(bytes([last[0] ^ 0xFF]))
+    log2 = WriteAheadLog(path)
+    assert [r.kind for r in log2.replay()] == [LogRecordKind.BEGIN]
+    log2.close()
+
+
+def test_truncate_empties_log(wal):
+    wal.append(1, LogRecordKind.BEGIN)
+    wal.truncate()
+    assert list(wal.replay()) == []
+    assert wal.append(2, LogRecordKind.BEGIN).lsn == 1
+
+
+def test_append_after_close_raises(tmp_path):
+    log = WriteAheadLog(str(tmp_path / "closed.wal"))
+    log.close()
+    with pytest.raises(WALError):
+        log.append(1, LogRecordKind.BEGIN)
+
+
+class TestInverse:
+    def test_update_inverse_swaps_images(self):
+        record = LogRecord(1, 9, LogRecordKind.UPDATE, 4, b"old", b"new")
+        inverse = record.inverse()
+        assert inverse.kind is LogRecordKind.UPDATE
+        assert inverse.before == b"new"
+        assert inverse.after == b"old"
+
+    def test_insert_inverse_is_delete(self):
+        record = LogRecord(1, 9, LogRecordKind.INSERT, 4, b"", b"data")
+        inverse = record.inverse()
+        assert inverse.kind is LogRecordKind.DELETE
+        assert inverse.before == b"data"
+
+    def test_delete_inverse_is_insert(self):
+        record = LogRecord(1, 9, LogRecordKind.DELETE, 4, b"data", b"")
+        inverse = record.inverse()
+        assert inverse.kind is LogRecordKind.INSERT
+        assert inverse.after == b"data"
+
+    def test_commit_has_no_inverse(self):
+        with pytest.raises(WALError):
+            LogRecord(1, 9, LogRecordKind.COMMIT).inverse()
+
+    def test_double_inverse_is_identity_on_images(self):
+        record = LogRecord(1, 9, LogRecordKind.UPDATE, 4, b"a", b"b")
+        twice = record.inverse().inverse()
+        assert (twice.kind, twice.rid, twice.before, twice.after) == (
+            record.kind,
+            record.rid,
+            record.before,
+            record.after,
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    txid=st.integers(0, 2**32),
+    rid=st.integers(-1, 2**40),
+    before=st.binary(max_size=500),
+    after=st.binary(max_size=500),
+    kind=st.sampled_from(list(LogRecordKind)),
+)
+def test_record_encode_decode_roundtrip(txid, rid, before, after, kind):
+    record = LogRecord(17, txid, kind, rid, before, after)
+    encoded = record.encode()
+    # Strip the frame header (length + crc) before decoding the payload.
+    decoded = LogRecord.decode(encoded[8:])
+    assert decoded == record

@@ -1,0 +1,95 @@
+"""Stream-generator and error-hierarchy tests."""
+
+import collections
+
+import pytest
+
+import repro.errors as errors
+from repro.workloads.streams import generate_stream, interleave_pattern
+
+
+class TestGenerateStream:
+    def test_deterministic_per_seed(self):
+        a = generate_stream(["A", "B"], 100, seed=1)
+        b = generate_stream(["A", "B"], 100, seed=1)
+        c = generate_stream(["A", "B"], 100, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_length_and_alphabet(self):
+        stream = generate_stream(["x", "y", "z"], 500, seed=3)
+        assert len(stream) == 500
+        assert set(stream) <= {"x", "y", "z"}
+
+    def test_zipf_skews_to_first_ranks(self):
+        stream = generate_stream(list("ABCDEFGH"), 5000, seed=4, dist="zipf")
+        counts = collections.Counter(stream)
+        assert counts["A"] > counts["H"] * 3
+
+    def test_bursty_has_runs(self):
+        stream = generate_stream(["A", "B", "C"], 2000, seed=5, dist="bursty")
+        runs = sum(1 for i in range(1, len(stream)) if stream[i] == stream[i - 1])
+        uniform = generate_stream(["A", "B", "C"], 2000, seed=5)
+        uniform_runs = sum(
+            1 for i in range(1, len(uniform)) if uniform[i] == uniform[i - 1]
+        )
+        assert runs > uniform_runs * 1.5
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            generate_stream([], 10)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            generate_stream(["A"], -1)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            generate_stream(["A"], 10, dist="exotic")
+
+    def test_zero_length(self):
+        assert generate_stream(["A"], 0) == []
+
+
+class TestInterleavePattern:
+    def test_pattern_spliced_at_rate(self):
+        background = ["x"] * 10
+        result = interleave_pattern(background, ["A", "B"], every=5)
+        assert result == ["x"] * 5 + ["A", "B"] + ["x"] * 5 + ["A", "B"]
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            interleave_pattern(["x"], ["A"], every=0)
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_are_ode_errors(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj.__module__ == "repro.errors"
+                and obj is not errors.OdeError
+                and obj is not errors.TransactionAbort
+            ):
+                assert issubclass(obj, errors.OdeError), name
+
+    def test_tabort_is_not_an_ode_error(self):
+        """tabort is control flow, not a failure — catching OdeError must
+        not swallow it."""
+        assert not issubclass(errors.TransactionAbort, errors.OdeError)
+
+    def test_deadlock_error_carries_cycle(self):
+        err = errors.DeadlockError(3, (3, 5, 3))
+        assert err.txid == 3
+        assert "3 -> 5 -> 3" in str(err)
+
+    def test_constraint_violation_message(self):
+        err = errors.ConstraintViolationError("non_negative", "balance dipped")
+        assert "non_negative" in str(err)
+        assert "balance dipped" in str(err)
+
+    def test_parse_error_points_at_position(self):
+        err = errors.EventParseError("bad token", "A , , B", 4)
+        assert "^" in str(err)

@@ -34,7 +34,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 reproduction of the paper's figure and claims.
 """
 
-from repro.core import CouplingMode, TriggerId, TriggerSystem, trigger
+from repro.core import (
+    CouplingMode,
+    TriggerId,
+    TriggerSystem,
+    set_strict_analysis,
+    strict_analysis_enabled,
+    trigger,
+)
 from repro.errors import (
     ConstraintViolationError,
     DeadlockError,
@@ -83,5 +90,7 @@ __all__ = [
     "deactivate",
     "field",
     "parse",
+    "set_strict_analysis",
+    "strict_analysis_enabled",
     "trigger",
 ]

@@ -1,0 +1,70 @@
+"""Static analysis of trigger declarations — the Ode trigger linter.
+
+Because every ``event-expression ==> action`` compiles to an extended FSM
+at declaration time, most trigger defects are statically decidable before
+a single event is posted.  This package implements a diagnostics framework
+(stable ``ODE0xx`` codes, severities, text/JSON renderers) and the passes
+that produce them:
+
+=========  =======  ==========================================================
+code       level    meaning
+=========  =======  ==========================================================
+ODE001     warning  FSM state unreachable from the start state
+ODE002     warning  FSM state with no path to an accept state (trap)
+ODE003     error    trigger's language is empty — it can never fire
+ODE010     warning  vacuous mask: its outcome cannot change behaviour
+ODE011     warning  trigger-level mask predicate never used
+ODE020     warning  trigger subsumed by another (language inclusion)
+ODE021     warning  two triggers accept identical languages
+ODE030     error    unbounded immediate cascade cycle (posts metadata)
+ODE031     warning  unbounded cross-transaction cascade cycle
+ODE032     warning  posts= names an unknown user event
+ODE040     warning  tabort from a dependent/!dependent action
+ODE041     warning  deferred trigger watches 'before tcomplete'
+ODE050     warning  persistent trigger state stuck dead (database pass)
+ODE051     info     trigger state's type not loaded — states skipped
+=========  =======  ==========================================================
+
+Entry points: :func:`analyze_class` / :func:`analyze_classes` for compiled
+declarations, :func:`analyze_machine` for bare machines,
+:func:`analyze_registry` for everything registered in the process,
+:func:`analyze_database` for persistent trigger states, and
+``python -m repro.analysis`` (or ``python -m repro.tools lint``) on the
+command line.  ``repro.core.declarations.set_strict_analysis(True)`` (or a
+class-level ``__strict_triggers__ = True``) makes declaration processing
+itself reject findings.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Location,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.analysis.runner import (
+    AnalysisReport,
+    analyze_class,
+    analyze_classes,
+    analyze_database,
+    analyze_machine,
+    analyze_registry,
+    analyze_trigger,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Location",
+    "Severity",
+    "render_json",
+    "render_text",
+    "AnalysisReport",
+    "analyze_class",
+    "analyze_classes",
+    "analyze_database",
+    "analyze_machine",
+    "analyze_registry",
+    "analyze_trigger",
+]

@@ -1,0 +1,157 @@
+"""Static cascade-cycle detection (ODE030–ODE032).
+
+A trigger action that calls member functions or posts user events can wake
+other triggers — the "conceptually nested transactions" of Section 5.4.5.
+When the posting relation is cyclic *and* every trigger on the cycle is
+perpetual, nothing ever leaves the cycle: each firing re-arms the trigger
+and re-posts the event that wakes the next one, looping until something
+aborts.  With ``posts=(...)`` metadata on trigger declarations (the user
+events an action raises) the relation is statically known and the cycles
+are decidable before a single event is posted.
+
+* ``ODE030`` — a cycle whose triggers are all perpetual with *immediate*
+  coupling: the loop runs inside a single posting cascade and cannot
+  terminate (the run-time's recursion limit is what actually stops it).
+* ``ODE031`` — all perpetual, but at least one link is deferred or
+  detached: each transaction round-trip re-enters the cycle, so it loops
+  unboundedly *across* transactions rather than within one.
+* ``ODE032`` — ``posts`` names an event that is not a declared user event
+  of any analyzed class (a typo, or the declaration outlived a rename).
+
+A cycle through a once-only trigger is self-limiting — the trigger
+deactivates after its first firing — and is not reported.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, Location
+from repro.core.trigger_def import CouplingMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.trigger_def import TriggerInfo
+
+
+def _listened_user_events(info: "TriggerInfo") -> set[str]:
+    """User-event names the trigger's expression reacts to."""
+    return {
+        event.name
+        for event in info.compiled.expr.basic_events()
+        if event.kind == "user"
+    }
+
+
+def check_cascades(
+    triggers: list[tuple[str, "TriggerInfo"]],
+    known_user_events: set[str],
+) -> list[Diagnostic]:
+    """Build the trigger→posts→trigger graph and report its cycles.
+
+    *triggers* is ``(type_name, info)`` pairs across every analyzed class;
+    *known_user_events* the union of declared user-event names (for the
+    ODE032 typo check).  Edges are matched by event name: ``posts``
+    metadata does not say which *object* receives the post, so a name
+    collision across classes conservatively counts as an edge.
+    """
+    diagnostics: list[Diagnostic] = []
+    nodes = list(range(len(triggers)))
+    listened = [_listened_user_events(info) for _, info in triggers]
+
+    edges: dict[int, list[int]] = {n: [] for n in nodes}
+    for src, (type_name, info) in enumerate(triggers):
+        for event_name in info.posts:
+            if event_name not in known_user_events:
+                diagnostics.append(
+                    Diagnostic(
+                        "ODE032",
+                        f"action declares posts={event_name!r} but no "
+                        "analyzed class declares that user event",
+                        Location(type_name, info.name),
+                    )
+                )
+                continue
+            for dst in nodes:
+                if event_name in listened[dst]:
+                    edges[src].append(dst)
+
+    for component in _cyclic_sccs(nodes, edges):
+        members = [triggers[n] for n in component]
+        if not all(info.perpetual for _, info in members):
+            continue  # a once-only trigger breaks the loop after one lap
+        names = [f"{type_name}.{info.name}" for type_name, info in members]
+        type_name, info = members[0]
+        where = Location(type_name, info.name)
+        related = tuple(names[1:]) if len(names) > 1 else ()
+        cycle = " -> ".join(names + [names[0]])
+        if all(
+            info.coupling is CouplingMode.IMMEDIATE for _, info in members
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    "ODE030",
+                    f"perpetual immediate triggers form a posting cycle "
+                    f"({cycle}); every detection re-posts the event that "
+                    "re-arms the cycle, so one firing cascades forever "
+                    "within a single transaction",
+                    where,
+                    related=related,
+                )
+            )
+        else:
+            diagnostics.append(
+                Diagnostic(
+                    "ODE031",
+                    f"perpetual triggers form a posting cycle ({cycle}) "
+                    "through deferred/detached couplings; each firing "
+                    "schedules the next round, looping unboundedly across "
+                    "transactions",
+                    where,
+                    related=related,
+                )
+            )
+    return diagnostics
+
+
+def _cyclic_sccs(
+    nodes: list[int], edges: dict[int, list[int]]
+) -> list[list[int]]:
+    """Tarjan's strongly-connected components, cyclic ones only.
+
+    A component counts as cyclic if it has more than one node, or one node
+    with a self-edge (a trigger that posts the event it listens to).
+    """
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = [0]
+    result: list[list[int]] = []
+
+    def strongconnect(node: int) -> None:
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in edges[node]:
+            if succ not in index:
+                strongconnect(succ)
+                lowlink[node] = min(lowlink[node], lowlink[succ])
+            elif succ in on_stack:
+                lowlink[node] = min(lowlink[node], index[succ])
+        if lowlink[node] == index[node]:
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            component.sort()
+            if len(component) > 1 or node in edges[node]:
+                result.append(component)
+
+    for node in nodes:
+        if node not in index:
+            strongconnect(node)
+    return result

@@ -1,0 +1,84 @@
+"""Coupling-mode lints (ODE040–ODE041).
+
+The ECA coupling modes change what a trigger action's primitives mean:
+
+* ``ODE040`` — an action that calls ``tabort`` under *dependent* or
+  *!dependent* coupling.  Detached actions run in their own transaction
+  (Section 4.2); ``tabort`` there aborts only that private transaction,
+  never the triggering one — almost certainly not what a declaration
+  ported from an immediate trigger intends.  Detection is static: the
+  ``__ode_tabort__`` tag the O++ front end stamps on compiled ``tabort``
+  actions, falling back to scanning the action's Python source for a
+  ``tabort`` call.
+* ``ODE041`` — a deferred (``end``-coupled) trigger whose expression
+  watches ``before tcomplete``.  Deferred firings are processed while the
+  commit is already underway — the same point the transaction event is
+  posted — so anchoring a deferred trigger on commit is a race against
+  its own firing pass.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.analysis.diagnostics import Diagnostic, Location
+from repro.core.trigger_def import CouplingMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.trigger_def import TriggerInfo
+
+_TABORT_CALL = re.compile(r"\btabort\b")
+
+
+def action_may_tabort(action: Callable[..., Any]) -> bool:
+    """Whether the action statically looks like it calls ``tabort``.
+
+    Checks the ``__ode_tabort__`` tag first (set by the O++ action
+    compiler), then scans the callable's source.  Unreadable source (C
+    extensions, exec'd code) conservatively counts as "no".
+    """
+    if getattr(action, "__ode_tabort__", False):
+        return True
+    try:
+        source = inspect.getsource(action)
+    except (OSError, TypeError):
+        return False
+    return bool(_TABORT_CALL.search(source))
+
+
+def check_coupling(info: "TriggerInfo", type_name: str) -> list[Diagnostic]:
+    """Run the coupling-mode lints over one compiled trigger."""
+    diagnostics: list[Diagnostic] = []
+    where = Location(type_name, info.name)
+
+    if info.coupling in (
+        CouplingMode.DEPENDENT,
+        CouplingMode.INDEPENDENT,
+    ) and action_may_tabort(info.action):
+        diagnostics.append(
+            Diagnostic(
+                "ODE040",
+                f"action calls tabort but the trigger is "
+                f"{info.coupling.value}-coupled: the action runs in its "
+                "own transaction, so tabort aborts only that detached "
+                "transaction — the triggering transaction commits anyway",
+                where,
+            )
+        )
+
+    if info.coupling is CouplingMode.END:
+        watched = {event.symbol for event in info.compiled.expr.basic_events()}
+        if "before tcomplete" in watched:
+            diagnostics.append(
+                Diagnostic(
+                    "ODE041",
+                    "deferred (end-coupled) trigger watches 'before "
+                    "tcomplete': deferred firings are processed during "
+                    "commit, the same point the transaction event is "
+                    "posted, so the detection races its own firing pass",
+                    where,
+                )
+            )
+    return diagnostics

@@ -1,0 +1,97 @@
+"""Mask lints (ODE010–ODE011).
+
+Two ways a mask predicate can be dead weight:
+
+* ``ODE010`` *vacuous mask* — the predicate's outcome cannot change what
+  the trigger does.  Structurally: a state whose ``True``/``False``
+  pseudo-transitions resolve to the same place (the exact condition
+  :func:`repro.events.minimize.prune_irrelevant_masks` eliminates — seeing
+  it in a compiled machine means the pipeline is broken).  Semantically,
+  for once-only triggers: a mask evaluated *only* in accept states.  By
+  the time the predicate runs, acceptance has already been decided (the
+  run time counts any visited accept state, footnote 5), the trigger fires
+  regardless of the outcome and then deactivates — so the mask the
+  declaration appears to gate the trigger with is purely decorative.
+  ``Deposit || (Deposit & big)`` is the canonical example.
+
+* ``ODE011`` — a per-trigger mask predicate (``trigger(..., masks={...})``)
+  whose name the event expression never mentions.  The predicate is
+  registered, shadows any class-level mask of the same name, and is never
+  called.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, Location
+from repro.events.fsm import DEAD, FALSE_PREFIX, TRUE_PREFIX, Fsm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.trigger_def import TriggerInfo
+
+
+def check_vacuous_masks(fsm: Fsm, where: Location) -> list[Diagnostic]:
+    """Structural check: ``True``/``False`` edges that converge (ODE010)."""
+    diagnostics: list[Diagnostic] = []
+    for state in fsm.states:
+        for mask in state.masks:
+            true_dst = state.transitions.get(TRUE_PREFIX + mask)
+            false_dst = state.transitions.get(FALSE_PREFIX + mask)
+
+            def resolved(dst: int | None) -> int:
+                if dst is not None:
+                    return dst
+                return DEAD if fsm.anchored else state.statenum
+
+            if resolved(true_dst) == resolved(false_dst):
+                diagnostics.append(
+                    Diagnostic(
+                        "ODE010",
+                        f"mask {mask!r} is vacuous in this state: both "
+                        "outcomes lead to the same successor, so the "
+                        "predicate call is pure overhead",
+                        Location(where.type_name, where.trigger, state.statenum),
+                    )
+                )
+    return diagnostics
+
+
+def check_trigger_masks(info: "TriggerInfo", type_name: str) -> list[Diagnostic]:
+    """Trigger-level mask lints over a compiled declaration."""
+    diagnostics: list[Diagnostic] = []
+    where = Location(type_name, info.name)
+
+    # ODE011: per-trigger predicates the expression never names.
+    for name in sorted(info.declared_masks):
+        if name not in info.compiled.masks:
+            diagnostics.append(
+                Diagnostic(
+                    "ODE011",
+                    f"trigger-level mask {name!r} is not used by event "
+                    f"expression {info.compiled.text!r}; the predicate is "
+                    "never evaluated",
+                    where,
+                )
+            )
+
+    # ODE010 (semantic form): for a once-only trigger, a mask evaluated
+    # only where acceptance is already decided cannot gate anything.
+    if not info.perpetual:
+        evaluated_in: dict[str, list[int]] = {}
+        for state in info.compiled.fsm.states:
+            for mask in state.masks:
+                evaluated_in.setdefault(mask, []).append(state.statenum)
+        for mask, statenums in sorted(evaluated_in.items()):
+            if all(info.compiled.fsm.states[n].accept for n in statenums):
+                diagnostics.append(
+                    Diagnostic(
+                        "ODE010",
+                        f"mask {mask!r} is only evaluated in accept "
+                        f"state(s) {statenums}; this once-only trigger "
+                        "fires regardless of the outcome and then "
+                        "deactivates, so the mask cannot gate it",
+                        where,
+                    )
+                )
+    return diagnostics

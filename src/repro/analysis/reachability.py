@@ -1,0 +1,71 @@
+"""FSM reachability and liveness analysis (ODE001–ODE003).
+
+The compilation pipeline (subset construction + Moore minimization with a
+virtual dead class) should never emit an unreachable state or a trap state
+— this pass *proves* that for each compiled trigger, and diagnoses machines
+of other provenance (hand-built machines, baseline detectors, machines
+compiled with optimization disabled):
+
+* ``ODE001`` — a state no event sequence can reach;
+* ``ODE002`` — a reachable state from which no accept state is reachable
+  (for a trigger sitting there the remaining language is empty: it is
+  active, consumes lock bandwidth on every posting, and can never fire);
+* ``ODE003`` — the accept states themselves are unreachable from the
+  start: the trigger's language is empty and activating it is always a
+  declaration bug.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Location
+from repro.events.fsm import Fsm
+from repro.events.minimize import coreachable_states, reachable_states
+
+
+def check_reachability(fsm: Fsm, where: Location) -> list[Diagnostic]:
+    """Run the reachability/liveness checks over one machine."""
+    diagnostics: list[Diagnostic] = []
+    reachable = reachable_states(fsm)
+    coreachable = coreachable_states(fsm)
+
+    if fsm.start not in coreachable:
+        diagnostics.append(
+            Diagnostic(
+                "ODE003",
+                "no accept state is reachable from the start state; the "
+                "trigger's event expression matches no sequence and the "
+                "trigger can never fire",
+                _at_state(where, fsm.start),
+            )
+        )
+        # Unreachable/trap findings below would all be consequences of the
+        # same defect; report the root cause alone.
+        return diagnostics
+
+    for state in fsm.states:
+        if state.statenum not in reachable:
+            diagnostics.append(
+                Diagnostic(
+                    "ODE001",
+                    "state is unreachable from the start state; it can be "
+                    "deleted without changing the trigger's behaviour",
+                    _at_state(where, state.statenum),
+                )
+            )
+        elif state.statenum not in coreachable:
+            diagnostics.append(
+                Diagnostic(
+                    "ODE002",
+                    "no path from this state leads to an accept state; a "
+                    "trigger reaching it stays active forever but can "
+                    "never fire (anchored machines should fall into the "
+                    "implicit dead state instead)",
+                    _at_state(where, state.statenum),
+                )
+            )
+    return diagnostics
+
+
+def _at_state(where: Location, state: int) -> Location:
+    """*where* with the state number filled in."""
+    return Location(where.type_name, where.trigger, state)

@@ -1,0 +1,93 @@
+"""Trigger overlap and subsumption analysis (ODE020–ODE021).
+
+Two triggers active on the same class both watch the class's whole event
+stream, so their relationship is a language question: if every event
+sequence accepted by trigger *A* is also accepted by trigger *B*
+(``L(A) ⊆ L(B)``), then whenever *A* fires, *B* fires too — *A* adds no
+detection power, only a second action.  That is occasionally intentional
+(a logging catch-all next to a specific handler) but more often one
+trigger silently shadowing a forgotten duplicate; either way the declaration
+deserves a warning pointing at the pair.
+
+The check runs the product automaton of the two extended machines
+(:func:`repro.events.dfa.find_inclusion_witness`) over the union of their
+alphabets.  Mask pseudo-events participate as ordinary letters: a shared
+mask name means a shared predicate and so a shared letter, while a pseudo
+event the other machine has never heard of is ignored by it — exactly the
+run-time semantics of out-of-alphabet symbols.  Because the encoding lets
+the "oracle" choose mask outcomes freely, an inclusion verdict
+over-approximates real runs and is therefore *sound*: if we report
+``L(A) ⊆ L(B)``, it holds for every actual predicate behaviour.
+
+``ODE021`` flags the degenerate case — both inclusions hold, the two
+triggers accept exactly the same sequences.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, Location
+from repro.events.dfa import find_inclusion_witness
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.trigger_def import TriggerInfo
+
+
+def _render_word(word: list[str]) -> str:
+    return " · ".join(word) if word else "<empty>"
+
+
+def check_subsumption(
+    infos: list["TriggerInfo"], type_name: str
+) -> list[Diagnostic]:
+    """Pairwise language-inclusion check over one class's triggers."""
+    diagnostics: list[Diagnostic] = []
+    for i, first in enumerate(infos):
+        for second in infos[i + 1 :]:
+            extra_first = find_inclusion_witness(
+                first.compiled.fsm, second.compiled.fsm
+            )
+            extra_second = find_inclusion_witness(
+                second.compiled.fsm, first.compiled.fsm
+            )
+            if extra_first is None and extra_second is None:
+                diagnostics.append(
+                    Diagnostic(
+                        "ODE021",
+                        f"triggers {first.name!r} and {second.name!r} accept "
+                        "identical event sequences "
+                        f"({first.compiled.text!r} vs {second.compiled.text!r}); "
+                        "every detection fires both actions",
+                        Location(type_name, first.name),
+                        related=(second.name,),
+                    )
+                )
+            elif extra_first is None:
+                diagnostics.append(
+                    _subsumed(type_name, first, second, extra_second)
+                )
+            elif extra_second is None:
+                diagnostics.append(
+                    _subsumed(type_name, second, first, extra_first)
+                )
+            # Incomparable languages: the normal case, nothing to report.
+    return diagnostics
+
+
+def _subsumed(
+    type_name: str,
+    narrow: "TriggerInfo",
+    broad: "TriggerInfo",
+    witness: list[str],
+) -> Diagnostic:
+    return Diagnostic(
+        "ODE020",
+        f"every event sequence accepted by {narrow.name!r} "
+        f"({narrow.compiled.text!r}) is also accepted by {broad.name!r} "
+        f"({broad.compiled.text!r}); when both are active, {broad.name!r} "
+        f"fires on everything {narrow.name!r} detects (and also on e.g. "
+        f"{_render_word(witness)})",
+        Location(type_name, narrow.name),
+        related=(broad.name,),
+    )

@@ -58,8 +58,17 @@ def trigger(
     perpetual: bool = False,
     coupling: CouplingMode | str = CouplingMode.IMMEDIATE,
     masks: dict[str, Callable[..., bool]] | None = None,
+    posts: tuple[str, ...] | list[str] = (),
+    suppress: tuple[str, ...] | list[str] = (),
 ) -> TriggerDecl:
-    """Declare a trigger inside a class's ``__triggers__`` list."""
+    """Declare a trigger inside a class's ``__triggers__`` list.
+
+    ``posts`` optionally names the user events the action raises; it is
+    not enforced at run time but feeds the static analyzer's cascade-cycle
+    detection (:mod:`repro.analysis.cascade`).  ``suppress`` lists
+    analyzer codes this declaration acknowledges as intended (e.g.
+    ``("ODE020",)`` on a deliberate escalation pair).
+    """
     return TriggerDecl(
         name=name,
         expression=expression,
@@ -68,7 +77,37 @@ def trigger(
         perpetual=perpetual,
         coupling=CouplingMode.parse(coupling),
         masks=dict(masks or {}),
+        posts=tuple(posts),
+        suppress=tuple(suppress),
     )
+
+
+# ---------------------------------------------------------------------------
+# Strict declaration analysis
+# ---------------------------------------------------------------------------
+
+#: Process-wide default for running the static analyzer during declaration
+#: processing.  Per-class ``__strict_triggers__`` overrides it either way.
+_STRICT_ANALYSIS = False
+
+
+def set_strict_analysis(enabled: bool) -> bool:
+    """Toggle strict declaration-time analysis; returns the previous value.
+
+    With strict analysis on, :func:`process_active_class` runs the full
+    static analyzer (:mod:`repro.analysis`) over each freshly compiled
+    class and raises :class:`TriggerDeclarationError` if any finding of
+    warning severity or above comes back — the moral equivalent of
+    ``-Werror`` for trigger declarations.
+    """
+    global _STRICT_ANALYSIS
+    previous = _STRICT_ANALYSIS
+    _STRICT_ANALYSIS = bool(enabled)
+    return previous
+
+
+def strict_analysis_enabled() -> bool:
+    return _STRICT_ANALYSIS
 
 
 def _adapt_mask(name: str, fn: Callable[..., bool]) -> Callable[..., bool]:
@@ -129,13 +168,17 @@ def _adapt_action(
     return action
 
 
-def process_active_class(cls: type) -> None:
+def process_active_class(cls: type, strict: bool | None = None) -> None:
     """Compile a class's ``__events__`` / ``__masks__`` / ``__triggers__``.
 
     Called from ``Persistent.__init_subclass__``.  Inherited events, masks,
     wrappers, and triggers are merged in (events of a base class are posted
     to derived objects too, Section 4), and each trigger defined *here* is
     compiled against the full inherited alphabet.
+
+    *strict* runs the static analyzer over the compiled class and rejects
+    it on findings; ``None`` defers to a class-level ``__strict_triggers__``
+    attribute, then to the process default (:func:`set_strict_analysis`).
     """
     from repro.objects.metatype import global_type_registry
 
@@ -245,6 +288,9 @@ def process_active_class(cls: type) -> None:
             coupling=CouplingMode.parse(decl.coupling),
             params=decl.params,
             masks={name: trigger_masks[name] for name in compiled.masks},
+            posts=tuple(decl.posts),
+            declared_masks=tuple(sorted(decl.masks)),
+            suppress=tuple(decl.suppress),
         )
         own_infos.append(info)
 
@@ -268,3 +314,16 @@ def process_active_class(cls: type) -> None:
             method_name, before_int, after_int
         )
     metatype.method_wrappers = wrappers
+
+    # -- strict declaration-time analysis ------------------------------------------
+    if strict is None:
+        strict = bool(cls.__dict__.get("__strict_triggers__", _STRICT_ANALYSIS))
+    if strict:
+        from repro.analysis import Severity, analyze_class, render_text
+
+        findings = analyze_class(metatype).at_least(Severity.WARNING)
+        if findings:
+            raise TriggerDeclarationError(
+                f"strict trigger analysis rejected {cls.__name__}:\n"
+                + render_text(findings)
+            )

@@ -57,6 +57,15 @@ class TriggerDecl:
     perpetual: bool = False
     coupling: CouplingMode | str = CouplingMode.IMMEDIATE
     masks: dict[str, Callable[..., bool]] = dataclasses.field(default_factory=dict)
+    #: User events the action is declared to raise (``post_user_event``
+    #: calls, or member calls whose events cascade).  Purely declarative —
+    #: the run time does not enforce it — but it makes the trigger→trigger
+    #: posting graph statically known, which is what the analyzer's
+    #: cascade-cycle pass (ODE030/ODE031) reasons over.
+    posts: tuple[str, ...] = ()
+    #: Analyzer diagnostic codes acknowledged as intended for this trigger
+    #: (e.g. ``("ODE020",)`` on a deliberate alert-then-escalate pair).
+    suppress: tuple[str, ...] = ()
 
 
 # ---------------------------------------------------------------------------
@@ -212,6 +221,13 @@ class TriggerInfo:
     params: tuple[str, ...]
     #: mask name -> normalized (instance, params) predicate
     masks: dict[str, Callable[..., bool]] = dataclasses.field(default_factory=dict)
+    #: declared user events the action raises (from ``TriggerDecl.posts``)
+    posts: tuple[str, ...] = ()
+    #: mask names registered per-trigger at declaration (before filtering
+    #: to the ones the expression uses) — kept for the ODE011 lint
+    declared_masks: tuple[str, ...] = ()
+    #: analyzer codes the declaration explicitly acknowledges as intended
+    suppress: tuple[str, ...] = ()
 
     def __repr__(self) -> str:
         return (

@@ -28,6 +28,17 @@ class TriggerIndex:
         """The TriggerState rids active on *obj_rid* (activation order)."""
         return list(self._map.get(txn, str(obj_rid), ()))
 
+    def entries(self, txn: "Transaction"):
+        """Iterate ``(obj_rid, state_rids)`` over every indexed object.
+
+        The public full-scan surface (dump tooling, the database-level
+        analyzer pass) — callers should use this rather than reaching into
+        the backing persistent map.  Order follows the map's bucket order;
+        sort by the numeric rid if stability matters.
+        """
+        for key, state_rids in self._map.items(txn):
+            yield int(key), list(state_rids)
+
     def add(self, txn: "Transaction", obj_rid: int, state_rid: int) -> None:
         states = self.lookup(txn, obj_rid)
         states.append(state_rid)

@@ -10,7 +10,7 @@ the runtime evaluate predicates).
 
 from __future__ import annotations
 
-from repro.events.fsm import Fsm, FsmState
+from repro.events.fsm import DEAD, Fsm, FsmState
 from repro.events.nfa import Nfa
 
 
@@ -52,3 +52,75 @@ def determinize(nfa: Nfa, anchored: bool) -> Fsm:
 
     states.sort(key=lambda s: s.statenum)
     return Fsm(states, start=0, alphabet=nfa.alphabet, anchored=anchored)
+
+
+# ---------------------------------------------------------------------------
+# Product construction (used by the static analyzer's inclusion check)
+# ---------------------------------------------------------------------------
+
+
+def resolved_target(fsm: Fsm, statenum: int, symbol: str) -> int:
+    """Total transition function: where *symbol* sends *statenum*.
+
+    The same resolution :meth:`Fsm.move` applies at run time — a missing
+    alphabet transition is dead for anchored machines and "stay" for
+    unanchored ones; out-of-alphabet symbols are always ignored — but as a
+    pure function over state numbers (``DEAD`` is an explicit sink).
+    """
+    if statenum == DEAD:
+        return DEAD
+    nxt = fsm.states[statenum].transitions.get(symbol)
+    if nxt is not None:
+        return nxt
+    if fsm.anchored and symbol in fsm.alphabet:
+        return DEAD
+    return statenum
+
+
+def _accepts(fsm: Fsm, statenum: int) -> bool:
+    return statenum != DEAD and fsm.states[statenum].accept
+
+
+def find_inclusion_witness(a: Fsm, b: Fsm) -> list[str] | None:
+    """A word accepted by *a* but not *b*, or ``None`` if L(a) ⊆ L(b).
+
+    Breadth-first search over the product automaton of the two completed
+    machines, over the union of their alphabets (mask pseudo-events
+    included: a shared mask name means a shared predicate, while a pseudo-
+    event the other machine has never heard of is ignored by it, exactly as
+    at run time).  The returned witness is shortest-first, which makes the
+    diagnostics readable.
+    """
+    alphabet = sorted(a.alphabet | b.alphabet)
+    start = (a.start, b.start)
+    if _accepts(a, a.start) and not _accepts(b, b.start):
+        return []
+    parents: dict[tuple[int, int], tuple[tuple[int, int], str]] = {}
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        next_frontier = []
+        for pair in frontier:
+            sa, sb = pair
+            for symbol in alphabet:
+                succ = (resolved_target(a, sa, symbol), resolved_target(b, sb, symbol))
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                parents[succ] = (pair, symbol)
+                if _accepts(a, succ[0]) and not _accepts(b, succ[1]):
+                    word = [symbol]
+                    back = pair
+                    while back != start:
+                        back, sym = parents[back]
+                        word.append(sym)
+                    word.reverse()
+                    return word
+                next_frontier.append(succ)
+        frontier = next_frontier
+    return None
+
+
+def language_included(a: Fsm, b: Fsm) -> bool:
+    """Whether every event sequence accepted by *a* is accepted by *b*."""
+    return find_inclusion_witness(a, b) is None

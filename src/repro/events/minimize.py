@@ -17,6 +17,54 @@ from __future__ import annotations
 from repro.events.fsm import DEAD, Fsm, FsmState
 
 
+def reachable_states(fsm: Fsm) -> set[int]:
+    """State numbers reachable from the start via explicit transitions.
+
+    Implicit moves (unanchored "stay", anchored "dead") never enter a new
+    state, so explicit edges are the whole reachability relation.  Subset
+    construction only ever creates reachable states; this helper lets the
+    analyzer *prove* that for machines of any provenance.
+    """
+    seen = {fsm.start}
+    frontier = [fsm.start]
+    while frontier:
+        current = frontier.pop()
+        for dst in fsm.states[current].transitions.values():
+            if dst != DEAD and dst not in seen:
+                seen.add(dst)
+                frontier.append(dst)
+    return seen
+
+
+def coreachable_states(fsm: Fsm) -> set[int]:
+    """State numbers from which some accept state is reachable.
+
+    A state outside this set is a *trap*: the trigger sitting there can
+    never fire again (though for unanchored machines such states cannot be
+    produced by compilation — the implicit ``(*any)`` prefix keeps a live
+    restart component in every subset state).
+    """
+    inverse: dict[int, set[int]] = {}
+    for state in fsm.states:
+        for dst in state.transitions.values():
+            if dst != DEAD:
+                inverse.setdefault(dst, set()).add(state.statenum)
+    seen = {s.statenum for s in fsm.states if s.accept}
+    frontier = list(seen)
+    while frontier:
+        current = frontier.pop()
+        for src in inverse.get(current, ()):
+            if src not in seen:
+                seen.add(src)
+                frontier.append(src)
+    return seen
+
+
+def is_empty(fsm: Fsm) -> bool:
+    """Whether the machine accepts no sequence at all (L(fsm) = ∅)."""
+    return fsm.start not in coreachable_states(fsm)
+
+
 def prune_irrelevant_masks(fsm: Fsm) -> Fsm:
     """Drop mask obligations whose outcome cannot matter.
 

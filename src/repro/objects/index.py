@@ -55,6 +55,8 @@ def encode_key(value: Any) -> bytes:
             raise SchemaError(
                 f"integer {value} cannot be indexed losslessly (exceeds f64)"
             )
+        if number == 0.0:
+            number = 0.0  # -0.0 == 0.0 must encode identically
         raw = bytearray(_F64.pack(number))
         if raw[0] & 0x80:  # negative: flip all bits
             raw = bytearray(b ^ 0xFF for b in raw)

@@ -129,12 +129,19 @@ def _compile_action(
             for step in steps:
                 step(handle, ctx)
 
+        # Propagate the static-analysis tag: a block aborts if any step does.
+        run_block.__ode_tabort__ = any(
+            getattr(step, "__ode_tabort__", False) for step in steps
+        )
         return run_block
 
     if action_text == "tabort":
         def run_tabort(handle, ctx):
             raise TransactionAbort("tabort from trigger action")
 
+        # Tag for the analyzer's coupling-mode lint (ODE040): compiled
+        # tabort actions are statically known to abort.
+        run_tabort.__ode_tabort__ = True
         return run_tabort
 
     match = _CALL_RE.match(action_text)
@@ -177,6 +184,7 @@ def _parse_trigger(statement: str) -> Any:
 
     perpetual = False
     coupling: CouplingMode | str = CouplingMode.IMMEDIATE
+    posts: tuple[str, ...] = ()
     changed = True
     while changed:
         changed = False
@@ -195,6 +203,15 @@ def _parse_trigger(statement: str) -> Any:
                     coupling = value
                 rest = rest[len(keyword) :].strip()
                 changed = True
+        # `posts(E1, E2)` declares the user events the action raises —
+        # consumed by the static analyzer's cascade pass, not the run time.
+        posts_match = re.match(r"^posts\s*\(([^)]*)\)\s*", rest)
+        if posts_match:
+            posts = posts + tuple(
+                p.strip() for p in posts_match.group(1).split(",") if p.strip()
+            )
+            rest = rest[posts_match.end() :].strip()
+            changed = True
 
     if "==>" not in rest:
         raise TriggerDeclarationError(f"trigger {name}: missing '==>'")
@@ -207,6 +224,7 @@ def _parse_trigger(statement: str) -> Any:
         params=params,
         perpetual=perpetual,
         coupling=coupling,
+        posts=posts,
     )
 
 

@@ -2,7 +2,9 @@
 
 ``python -m repro.tools <path> [--engine disk|mm]`` prints a human-readable
 summary of a database: every persistent object with its fields and control
-flags, every active trigger with its FSM position, and the catalog.
+flags, every active trigger with its FSM position, the catalog, and any
+static-analyzer findings.  ``python -m repro.tools lint ...`` forwards to
+the trigger linter (see :mod:`repro.analysis`).
 
 The functions are also importable for programmatic use (the test suite
 uses them as a read-only consistency probe).
@@ -42,7 +44,7 @@ def describe_triggers(db: "Database") -> list[str]:
     txn = db.txn_manager.current()
     lines = []
     index = db.trigger_system.index
-    for key, state_rids in sorted(index._map.items(txn)):
+    for key, state_rids in sorted(index.entries(txn)):
         for state_rid in state_rids:
             raw = db.storage.read(txn.txid, state_rid)
             tstate = TriggerState.decode(raw)
@@ -72,6 +74,20 @@ def describe_catalog(db: "Database") -> list[str]:
     return [f"{key} -> rid {rid}" for key, rid in sorted(catalog.items())]
 
 
+def describe_analysis(db: "Database") -> list[str]:
+    """Static-analyzer findings: registered classes + persistent states.
+
+    Runs the declaration-level passes over every registered active class
+    and the database pass (dead/trap trigger states) over *db*; one line
+    per finding, ``["ok"]`` when clean.
+    """
+    from repro.analysis import analyze_database, analyze_registry
+
+    report = analyze_registry(db.registry)
+    report.extend(analyze_database(db).diagnostics)
+    return [diag.render() for diag in report.diagnostics] or ["ok"]
+
+
 def dump_database(db: "Database") -> str:
     """A full textual dump of *db* (runs in its own transaction if needed)."""
     manager = db.txn_manager
@@ -85,6 +101,7 @@ def dump_database(db: "Database") -> str:
             ("objects", describe_objects(db)),
             ("active triggers", describe_triggers(db)),
             ("integrity", db.trigger_system.verify_integrity() or ["ok"]),
+            ("analysis", describe_analysis(db)),
         ]
         parts = []
         for title, lines in sections:
@@ -97,7 +114,18 @@ def dump_database(db: "Database") -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    import sys
+
     from repro.objects.database import Database
+
+    if argv is None:
+        argv = sys.argv[1:]
+    # `python -m repro.tools lint ...` is the static analyzer's CLI; the
+    # positional-path form keeps its historical dump behaviour.
+    if argv and argv[0] == "lint":
+        from repro.analysis.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
 
     parser = argparse.ArgumentParser(description="Dump an Ode-repro database")
     parser.add_argument("path", help="database path")

@@ -1,0 +1,261 @@
+"""Deliberately-defective trigger declarations for the static analyzer.
+
+Each class (or hand-built machine) here seeds exactly one kind of finding,
+and the test suite asserts the analyzer reports it with the expected
+stable code.  The module doubles as a CLI fixture:
+
+    python -m repro.analysis tests/analysis_fixtures.py
+
+must report every finding listed below (the CLI picks up the classes via
+the process type registry and the raw machines via
+``__analysis_machines__``).
+
+Expected findings:
+
+==============================  =======
+fixture                         code
+==============================  =======
+BadVacuousMask.Gated            ODE010
+BadUnusedMask.Checked           ODE011
+BadSubsumedPair.Narrow          ODE020
+BadIdenticalPair.First          ODE021
+BadImmediateCascade (pair)      ODE030
+BadDeferredCascade (pair)       ODE031
+BadGhostPoster.Ghost            ODE032
+BadDetachedAbort.Abort          ODE040
+BadDeferredCommitWatch.Late     ODE041
+machine "unreachable-state"     ODE001
+machine "trap-state"            ODE002
+machine "never-accepts"         ODE003
+machine "vacuous-mask"          ODE010
+==============================  =======
+
+``CleanIncomparablePair`` and ``CleanOnceOnlyCycle`` are control groups:
+superficially similar declarations the analyzer must stay quiet about.
+"""
+
+from __future__ import annotations
+
+from repro.core.declarations import trigger
+from repro.events.fsm import Fsm, FsmState
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+
+def _noop(self, ctx) -> None:
+    pass
+
+
+class BadVacuousMask(Persistent):
+    """Once-only trigger whose mask only runs after acceptance is decided.
+
+    ``Ping || (Ping & maybe)``: the plain ``Ping`` branch accepts first, so
+    ``maybe`` is only ever evaluated in an accept state — the trigger fires
+    and deactivates regardless of the predicate.
+    """
+
+    counter = field(int, default=0)
+    __events__ = ["Ping"]
+    __masks__ = {"maybe": lambda self: self.counter > 0}
+    __triggers__ = [trigger("Gated", "Ping || (Ping & maybe)", action=_noop)]
+
+
+class BadUnusedMask(Persistent):
+    """Trigger-level mask predicate the expression never names."""
+
+    counter = field(int, default=0)
+    __events__ = ["Tick"]
+    __triggers__ = [
+        trigger(
+            "Checked",
+            "Tick",
+            action=_noop,
+            masks={"threshold": lambda self: self.counter > 10},
+        )
+    ]
+
+
+class BadSubsumedPair(Persistent):
+    """``Narrow`` (``Pay & big``) is language-included in ``Broad`` (``Pay``)."""
+
+    amount = field(float, default=0.0)
+    __events__ = ["Pay", "Refund"]
+    __masks__ = {"big": lambda self: self.amount > 100.0}
+    __triggers__ = [
+        trigger("Narrow", "Pay & big", action=_noop, perpetual=True),
+        trigger("Broad", "Pay", action=_noop, perpetual=True),
+    ]
+
+
+class BadIdenticalPair(Persistent):
+    """Two triggers accepting exactly the same event sequences."""
+
+    __events__ = ["Open", "Close"]
+    __triggers__ = [
+        trigger("First", "Open, Close", action=_noop),
+        trigger("Second", "Open, Close", action=_noop),
+    ]
+
+
+class BadImmediateCascade(Persistent):
+    """Perpetual immediate triggers that re-post each other's events."""
+
+    __events__ = ["PingEvent", "PongEvent"]
+    __triggers__ = [
+        trigger(
+            "Ping2Pong", "PingEvent", action=_noop, perpetual=True,
+            posts=("PongEvent",),
+        ),
+        trigger(
+            "Pong2Ping", "PongEvent", action=_noop, perpetual=True,
+            posts=("PingEvent",),
+        ),
+    ]
+
+
+class BadDeferredCascade(Persistent):
+    """The same cycle, but one link is deferred: loops across transactions."""
+
+    __events__ = ["Submit", "Review"]
+    __triggers__ = [
+        trigger(
+            "Submit2Review", "Submit", action=_noop, perpetual=True,
+            coupling="end", posts=("Review",),
+        ),
+        trigger(
+            "Review2Submit", "Review", action=_noop, perpetual=True,
+            posts=("Submit",),
+        ),
+    ]
+
+
+class BadGhostPoster(Persistent):
+    """``posts`` names a user event nobody declares."""
+
+    __events__ = ["Kick"]
+    __triggers__ = [
+        trigger("Ghost", "Kick", action=_noop, posts=("NoSuchEvent",))
+    ]
+
+
+def _detached_abort(self, ctx) -> None:
+    ctx.tabort("too late to matter")
+
+
+class BadDetachedAbort(Persistent):
+    """``tabort`` from a ``!dependent`` action aborts the wrong transaction."""
+
+    __events__ = ["Oops"]
+    __triggers__ = [
+        trigger(
+            "Abort", "Oops", action=_detached_abort, coupling="!dependent",
+            perpetual=True,
+        )
+    ]
+
+
+class BadDeferredCommitWatch(Persistent):
+    """Deferred trigger anchored on the commit event it races against."""
+
+    __events__ = ["before tcomplete"]
+    __triggers__ = [
+        trigger(
+            "Late", "before tcomplete", action=_noop, coupling="end",
+            perpetual=True,
+        )
+    ]
+
+
+# -- control groups: similar shapes the analyzer must accept -----------------
+
+
+class CleanIncomparablePair(Persistent):
+    """Two triggers on disjoint events: no inclusion either way."""
+
+    __events__ = ["Deposit", "Withdraw"]
+    __triggers__ = [
+        trigger("OnDeposit", "Deposit", action=_noop, perpetual=True),
+        trigger("OnWithdraw", "Withdraw", action=_noop, perpetual=True),
+    ]
+
+
+class CleanOnceOnlyCycle(Persistent):
+    """A posting cycle broken by a once-only trigger: self-limiting."""
+
+    __events__ = ["Ask", "Answer"]
+    __triggers__ = [
+        trigger("Ask2Answer", "Ask", action=_noop, posts=("Answer",)),
+        trigger(
+            "Answer2Ask", "Answer", action=_noop, perpetual=True,
+            posts=("Ask",),
+        ),
+    ]
+
+
+class CleanSuppressedPair(Persistent):
+    """A deliberate escalation pair with the overlap acknowledged."""
+
+    count = field(int, default=0)
+    __events__ = ["Hit"]
+    __triggers__ = [
+        trigger("AlertOnce", "Hit, Hit", action=_noop, perpetual=True),
+        trigger(
+            "Escalate", "Hit, Hit, Hit", action=_noop,
+            suppress=("ODE020",),
+        ),
+    ]
+
+
+# -- raw machines the compilation pipeline could never emit ------------------
+
+_MACHINE_ALPHABET = frozenset({"A", "B"})
+
+#: state 2 exists but nothing reaches it.
+_UNREACHABLE = Fsm(
+    [
+        FsmState(0, False, (), {"A": 1}),
+        FsmState(1, True, (), {}),
+        FsmState(2, False, (), {"A": 1}),
+    ],
+    start=0,
+    alphabet=_MACHINE_ALPHABET,
+    anchored=True,
+)
+
+#: state 2 is reachable but has no path back to the accept state.
+_TRAP = Fsm(
+    [
+        FsmState(0, False, (), {"A": 1, "B": 2}),
+        FsmState(1, True, (), {}),
+        FsmState(2, False, (), {"B": 2}),
+    ],
+    start=0,
+    alphabet=_MACHINE_ALPHABET,
+    anchored=True,
+)
+
+#: no accept state at all: the empty language.
+_NEVER = Fsm(
+    [FsmState(0, False, (), {"A": 0})],
+    start=0,
+    alphabet=_MACHINE_ALPHABET,
+    anchored=True,
+)
+
+#: a mask state whose True/False pseudo-transitions converge.
+_VACUOUS = Fsm(
+    [
+        FsmState(0, False, ("m",), {"true:m": 1, "false:m": 1, "A": 0}),
+        FsmState(1, True, (), {}),
+    ],
+    start=0,
+    alphabet=_MACHINE_ALPHABET | {"true:m", "false:m"},
+    anchored=True,
+)
+
+__analysis_machines__ = {
+    "unreachable-state": _UNREACHABLE,
+    "trap-state": _TRAP,
+    "never-accepts": _NEVER,
+    "vacuous-mask": _VACUOUS,
+}

@@ -1,0 +1,101 @@
+"""Property-based check: ``minimize_fsm`` preserves the accepted language.
+
+Random event expressions are compiled twice — once with the
+minimize+prune pipeline, once raw — and both machines are driven through
+random event streams under the same mask oracle.  At every step the
+accept outcome must agree, and for anchored machines so must deadness.
+This is the semantic contract the static analyzer leans on: subsumption
+verdicts (ODE020/ODE021) are computed on minimized machines but claimed
+about the declared expressions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EventError
+from repro.events.compile import compile_expression
+from repro.events.fsm import DEAD
+
+DECLS = ["A", "B", "C"]
+MASKS = ["m", "n"]
+
+_atoms = st.sampled_from(["A", "B", "C", "(A & m)", "(B & n)", "(C & m)"])
+
+_expressions = st.recursive(
+    _atoms,
+    lambda child: st.one_of(
+        st.tuples(child, child).map(lambda t: f"({t[0]}, {t[1]})"),
+        st.tuples(child, child).map(lambda t: f"({t[0]} || {t[1]})"),
+        child.map(lambda e: f"*({e})"),
+        child.map(lambda e: f"+({e})"),
+        st.tuples(child, child).map(lambda t: f"relative({t[0]}, {t[1]})"),
+    ),
+    max_leaves=5,
+)
+
+# "D" is out-of-alphabet: both machines must ignore it identically.
+_streams = st.lists(st.sampled_from(["A", "B", "C", "D"]), max_size=10)
+
+_mask_values = st.fixed_dictionaries(
+    {name: st.booleans() for name in MASKS}
+)
+
+
+def _compile_both(text):
+    """Compile raw and minimized; discards nullable random expressions
+    (the compiler rejects them: a trigger cannot fire on an empty match)."""
+    try:
+        raw = compile_expression(
+            text, DECLS, known_masks=MASKS, minimize=False
+        ).fsm
+        small = compile_expression(
+            text, DECLS, known_masks=MASKS, minimize=True
+        ).fsm
+    except EventError:
+        assume(False)
+    return raw, small
+
+
+def _trace(fsm, stream, mask_values):
+    """Drive one machine; returns the per-step (accepted, dead) outcomes."""
+    evaluate = lambda name: mask_values.get(name, False)
+    state, _ = fsm.quiesce(fsm.start, evaluate)
+    outcomes = [(False, state == DEAD)]
+    for symbol in stream:
+        result = fsm.advance(state, symbol, evaluate)
+        state = result.state
+        outcomes.append((result.accepted, state == DEAD))
+    return outcomes
+
+
+class TestMinimizePreservesLanguage:
+    @settings(max_examples=80, deadline=None)
+    @given(text=_expressions, stream=_streams, mask_values=_mask_values)
+    def test_unanchored_outcomes_identical(self, text, stream, mask_values):
+        raw, small = _compile_both(text)
+        assert len(small) <= len(raw)
+        assert _trace(raw, stream, mask_values) == _trace(
+            small, stream, mask_values
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(text=_expressions, stream=_streams, mask_values=_mask_values)
+    def test_anchored_outcomes_identical(self, text, stream, mask_values):
+        raw, small = _compile_both(f"^({text})")
+        assert _trace(raw, stream, mask_values) == _trace(
+            small, stream, mask_values
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(text=_expressions, stream=_streams, mask_values=_mask_values)
+    def test_minimize_twice_changes_nothing(self, text, stream, mask_values):
+        from repro.events.minimize import minimize_fsm
+
+        _, small = _compile_both(text)
+        again = minimize_fsm(small)
+        assert len(again) == len(small)
+        assert _trace(again, stream, mask_values) == _trace(
+            small, stream, mask_values
+        )

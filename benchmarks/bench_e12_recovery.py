@@ -10,16 +10,23 @@ Two halves:
    committing transaction survives a crash *before* it executes and runs
    on restart: the "once started will never stop trying" contract that
    reasonable after-commit semantics require.
+3. **Injected crash points** — the fault-injection harness crashes the
+   standard workload at representative failpoints and reports each
+   recovery's stats, with every invariant (atomicity, index/trigger-state
+   consistency, phoenix exactly-once, fsck-clean) checked inside
+   ``crash_and_verify``.
 """
 
 import pytest
 
+from repro.faults.harness import crash_and_verify, record_trace, select_hits
 from repro.objects.database import Database
 from repro.workloads.credit_card import CredCard
 
 from benchmarks.common import emit_table
 
 _RESULTS: list[list[str]] = []
+_FAULT_RESULTS: list[list[str]] = []
 
 
 @pytest.mark.parametrize("n_txns", [50, 200])
@@ -35,9 +42,13 @@ def test_recovery_after_crash(benchmark, tmp_path, n_txns):
             db.deref(ptr).buy(None, 1.0)
     # One uncommitted transaction in flight at the crash: this buy pushes
     # the balance over 80% of the limit, so MoreCred arms the FSM — a
-    # logged TriggerState write that recovery must undo.
+    # logged TriggerState write that recovery must undo.  The explicit
+    # force stands in for a group commit or page eviction persisting the
+    # loser's records (STEAL): without it, simulate_crash drops the
+    # unforced tail and there is nothing to undo.
     txn = db.txn_manager.begin()
     db.deref(ptr).buy(None, 2e9)
+    db.storage._wal.force()
     db.simulate_crash()
 
     def reopen():
@@ -90,6 +101,45 @@ def test_phoenix_after_tcommit_survives_crash(benchmark, tmp_path):
     _RESULTS.append(["phoenix", "-", "-", "-", "-", "ran after crash"])
 
 
+def test_recovery_under_injected_faults(benchmark, tmp_path):
+    """Crash the standard harness workload at one representative hit per
+    failpoint family and report each recovery's stats."""
+    base = str(tmp_path / "e12-faults")
+    trace = record_trace(base + "-trace")
+    # First hit of each distinct failpoint, one per family, in hit order.
+    seen_families: set[str] = set()
+    picks: list[int] = []
+    for i in select_hits(trace, None):
+        family = trace[i].point.split(".", 1)[0]
+        if family not in seen_families:
+            seen_families.add(family)
+            picks.append(i)
+
+    def run_picks():
+        return [
+            crash_and_verify(f"{base}-h{i}", i, trace[i].point)
+            for i in picks
+        ]
+
+    outcomes = benchmark.pedantic(run_picks, rounds=1, iterations=1)
+    for outcome in outcomes:
+        stats = outcome.recovery
+        _FAULT_RESULTS.append(
+            [
+                outcome.point,
+                outcome.hit,
+                outcome.matched,
+                stats.winners,
+                stats.losers,
+                stats.redo_applied,
+                stats.undo_applied,
+                "clean" if not outcome.fsck_findings else "DIRTY",
+            ]
+        )
+    assert len(outcomes) == len(picks)
+    assert all(not o.fsck_findings for o in outcomes)
+
+
 def teardown_module(module):
     emit_table(
         "E12",
@@ -100,5 +150,26 @@ def teardown_module(module):
             "Committed FSM advances survive the crash; the in-flight "
             "transaction's advance is undone; phoenix intentions execute on "
             "restart (Sections 5.5, 6, 8)."
+        ),
+    )
+    emit_table(
+        "E12b",
+        "recovery under injected faults (one crash per failpoint family)",
+        [
+            "crash point",
+            "hit",
+            "state",
+            "winners",
+            "losers",
+            "redo",
+            "undo",
+            "fsck",
+        ],
+        _FAULT_RESULTS,
+        notes=(
+            "Each row crashes the standard workload at an injected "
+            "failpoint, reopens, recovers, and passes the full invariant "
+            "suite (atomicity vs the model, index and trigger-state "
+            "consistency, phoenix exactly-once, fsck clean)."
         ),
     )

@@ -43,8 +43,59 @@ class WALError(StorageError):
     """The write-ahead log is corrupt or was misused."""
 
 
+class PageChecksumError(PageError):
+    """A page read back from disk failed its checksum (torn write/bit rot)."""
+
+    def __init__(self, page_no: int, stored: int, computed: int):
+        self.page_no = page_no
+        self.stored = stored
+        self.computed = computed
+        super().__init__(
+            f"page {page_no} checksum mismatch: "
+            f"stored {stored:#010x}, computed {computed:#010x}"
+        )
+
+
 class RecoveryError(StorageError):
     """Crash recovery could not be completed."""
+
+
+class TransientIOError(OSError):
+    """An injected, retryable I/O failure (``EIO``-style hiccup).
+
+    Subclasses :class:`OSError` — not :class:`StorageError` — because the
+    engine's retry loops must treat injected transient faults exactly like
+    the real ``OSError`` they model; nothing above the retry layer should
+    ever observe one.
+    """
+
+
+class UnrecoverableMediaError(StorageError):
+    """The medium failed permanently; retrying cannot help.
+
+    The engine reacts by *degrading to read-only* rather than risking a
+    corrupt store: committed state stays readable, mutations are refused
+    with :class:`ReadOnlyStorageError`.
+    """
+
+
+class ReadOnlyStorageError(StorageError):
+    """A mutation was attempted on a storage manager degraded to read-only."""
+
+
+class InjectedCrashError(BaseException):  # noqa: N818 - control flow
+    """A fault-injection point simulated a process crash.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so that
+    ``except Exception`` recovery paths in the engine cannot swallow it —
+    a crashed process does not run exception handlers.  Only the crash
+    harness catches it.
+    """
+
+    def __init__(self, point: str, hit: int):
+        self.point = point
+        self.hit = hit
+        super().__init__(f"injected crash at failpoint {point!r} (hit #{hit})")
 
 
 class LockError(StorageError):

@@ -198,18 +198,32 @@ class Fsm:
         paper's step (c) checks whether an accept state "has been reached",
         so passing *through* one during the pseudo-event cascade must still
         fire the trigger even when a failed mask then moves the machine on.
+
+        A mask predicate is evaluated against a single instant — no events
+        intervene during the cascade — so each mask has exactly one value
+        here (memoized; the rescan oracle likewise records one outcome per
+        posting).  With outcomes fixed the cascade is a deterministic walk
+        over finitely many states: it either reaches a mask-free state or
+        revisits a state, and a revisited state is a fixpoint (a mask on a
+        nullable loop, e.g. ``relative((*a) & m, b)``, restarts its own
+        obligation) — re-checking cannot change anything, so quiescing
+        stops there and the machine rests until the next real event.
         """
         current = statenum
         pseudo_steps = 0
         seen_accept = current != DEAD and self.states[current].accept
+        outcomes: dict[str, bool] = {}
+        visited = {current}
         while current != DEAD and self.states[current].masks:
-            if pseudo_steps >= MAX_PSEUDO_STEPS:
+            if pseudo_steps >= MAX_PSEUDO_STEPS:  # pragma: no cover - backstop
                 raise FSMError(
                     f"mask cascade did not quiesce after {MAX_PSEUDO_STEPS} "
                     "pseudo-events; the expression loops on a mask"
                 )
             mask = self.states[current].masks[0]
-            outcome = bool(evaluate_mask(mask))
+            outcome = outcomes.get(mask)
+            if outcome is None:
+                outcome = outcomes[mask] = bool(evaluate_mask(mask))
             pseudo = (TRUE_PREFIX if outcome else FALSE_PREFIX) + mask
             nxt, pseudo_consumed = self.move(current, pseudo)
             pseudo_steps += 1
@@ -219,6 +233,9 @@ class Fsm:
             seen_accept = seen_accept or (
                 current != DEAD and self.states[current].accept
             )
+            if current in visited:
+                break  # pseudo-cycle: this instant's fixpoint
+            visited.add(current)
         return current, pseudo_steps, seen_accept
 
     def advance(

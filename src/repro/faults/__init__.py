@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the storage stack.
+
+`repro.faults` provides:
+
+* :class:`~repro.faults.injector.FaultInjector` — named failpoints threaded
+  through ``PagedFile``, ``WriteAheadLog``, ``BufferPool`` and both storage
+  managers.  A fault plan arms crashes, torn writes, bit flips, transient
+  ``OSError`` hiccups and permanent media failures at specific hit counts.
+* :mod:`repro.faults.harness` — the crash-matrix explorer: run a workload
+  in recording mode to discover every failpoint hit, then re-run it once
+  per hit with a crash armed there, reopen, recover, and check invariants.
+
+The injector is dependency-free (it imports only :mod:`repro.errors`), so
+the storage layer can import it without cycles.  The harness imports the
+full database stack and must only be imported by tests/tools.
+"""
+
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    RetryPolicy,
+    with_retry,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "NULL_INJECTOR",
+    "RetryPolicy",
+    "with_retry",
+]

@@ -66,20 +66,30 @@ class Database:
             self.storage = open_storage(path, engine="mm", **engine_kwargs)
         else:
             self.storage = open_storage(path, engine=engine, **engine_kwargs)
-        self.txn_manager = TransactionManager(self)
-        self.phoenix = PhoenixQueue(self)
-        self._catalog_rid: int | None = None
-        self._clusters: dict[str, Cluster] = {}
-        self._closed = False
-        # Attached below; kept as an attribute so the object layer has no
-        # import-time dependency on the trigger system.
-        self.trigger_system = None
-        self._bootstrap()
-        self._attach_trigger_system()
-        Database._open_databases[name] = self
-        # Crash-restart semantics: finish any phoenix intentions left over.
-        # Non-strict: kinds whose handlers are registered later stay queued.
-        self.phoenix.drain(strict=False)
+        try:
+            self.txn_manager = TransactionManager(self)
+            self.phoenix = PhoenixQueue(self)
+            self._catalog_rid: int | None = None
+            self._clusters: dict[str, Cluster] = {}
+            self._closed = False
+            # Attached below; kept as an attribute so the object layer has no
+            # import-time dependency on the trigger system.
+            self.trigger_system = None
+            self._bootstrap()
+            self._attach_trigger_system()
+            Database._open_databases[name] = self
+            # Crash-restart semantics: finish any phoenix intentions left
+            # over.  Non-strict: kinds whose handlers are registered later
+            # stay queued.
+            self.phoenix.drain(strict=False)
+        except BaseException:
+            # The open-time drain (or bootstrap) died — possibly an
+            # injected crash.  Release the name and the storage fds so the
+            # process can reopen this path; on-disk state is left exactly
+            # as the failure left it.
+            Database._open_databases.pop(name, None)
+            self.storage.simulate_crash()
+            raise
 
     # -- class-level lookup -----------------------------------------------------
 

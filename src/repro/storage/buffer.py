@@ -5,27 +5,74 @@
 with pin counts and LRU replacement of unpinned frames; dirty frames are
 written back on eviction or on an explicit flush (NO-FORCE at commit — the
 write-ahead log makes committed work durable, not page flushes).
+
+Robustness hooks threaded through this layer:
+
+* every page carries a trailing CRC32 (see :mod:`repro.storage.page`),
+  stamped on write and verified on read — torn page writes and bit rot
+  raise :class:`~repro.errors.PageChecksumError` instead of decoding
+  garbage;
+* transient ``OSError``s around ``pread``/``pwrite``/``fsync`` are retried
+  with bounded exponential backoff (:func:`repro.faults.with_retry`);
+* named failpoints (``page.read``, ``page.write``, ``page.sync``,
+  ``pool.evict``) let the fault injector crash, corrupt, or fail each
+  physical operation deterministically.
 """
 
 from __future__ import annotations
 
 import os
+import struct
+import zlib
 from collections import OrderedDict
 
-from repro.errors import BufferPoolError, PageError
-from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.errors import BufferPoolError, PageChecksumError, PageError
+from repro.faults.injector import NULL_INJECTOR, FaultInjector, with_retry
+from repro.storage.page import PAGE_SIZE, USABLE_END, SlottedPage
+
+_CRC = struct.Struct("<I")
+
+
+def stamp_checksum(raw: bytearray) -> None:
+    """Write the CRC32 of the page body into its trailing checksum field."""
+    _CRC.pack_into(raw, USABLE_END, zlib.crc32(bytes(raw[:USABLE_END])))
+
+
+def checksum_ok(raw: bytes | bytearray) -> bool:
+    """Whether a page's stored CRC matches its body.
+
+    An all-zero page is accepted as a valid never-initialized page: its
+    checksum field was never stamped, and there is no content to protect.
+    """
+    (stored,) = _CRC.unpack_from(raw, USABLE_END)
+    if stored == zlib.crc32(bytes(raw[:USABLE_END])):
+        return True
+    return not any(raw)
 
 
 class PagedFile:
     """Page-granular I/O over a single OS file."""
 
-    def __init__(self, path: str):
+    def __init__(
+        self,
+        path: str,
+        *,
+        injector: FaultInjector = NULL_INJECTOR,
+        stats=None,
+    ):
         self.path = str(path)
+        self.injector = injector
+        self._stats = stats
         flags = os.O_RDWR | os.O_CREAT
         self._fd = os.open(self.path, flags, 0o644)
         size = os.fstat(self._fd).st_size
         if size % PAGE_SIZE:
-            raise PageError(f"{path}: size {size} is not a multiple of {PAGE_SIZE}")
+            # A torn append: the process died while extending the file.
+            # The partial tail page was never acknowledged to anyone (page
+            # allocation is only durable once the header/WAL says so), so
+            # discard it rather than refuse to open.
+            size -= size % PAGE_SIZE
+            os.ftruncate(self._fd, size)
         self._num_pages = size // PAGE_SIZE
         self._closed = False
 
@@ -33,28 +80,72 @@ class PagedFile:
     def num_pages(self) -> int:
         return self._num_pages
 
+    def _count_retry(self) -> None:
+        if self._stats is not None:
+            self._stats.io_retries += 1
+
     def allocate_page(self) -> int:
-        """Append a zeroed page, returning its page number."""
+        """Append a zeroed (checksum-stamped) page, returning its number."""
         page_no = self._num_pages
-        os.pwrite(self._fd, bytes(PAGE_SIZE), page_no * PAGE_SIZE)
+        raw = bytearray(PAGE_SIZE)
+        stamp_checksum(raw)
+
+        def op():
+            data, crash_after = self.injector.fire_write(
+                "page.write", bytes(raw), page_no=page_no, allocate=True
+            )
+            os.pwrite(self._fd, data, page_no * PAGE_SIZE)
+            if crash_after:
+                os.fsync(self._fd)
+                self.injector.crash_pending("page.write")
+
+        with_retry(op, on_retry=self._count_retry)
         self._num_pages += 1
         return page_no
 
     def read_page(self, page_no: int) -> bytearray:
         if not 0 <= page_no < self._num_pages:
             raise PageError(f"page {page_no} out of range (have {self._num_pages})")
-        data = os.pread(self._fd, PAGE_SIZE, page_no * PAGE_SIZE)
-        return bytearray(data)
+
+        def op():
+            self.injector.fire("page.read", page_no=page_no)
+            return os.pread(self._fd, PAGE_SIZE, page_no * PAGE_SIZE)
+
+        data = bytearray(with_retry(op, on_retry=self._count_retry))
+        if not checksum_ok(data):
+            (stored,) = _CRC.unpack_from(data, USABLE_END)
+            raise PageChecksumError(
+                page_no, stored, zlib.crc32(bytes(data[:USABLE_END]))
+            )
+        return data
 
     def write_page(self, page_no: int, raw: bytes | bytearray) -> None:
         if len(raw) != PAGE_SIZE:
             raise PageError(f"write_page needs {PAGE_SIZE} bytes, got {len(raw)}")
         if not 0 <= page_no < self._num_pages:
             raise PageError(f"page {page_no} out of range (have {self._num_pages})")
-        os.pwrite(self._fd, bytes(raw), page_no * PAGE_SIZE)
+        stamped = bytearray(raw)
+        stamp_checksum(stamped)
+
+        def op():
+            # Faults mangle the bytes *after* the checksum is stamped, so
+            # injected corruption is always detectable on the next read.
+            data, crash_after = self.injector.fire_write(
+                "page.write", bytes(stamped), page_no=page_no
+            )
+            os.pwrite(self._fd, data, page_no * PAGE_SIZE)
+            if crash_after:
+                os.fsync(self._fd)
+                self.injector.crash_pending("page.write")
+
+        with_retry(op, on_retry=self._count_retry)
 
     def sync(self) -> None:
-        os.fsync(self._fd)
+        def op():
+            self.injector.fire("page.sync")
+            os.fsync(self._fd)
+
+        with_retry(op, on_retry=self._count_retry)
 
     def close(self) -> None:
         if not self._closed:
@@ -72,13 +163,20 @@ class _Frame:
 
 
 class BufferPool:
-    """Fixed-capacity page cache with pinning and LRU replacement."""
+    """Fixed-capacity page cache with pinning and LRU replacement.
+
+    When :attr:`read_only` is set (the engine degraded after an
+    unrecoverable media error) the pool stops writing entirely: flushes
+    become no-ops and eviction discards only *clean* frames, growing past
+    capacity rather than touching the failed medium.
+    """
 
     def __init__(self, file: PagedFile, capacity: int = 128, stats=None, pre_write=None):
         if capacity < 1:
             raise BufferPoolError("buffer pool capacity must be >= 1")
         self.file = file
         self.capacity = capacity
+        self.read_only = False
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         self._stats = stats
         # Called before any dirty frame reaches disk — the engine forces the
@@ -113,6 +211,8 @@ class BufferPool:
     # -- flushing -----------------------------------------------------------
 
     def flush_page(self, page_no: int) -> None:
+        if self.read_only:
+            return
         frame = self._frames.get(page_no)
         if frame is not None and frame.dirty:
             if self._pre_write is not None:
@@ -121,6 +221,8 @@ class BufferPool:
             frame.dirty = False
 
     def flush_all(self) -> None:
+        if self.read_only:
+            return
         for page_no in list(self._frames):
             self.flush_page(page_no)
         self.file.sync()
@@ -139,6 +241,9 @@ class BufferPool:
         for page_no, frame in self._frames.items():
             if frame.pin_count == 0:
                 if frame.dirty:
+                    if self.read_only:
+                        continue  # never write through a failed medium
+                    self.file.injector.fire("pool.evict", page_no=page_no)
                     if self._pre_write is not None:
                         self._pre_write()
                     self.file.write_page(page_no, frame.page.raw)
@@ -146,6 +251,8 @@ class BufferPool:
                 if self._stats is not None:
                     self._stats.page_evictions += 1
                 return
+        if self.read_only:
+            return  # grow past capacity rather than touch the medium
         raise BufferPoolError("buffer pool exhausted: every frame is pinned")
 
     def cached_pages(self) -> frozenset[int]:

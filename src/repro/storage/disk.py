@@ -23,9 +23,16 @@ Physical record encoding (first byte is a flag):
 
 Page 0 is a header page holding a magic string and the committed root rid.
 
-Crash model: :meth:`simulate_crash` drops the buffer pool and closes the
-files without flushing, so only WAL-protected state survives — the next
-open runs :mod:`repro.storage.recovery`.
+Crash model: :meth:`simulate_crash` closes the files without flushing *and
+drops the unforced WAL tail* (``WriteAheadLog.crash``) — a real crash loses
+everything the OS page cache held, so only fsynced state survives.  The
+next open runs :mod:`repro.storage.recovery`.
+
+Media model: an :class:`~repro.errors.UnrecoverableMediaError` from any
+write path degrades the manager to read-only — committed state stays
+readable, every later mutation raises
+:class:`~repro.errors.ReadOnlyStorageError`, and close drops the unforced
+log tail so no half-acknowledged commit surfaces after restart.
 """
 
 from __future__ import annotations
@@ -35,14 +42,17 @@ from collections.abc import Iterator
 
 from repro.errors import (
     PageFullError,
+    ReadOnlyStorageError,
     RecordNotFoundError,
     StorageError,
+    UnrecoverableMediaError,
     WALError,
 )
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.storage.buffer import BufferPool, PagedFile
 from repro.storage.interface import StorageManager
 from repro.storage.locks import LockManager, LockMode
-from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.page import PAGE_SIZE, USABLE_END, SlottedPage
 from repro.storage.recovery import RecoveryStats, recover
 from repro.storage.wal import LogRecord, LogRecordKind, WriteAheadLog
 
@@ -97,24 +107,45 @@ def unpack_rid(rid: int) -> tuple[int, int]:
 class DiskStorageManager(StorageManager):
     """Transactional slotted-page store with WAL recovery and 2PL."""
 
-    def __init__(self, path: str, buffer_capacity: int = 128):
+    def __init__(
+        self,
+        path: str,
+        buffer_capacity: int = 128,
+        injector: FaultInjector = NULL_INJECTOR,
+    ):
         super().__init__()
         self.path = str(path)
-        self._file = PagedFile(self.path + ".data")
-        self._wal = WriteAheadLog(self.path + ".wal", stats=self.stats)
-        self._pool = BufferPool(
-            self._file,
-            capacity=buffer_capacity,
-            stats=self.stats,
-            pre_write=self._wal.force,
+        self.injector = injector
+        self.degraded = False
+        self._file = PagedFile(
+            self.path + ".data", injector=injector, stats=self.stats
         )
-        self._locks = LockManager()
-        self._active: dict[int, list[LogRecord]] = {}
-        self._page_free: dict[int, int] = {}
-        self._root = self.NO_ROOT
-        self._closed = False
-        self.last_recovery: RecoveryStats | None = None
-        self._bootstrap()
+        self._wal = None
+        try:
+            self._wal = WriteAheadLog(
+                self.path + ".wal", stats=self.stats, injector=injector
+            )
+            self._pool = BufferPool(
+                self._file,
+                capacity=buffer_capacity,
+                stats=self.stats,
+                pre_write=self._wal.force,
+            )
+            self._locks = LockManager()
+            self._active: dict[int, list[LogRecord]] = {}
+            self._page_free: dict[int, int] = {}
+            self._root = self.NO_ROOT
+            self._closed = False
+            self.last_recovery: RecoveryStats | None = None
+            self._bootstrap()
+        except BaseException:
+            # Construction failed (corrupt log, injected crash, ...): do
+            # not leak the file descriptors — the crash harness reopens
+            # the same path hundreds of times in one process.
+            self._file.close()
+            if self._wal is not None:
+                self._wal.crash()
+            raise
 
     # -- bootstrap / recovery -------------------------------------------------
 
@@ -137,6 +168,12 @@ class DiskStorageManager(StorageManager):
         raw = self._file.read_page(0)
         magic, root = _HEADER_FMT.unpack_from(raw, 0)
         if magic != _MAGIC:
+            if not any(raw[:USABLE_END]):
+                # A crash between allocating page 0 and stamping the
+                # header leaves a zeroed (CRC-only) page: finish that
+                # interrupted bootstrap.
+                self._write_header()
+                return
             raise StorageError(f"{self.path}: not an Ode-repro data file")
         self._root = root
 
@@ -179,6 +216,30 @@ class DiskStorageManager(StorageManager):
         if self._exists_raw(rid):
             self._delete_raw(rid)
 
+    # -- media degrade ---------------------------------------------------------
+
+    def _degrade(self) -> None:
+        """The medium failed permanently: stop writing, keep reading."""
+        self.degraded = True
+        self._pool.read_only = True
+
+    def _check_writable(self) -> None:
+        if self.degraded:
+            raise ReadOnlyStorageError(
+                f"{self.path}: degraded to read-only after a media error"
+            )
+
+    def _append_logged(self, txid, kind, rid=-1, before=b"", after=b"") -> LogRecord:
+        """WAL append that degrades the engine on permanent media failure."""
+        try:
+            return self._wal.append(txid, kind, rid, before, after)
+        except UnrecoverableMediaError as exc:
+            self._degrade()
+            raise ReadOnlyStorageError(
+                f"{self.path}: log append failed permanently; "
+                "database degraded to read-only"
+            ) from exc
+
     # -- transaction control ------------------------------------------------------
 
     def begin_transaction(self, txid: int) -> None:
@@ -186,13 +247,33 @@ class DiskStorageManager(StorageManager):
         if txid in self._active:
             raise StorageError(f"transaction {txid} already active")
         self._active[txid] = []
-        self._wal.append(txid, LogRecordKind.BEGIN)
+        if not self.degraded:  # read-only transactions stay possible
+            self._append_logged(txid, LogRecordKind.BEGIN)
 
     def commit_transaction(self, txid: int) -> None:
         self._check_open()
-        self._require_active(txid)
-        self._wal.append(txid, LogRecordKind.COMMIT)
-        self._wal.force()
+        records = self._require_active(txid)
+        if self.degraded:
+            if records:
+                raise ReadOnlyStorageError(
+                    f"cannot commit transaction {txid}: "
+                    "database degraded to read-only with logged mutations"
+                )
+            del self._active[txid]
+            self._locks.release_all(txid)
+            self.stats.commits += 1
+            return
+        self.injector.fire("txn.commit.begin", txid=txid)
+        try:
+            self._wal.append(txid, LogRecordKind.COMMIT)
+            self._wal.force()
+        except UnrecoverableMediaError as exc:
+            self._degrade()
+            raise ReadOnlyStorageError(
+                f"commit of transaction {txid} failed permanently; "
+                "database degraded to read-only"
+            ) from exc
+        self.injector.fire("txn.commit.durable", txid=txid)
         del self._active[txid]
         self._locks.release_all(txid)
         self.stats.commits += 1
@@ -202,15 +283,25 @@ class DiskStorageManager(StorageManager):
         records = self._require_active(txid)
         for record in reversed(records):
             compensation = record.inverse()
-            self._wal.append(
-                txid,
-                compensation.kind,
-                compensation.rid,
-                compensation.before,
-                compensation.after,
-            )
+            if not self.degraded:
+                try:
+                    self._wal.append(
+                        txid,
+                        compensation.kind,
+                        compensation.rid,
+                        compensation.before,
+                        compensation.after,
+                    )
+                except UnrecoverableMediaError:
+                    # Keep undoing in memory; recovery replays the loser
+                    # from the (fsynced prefix of the) log at next open.
+                    self._degrade()
             self._redo(compensation)
-        self._wal.append(txid, LogRecordKind.ABORT)
+        if not self.degraded:
+            try:
+                self._wal.append(txid, LogRecordKind.ABORT)
+            except UnrecoverableMediaError:
+                self._degrade()
         del self._active[txid]
         self._locks.release_all(txid)
         self.stats.aborts += 1
@@ -228,10 +319,17 @@ class DiskStorageManager(StorageManager):
 
     def insert(self, txid: int, data: bytes) -> int:
         self._check_open()
+        self._check_writable()
         self._require_active(txid)
         rid = self._insert_raw(bytes(data))
         self._locks.acquire_or_raise(txid, rid, LockMode.X)
-        record = self._wal.append(txid, LogRecordKind.INSERT, rid, b"", bytes(data))
+        try:
+            record = self._append_logged(
+                txid, LogRecordKind.INSERT, rid, b"", bytes(data)
+            )
+        except ReadOnlyStorageError:
+            self._delete_raw(rid)  # un-place the unlogged record (in memory)
+            raise
         self._active[txid].append(record)
         self.stats.inserts += 1
         return rid
@@ -245,10 +343,11 @@ class DiskStorageManager(StorageManager):
 
     def write(self, txid: int, rid: int, data: bytes) -> None:
         self._check_open()
+        self._check_writable()
         self._require_active(txid)
         self._locks.acquire_or_raise(txid, rid, LockMode.X)
         before = self._read_raw(rid)
-        record = self._wal.append(
+        record = self._append_logged(
             txid, LogRecordKind.UPDATE, rid, before, bytes(data)
         )
         self._active[txid].append(record)
@@ -257,10 +356,11 @@ class DiskStorageManager(StorageManager):
 
     def delete(self, txid: int, rid: int) -> None:
         self._check_open()
+        self._check_writable()
         self._require_active(txid)
         self._locks.acquire_or_raise(txid, rid, LockMode.X)
         before = self._read_raw(rid)
-        record = self._wal.append(txid, LogRecordKind.DELETE, rid, before, b"")
+        record = self._append_logged(txid, LogRecordKind.DELETE, rid, before, b"")
         self._active[txid].append(record)
         self._delete_raw(rid)
         self.stats.deletes += 1
@@ -299,9 +399,10 @@ class DiskStorageManager(StorageManager):
 
     def set_root(self, txid: int, rid: int) -> None:
         self._check_open()
+        self._check_writable()
         self._require_active(txid)
         self._locks.acquire_or_raise(txid, _ROOT_RESOURCE, LockMode.X)
-        record = self._wal.append(
+        record = self._append_logged(
             txid,
             LogRecordKind.SET_ROOT,
             -1,
@@ -316,13 +417,26 @@ class DiskStorageManager(StorageManager):
     def checkpoint(self) -> None:
         """Flush all pages + header and truncate the log."""
         self._check_open()
+        if self.degraded:
+            return  # nothing new can be made durable on a failed medium
         if self._active:
             raise StorageError("cannot checkpoint with active transactions")
-        self._wal.force()
-        self._pool.flush_all()
-        self._write_header()
-        self._file.sync()
-        self._wal.truncate()
+        try:
+            self.injector.fire("checkpoint.begin")
+            self._wal.force()
+            self._pool.flush_all()
+            self.injector.fire("checkpoint.after_flush")
+            self._write_header()
+            self._file.sync()
+            self.injector.fire("checkpoint.before_truncate")
+            self._wal.truncate()
+            self.injector.fire("checkpoint.end")
+        except UnrecoverableMediaError as exc:
+            self._degrade()
+            raise ReadOnlyStorageError(
+                f"{self.path}: checkpoint failed permanently; "
+                "database degraded to read-only"
+            ) from exc
 
     def close(self) -> None:
         if self._closed:
@@ -330,17 +444,32 @@ class DiskStorageManager(StorageManager):
         if self._active:
             for txid in list(self._active):
                 self.abort_transaction(txid)
-        self.checkpoint()
-        self._wal.close()
+        if not self.degraded:
+            try:
+                self.checkpoint()
+            except ReadOnlyStorageError:
+                pass  # fall through to the degraded shutdown below
+        if self.degraded:
+            # The app may have been told a commit *failed* while its
+            # COMMIT record sits unforced in the log: dropping the
+            # unforced tail keeps the refusal honest across restarts.
+            self._wal.crash()
+        else:
+            self._wal.close()
         self._file.close()
         self._closed = True
 
     def simulate_crash(self) -> None:
-        """Drop volatile state without flushing — committed work must survive."""
+        """Die abruptly: volatile state is lost, only fsynced state survives.
+
+        Dirty buffer-pool pages vanish with the process and the *unforced*
+        WAL tail is dropped (a real crash loses whatever the OS page cache
+        held) — so a missing ``force()`` in the engine shows up as lost
+        commits in tests instead of being papered over.
+        """
         if self._closed:
             return
-        self._wal.force()  # commits already forced; keep torn-tail semantics simple
-        self._wal.close()
+        self._wal.crash()
         self._file.close()
         self._closed = True
 

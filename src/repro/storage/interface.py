@@ -17,6 +17,8 @@ import dataclasses
 from abc import ABC, abstractmethod
 from collections.abc import Iterator
 
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
+
 
 @dataclasses.dataclass
 class StorageStats:
@@ -33,6 +35,7 @@ class StorageStats:
     page_hits: int = 0
     page_misses: int = 0
     page_evictions: int = 0
+    io_retries: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Return the counters as a plain dict (for table printing)."""
@@ -55,6 +58,14 @@ class StorageManager(ABC):
     """
 
     NO_ROOT = -1
+
+    #: The fault injector threaded through the engine's I/O paths; the
+    #: shared no-op :data:`~repro.faults.injector.NULL_INJECTOR` by default.
+    injector: FaultInjector = NULL_INJECTOR
+
+    #: Set when the engine degraded to read-only after an unrecoverable
+    #: media error; mutations raise ``ReadOnlyStorageError`` from then on.
+    degraded: bool = False
 
     def __init__(self) -> None:
         self.stats = StorageStats()

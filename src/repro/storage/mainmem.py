@@ -20,7 +20,13 @@ import os
 import struct
 from collections.abc import Iterator
 
-from repro.errors import RecordNotFoundError, StorageError
+from repro.errors import (
+    ReadOnlyStorageError,
+    RecordNotFoundError,
+    StorageError,
+    UnrecoverableMediaError,
+)
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.storage.interface import StorageManager
 from repro.storage.locks import LockManager, LockMode
 from repro.storage.recovery import RecoveryStats, recover
@@ -36,9 +42,16 @@ _I64 = struct.Struct("<q")
 class MainMemoryStorageManager(StorageManager):
     """Transactional in-memory record store with optional durability."""
 
-    def __init__(self, path: str | None = None, durable: bool | None = None):
+    def __init__(
+        self,
+        path: str | None = None,
+        durable: bool | None = None,
+        injector: FaultInjector = NULL_INJECTOR,
+    ):
         super().__init__()
         self.path = str(path) if path is not None else None
+        self.injector = injector
+        self.degraded = False
         if durable is None:
             durable = path is not None
         if durable and path is None:
@@ -54,9 +67,17 @@ class MainMemoryStorageManager(StorageManager):
         self.last_recovery: RecoveryStats | None = None
         if self.durable:
             self._load_snapshot()
-            self._wal = WriteAheadLog(self.path + ".oplog", stats=self.stats)
-            self.last_recovery = recover(self._wal.replay(), self._redo, self._undo)
-            self.checkpoint()
+            self._wal = WriteAheadLog(
+                self.path + ".oplog", stats=self.stats, injector=injector
+            )
+            try:
+                self.last_recovery = recover(
+                    self._wal.replay(), self._redo, self._undo
+                )
+                self.checkpoint()
+            except BaseException:
+                self._wal.crash()  # no fd leaks on a failed/crashed open
+                raise
 
     # -- snapshot / recovery -------------------------------------------------
 
@@ -91,10 +112,14 @@ class MainMemoryStorageManager(StorageManager):
             parts.append(_SNAP_REC.pack(rid, len(data)))
             parts.append(data)
         tmp = self._snapshot_path() + ".tmp"
+        self.injector.fire("snapshot.write")
         with open(tmp, "wb") as fh:
             fh.write(b"".join(parts))
             fh.flush()
             os.fsync(fh.fileno())
+        # Atomic rename: a crash on either side leaves a usable snapshot
+        # (the old one before, the new one after).
+        self.injector.fire("snapshot.replace")
         os.replace(tmp, self._snapshot_path())
 
     def _redo(self, record: LogRecord) -> None:
@@ -114,6 +139,17 @@ class MainMemoryStorageManager(StorageManager):
         elif record.kind in (LogRecordKind.UPDATE, LogRecordKind.DELETE):
             self._store[record.rid] = record.before
 
+    # -- media degrade ---------------------------------------------------------
+
+    def _degrade(self) -> None:
+        self.degraded = True
+
+    def _check_writable(self) -> None:
+        if self.degraded:
+            raise ReadOnlyStorageError(
+                f"{self.path}: degraded to read-only after a media error"
+            )
+
     # -- transaction control ---------------------------------------------------
 
     def begin_transaction(self, txid: int) -> None:
@@ -121,15 +157,37 @@ class MainMemoryStorageManager(StorageManager):
         if txid in self._active:
             raise StorageError(f"transaction {txid} already active")
         self._active[txid] = []
-        if self._wal is not None:
-            self._wal.append(txid, LogRecordKind.BEGIN)
+        if self._wal is not None and not self.degraded:
+            try:
+                self._wal.append(txid, LogRecordKind.BEGIN)
+            except UnrecoverableMediaError as exc:
+                self._degrade()
+                raise ReadOnlyStorageError(
+                    f"{self.path}: log append failed permanently; "
+                    "database degraded to read-only"
+                ) from exc
 
     def commit_transaction(self, txid: int) -> None:
         self._check_open()
-        self._require_active(txid)
-        if self._wal is not None:
-            self._wal.append(txid, LogRecordKind.COMMIT)
-            self._wal.force()
+        records = self._require_active(txid)
+        if self.degraded:
+            if records:
+                raise ReadOnlyStorageError(
+                    f"cannot commit transaction {txid}: "
+                    "database degraded to read-only with logged mutations"
+                )
+        elif self._wal is not None:
+            self.injector.fire("txn.commit.begin", txid=txid)
+            try:
+                self._wal.append(txid, LogRecordKind.COMMIT)
+                self._wal.force()
+            except UnrecoverableMediaError as exc:
+                self._degrade()
+                raise ReadOnlyStorageError(
+                    f"commit of transaction {txid} failed permanently; "
+                    "database degraded to read-only"
+                ) from exc
+            self.injector.fire("txn.commit.durable", txid=txid)
         del self._active[txid]
         self._locks.release_all(txid)
         self.stats.commits += 1
@@ -139,17 +197,23 @@ class MainMemoryStorageManager(StorageManager):
         records = self._require_active(txid)
         for record in reversed(records):
             compensation = record.inverse()
-            if self._wal is not None:
-                self._wal.append(
-                    txid,
-                    compensation.kind,
-                    compensation.rid,
-                    compensation.before,
-                    compensation.after,
-                )
+            if self._wal is not None and not self.degraded:
+                try:
+                    self._wal.append(
+                        txid,
+                        compensation.kind,
+                        compensation.rid,
+                        compensation.before,
+                        compensation.after,
+                    )
+                except UnrecoverableMediaError:
+                    self._degrade()  # keep undoing in memory
             self._redo(compensation)
-        if self._wal is not None:
-            self._wal.append(txid, LogRecordKind.ABORT)
+        if self._wal is not None and not self.degraded:
+            try:
+                self._wal.append(txid, LogRecordKind.ABORT)
+            except UnrecoverableMediaError:
+                self._degrade()
         del self._active[txid]
         self._locks.release_all(txid)
         self.stats.aborts += 1
@@ -168,11 +232,19 @@ class MainMemoryStorageManager(StorageManager):
     def _log(self, txid, kind, rid=-1, before=b"", after=b"") -> None:
         record = LogRecord(0, txid, kind, rid, bytes(before), bytes(after))
         if self._wal is not None:
-            record = self._wal.append(txid, kind, rid, before, after)
+            try:
+                record = self._wal.append(txid, kind, rid, before, after)
+            except UnrecoverableMediaError as exc:
+                self._degrade()
+                raise ReadOnlyStorageError(
+                    f"{self.path}: log append failed permanently; "
+                    "database degraded to read-only"
+                ) from exc
         self._active[txid].append(record)
 
     def insert(self, txid: int, data: bytes) -> int:
         self._check_open()
+        self._check_writable()
         self._require_active(txid)
         rid = self._next_rid
         self._next_rid += 1
@@ -195,6 +267,7 @@ class MainMemoryStorageManager(StorageManager):
 
     def write(self, txid: int, rid: int, data: bytes) -> None:
         self._check_open()
+        self._check_writable()
         self._require_active(txid)
         self._locks.acquire_or_raise(txid, rid, LockMode.X)
         try:
@@ -207,6 +280,7 @@ class MainMemoryStorageManager(StorageManager):
 
     def delete(self, txid: int, rid: int) -> None:
         self._check_open()
+        self._check_writable()
         self._require_active(txid)
         self._locks.acquire_or_raise(txid, rid, LockMode.X)
         try:
@@ -239,6 +313,7 @@ class MainMemoryStorageManager(StorageManager):
 
     def set_root(self, txid: int, rid: int) -> None:
         self._check_open()
+        self._check_writable()
         self._require_active(txid)
         self._locks.acquire_or_raise(txid, _ROOT_RESOURCE, LockMode.X)
         self._log(
@@ -254,13 +329,25 @@ class MainMemoryStorageManager(StorageManager):
 
     def checkpoint(self) -> None:
         self._check_open()
+        if self.degraded:
+            return
         if self._active:
             raise StorageError("cannot checkpoint with active transactions")
         if not self.durable:
             return
-        self._write_snapshot()
-        assert self._wal is not None
-        self._wal.truncate()
+        try:
+            self.injector.fire("checkpoint.begin")
+            self._write_snapshot()
+            self.injector.fire("checkpoint.before_truncate")
+            assert self._wal is not None
+            self._wal.truncate()
+            self.injector.fire("checkpoint.end")
+        except UnrecoverableMediaError as exc:
+            self._degrade()
+            raise ReadOnlyStorageError(
+                f"{self.path}: checkpoint failed permanently; "
+                "database degraded to read-only"
+            ) from exc
 
     def close(self) -> None:
         if self._closed:
@@ -268,18 +355,30 @@ class MainMemoryStorageManager(StorageManager):
         for txid in list(self._active):
             self.abort_transaction(txid)
         if self.durable:
-            self.checkpoint()
+            if not self.degraded:
+                try:
+                    self.checkpoint()
+                except ReadOnlyStorageError:
+                    pass
             assert self._wal is not None
-            self._wal.close()
+            if self.degraded:
+                # Drop any unforced tail — e.g. a COMMIT whose force
+                # failed and which the application saw refused.
+                self._wal.crash()
+            else:
+                self._wal.close()
         self._closed = True
 
     def simulate_crash(self) -> None:
-        """Drop all volatile state; only snapshot + op-log survive."""
+        """Drop all volatile state; only snapshot + *forced* op-log survive.
+
+        Like the disk engine, the unforced log tail is truncated away — a
+        real crash loses whatever was never fsynced.
+        """
         if self._closed:
             return
         if self._wal is not None:
-            self._wal.force()
-            self._wal.close()
+            self._wal.crash()
         self._store.clear()
         self._closed = True
 

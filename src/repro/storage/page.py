@@ -11,6 +11,12 @@ where the next record will end, i.e. records are packed from the tail).
 Each slot is an ``(offset, length)`` pair; a deleted slot has offset
 ``TOMBSTONE`` so slot numbers stay stable (rids embed them) while the space
 is reclaimed lazily by :meth:`SlottedPage.compact`.
+
+The trailing :data:`CHECKSUM_SIZE` bytes of every page are reserved for a
+CRC32 stamped by ``PagedFile.write_page`` and verified on read — torn page
+writes and bit rot surface as :class:`~repro.errors.PageChecksumError`
+instead of silently decoding garbage.  The heap therefore packs against
+``PAGE_SIZE - CHECKSUM_SIZE``, never into the checksum field.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from collections.abc import Iterator
 from repro.errors import PageError, PageFullError
 
 PAGE_SIZE = 4096
+CHECKSUM_SIZE = 4  # trailing CRC32, stamped/verified by PagedFile
+USABLE_END = PAGE_SIZE - CHECKSUM_SIZE
 
 _HEADER = struct.Struct("<HH")  # slot_count, free_end
 _SLOT = struct.Struct("<HH")  # offset, length
@@ -36,7 +44,7 @@ class SlottedPage:
     def __init__(self, raw: bytearray | None = None):
         if raw is None:
             raw = bytearray(PAGE_SIZE)
-            _HEADER.pack_into(raw, 0, 0, PAGE_SIZE)
+            _HEADER.pack_into(raw, 0, 0, USABLE_END)
         if len(raw) != PAGE_SIZE:
             raise PageError(f"page must be exactly {PAGE_SIZE} bytes, got {len(raw)}")
         self.raw = raw
@@ -96,7 +104,7 @@ class SlottedPage:
         small); compacts the heap first if fragmentation is the only thing
         standing in the way.
         """
-        if len(data) > PAGE_SIZE - _HEADER_SIZE - _SLOT_SIZE:
+        if len(data) > USABLE_END - _HEADER_SIZE - _SLOT_SIZE:
             raise PageFullError(f"record of {len(data)} bytes can never fit in a page")
         free_slot = self._find_tombstone()
         reuse = free_slot is not None
@@ -199,7 +207,7 @@ class SlottedPage:
             for slot_no in range(self.slot_count)
             if self.is_live(slot_no)
         ]
-        end = PAGE_SIZE
+        end = USABLE_END
         for slot_no, data in live:
             end -= len(data)
             self.raw[end : end + len(data)] = data

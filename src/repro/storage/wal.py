@@ -10,9 +10,17 @@ On-disk format per record::
     <u32 payload_len> <u32 crc32(payload)> <payload>
 
 where payload is ``<u64 lsn> <u64 txid> <u8 kind> <i64 rid>
-<u32 before_len> before <u32 after_len> after``.  A torn tail (partial last
-record or CRC mismatch) is treated as the end of the log, as a real WAL
-would after a crash mid-write.
+<u32 before_len> before <u32 after_len> after``.  A torn *tail* (partial
+last record or CRC mismatch with nothing valid after it) is treated as the
+end of the log, as a real WAL would after a crash mid-write.  *Interior*
+corruption — a bad frame with valid frames still decodable after it —
+means committed history was damaged; :meth:`WriteAheadLog.replay` raises
+:class:`~repro.errors.WALError` carrying salvage info rather than silently
+dropping committed transactions.
+
+The log tracks its last-fsynced offset so :meth:`WriteAheadLog.crash` can
+simulate a real process death: everything after the last force is dropped,
+exactly what the page cache would lose at power-off.
 """
 
 from __future__ import annotations
@@ -25,10 +33,15 @@ import zlib
 from collections.abc import Iterator
 
 from repro.errors import WALError
+from repro.faults.injector import NULL_INJECTOR, FaultInjector, with_retry
 
 _FRAME = struct.Struct("<II")  # payload_len, crc
 _PAYLOAD_HEAD = struct.Struct("<QQBq")  # lsn, txid, kind, rid
 _LEN = struct.Struct("<I")
+
+#: Upper bound on a sane payload length, used when re-synchronizing after
+#: a corrupt frame — anything larger is noise, not a frame header.
+_MAX_SANE_PAYLOAD = 1 << 24
 
 
 class LogRecordKind(enum.IntEnum):
@@ -100,18 +113,37 @@ class LogRecord:
 class WriteAheadLog:
     """Append-only log file with CRC framing and explicit force points."""
 
-    def __init__(self, path: str, stats=None):
+    def __init__(
+        self,
+        path: str,
+        stats=None,
+        injector: FaultInjector = NULL_INJECTOR,
+    ):
         self.path = str(path)
+        self.injector = injector
         self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
         self._stats = stats
-        self._next_lsn = self._scan_next_lsn()
+        # Whatever is on disk at open survived (or was already forced);
+        # appends grow _size, forces advance _synced_size to match.
+        self._size = os.fstat(self._fd).st_size
+        self._synced_size = self._size
         self._closed = False
+        try:
+            self._next_lsn = self._scan_next_lsn()
+        except WALError:
+            os.close(self._fd)
+            self._closed = True
+            raise
 
     def _scan_next_lsn(self) -> int:
         last = 0
         for record in self.replay():
             last = record.lsn
         return last + 1
+
+    def _count_retry(self) -> None:
+        if self._stats is not None:
+            self._stats.io_retries += 1
 
     # -- appending -------------------------------------------------------------
 
@@ -128,14 +160,37 @@ class WriteAheadLog:
             raise WALError("log is closed")
         record = LogRecord(self._next_lsn, txid, kind, rid, bytes(before), bytes(after))
         self._next_lsn += 1
-        os.write(self._fd, record.encode())
+        frame = record.encode()
+
+        def op():
+            data, crash_after = self.injector.fire_write(
+                "wal.append", frame, lsn=record.lsn, kind=kind.name
+            )
+            os.write(self._fd, data)
+            self._size += len(data)
+            if crash_after:
+                # A torn append the power cut made durable: fsync the
+                # partial frame so the simulated crash keeps it and
+                # recovery has a real torn tail to truncate.
+                os.fsync(self._fd)
+                self._synced_size = self._size
+                self.injector.crash_pending("wal.append")
+
+        with_retry(op, on_retry=self._count_retry)
         if self._stats is not None:
             self._stats.log_records += 1
         return record
 
     def force(self) -> None:
         """fsync the log — the durability point for commits."""
-        os.fsync(self._fd)
+
+        def op():
+            self.injector.fire("wal.force")  # crash here: nothing durable
+            os.fsync(self._fd)
+
+        with_retry(op, on_retry=self._count_retry)
+        self._synced_size = self._size
+        self.injector.fire("wal.force.after")  # crash here: tail is durable
         if self._stats is not None:
             self._stats.log_forces += 1
 
@@ -144,33 +199,107 @@ class WriteAheadLog:
     def replay(self) -> Iterator[LogRecord]:
         """Yield every complete record from the start of the log.
 
-        Stops silently at a torn or corrupt tail — exactly the state a crash
-        mid-append leaves behind.
+        Stops silently at a torn or corrupt *tail* — exactly the state a
+        crash mid-append leaves behind.  If valid frames are still
+        decodable *after* the bad one, the damage is interior (committed
+        history was corrupted, not torn off): raises
+        :class:`~repro.errors.WALError` whose ``salvage`` attribute maps
+        out what survives on either side of the damage.
         """
         with open(self.path, "rb") as fh:
-            while True:
-                frame = fh.read(_FRAME.size)
-                if len(frame) < _FRAME.size:
-                    return
-                payload_len, crc = _FRAME.unpack(frame)
-                payload = fh.read(payload_len)
-                if len(payload) < payload_len or zlib.crc32(payload) != crc:
-                    return
-                yield LogRecord.decode(payload)
+            buf = fh.read()
+        offset = 0
+        yielded = 0
+        while True:
+            if len(buf) - offset < _FRAME.size:
+                return
+            payload_len, crc = _FRAME.unpack_from(buf, offset)
+            payload = buf[offset + _FRAME.size : offset + _FRAME.size + payload_len]
+            if len(payload) < payload_len or zlib.crc32(payload) != crc:
+                self._check_interior_corruption(buf, offset, yielded)
+                return
+            yield LogRecord.decode(payload)
+            yielded += 1
+            offset += _FRAME.size + payload_len
+
+    @staticmethod
+    def _check_interior_corruption(
+        buf: bytes, bad_offset: int, records_before: int
+    ) -> None:
+        """Raise if any valid frame exists after the bad one at *bad_offset*."""
+        resync = None
+        for pos in range(bad_offset + 1, len(buf) - _FRAME.size + 1):
+            payload_len, crc = _FRAME.unpack_from(buf, pos)
+            if not 0 < payload_len <= _MAX_SANE_PAYLOAD:
+                continue
+            payload = buf[pos + _FRAME.size : pos + _FRAME.size + payload_len]
+            if len(payload) == payload_len and zlib.crc32(payload) == crc:
+                resync = pos
+                break
+        if resync is None:
+            return  # nothing valid follows: an ordinary torn tail
+        # Count what survives from the re-sync point.
+        records_after = 0
+        pos = resync
+        while len(buf) - pos >= _FRAME.size:
+            payload_len, crc = _FRAME.unpack_from(buf, pos)
+            payload = buf[pos + _FRAME.size : pos + _FRAME.size + payload_len]
+            if len(payload) < payload_len or zlib.crc32(payload) != crc:
+                break
+            records_after += 1
+            pos += _FRAME.size + payload_len
+        error = WALError(
+            f"interior log corruption at byte {bad_offset}: "
+            f"{records_before} record(s) decode before the damage and "
+            f"{records_after} more from byte {resync} — refusing to "
+            "silently drop committed history; salvage the tail manually"
+        )
+        error.salvage = {
+            "records_before": records_before,
+            "corrupt_offset": bad_offset,
+            "resync_offset": resync,
+            "records_after": records_after,
+        }
+        raise error
 
     # -- truncation (post-checkpoint) ----------------------------------------------
 
     def truncate(self) -> None:
         """Discard the log contents (called after a checkpoint)."""
-        os.ftruncate(self._fd, 0)
-        os.fsync(self._fd)
+        self.injector.fire("wal.truncate")
+
+        def op():
+            os.ftruncate(self._fd, 0)
+            os.fsync(self._fd)
+
+        with_retry(op, on_retry=self._count_retry)
+        self._size = 0
+        self._synced_size = 0
         self._next_lsn = 1
 
     def size_bytes(self) -> int:
         return os.fstat(self._fd).st_size
 
+    def synced_bytes(self) -> int:
+        """Bytes of log guaranteed durable (fsynced)."""
+        return self._synced_size
+
+    def crash(self) -> None:
+        """Die like a real process: drop everything after the last fsync.
+
+        No failpoints fire and no final fsync happens — the unforced log
+        tail is truncated away, exactly what the OS page cache loses at
+        power-off.  (``ftruncate`` here *simulates* the loss; a real crash
+        needs no syscall to lose unforced data.)
+        """
+        if not self._closed:
+            os.ftruncate(self._fd, self._synced_size)
+            os.close(self._fd)
+            self._closed = True
+
     def close(self) -> None:
         if not self._closed:
             os.fsync(self._fd)
+            self._synced_size = self._size
             os.close(self._fd)
             self._closed = True

@@ -4,7 +4,9 @@
 summary of a database: every persistent object with its fields and control
 flags, every active trigger with its FSM position, the catalog, and any
 static-analyzer findings.  ``python -m repro.tools lint ...`` forwards to
-the trigger linter (see :mod:`repro.analysis`).
+the trigger linter (see :mod:`repro.analysis`); ``python -m repro.tools
+fsck <path>`` runs the storage integrity checker (see :mod:`repro.fsck`)
+and exits non-zero when anything at warning severity or above is found.
 
 The functions are also importable for programmatic use (the test suite
 uses them as a read-only consistency probe).
@@ -113,6 +115,38 @@ def dump_database(db: "Database") -> str:
             manager.commit(txn)
 
 
+def fsck_main(argv: list[str]) -> int:
+    """``python -m repro.tools fsck <path> [--engine disk|mm] [--json]``."""
+    from repro.fsck import fsck
+
+    parser = argparse.ArgumentParser(
+        prog="repro.tools fsck", description="Check an Ode-repro database"
+    )
+    parser.add_argument("path", help="database path")
+    parser.add_argument("--engine", choices=["disk", "mm"], default="disk")
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    parser.add_argument(
+        "--import",
+        dest="imports",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import MODULE first so its persistent classes register "
+        "(repeatable); without it, unknown trigger types are only "
+        "reported as skipped checks",
+    )
+    args = parser.parse_args(argv)
+    import importlib
+
+    for module in args.imports:
+        importlib.import_module(module)
+    report = fsck(args.path, engine=args.engine)
+    print(report.render_json() if args.json else report.render_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     import sys
 
@@ -126,6 +160,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.__main__ import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "fsck":
+        return fsck_main(argv[1:])
 
     parser = argparse.ArgumentParser(description="Dump an Ode-repro database")
     parser.add_argument("path", help="database path")

@@ -113,10 +113,17 @@ class PhoenixQueue:
                 continue
 
             def run(txn: "Transaction", index=skip) -> None:
+                injector = self.db.storage.injector
                 remaining = self._load(txn)
                 intention = remaining.pop(index)
+                injector.fire("phoenix.drain.before_handler", kind=intention["kind"])
                 handler(txn, intention["payload"])
+                # Crash here: the handler's work and the dequeue are in one
+                # transaction, so the intention re-runs on the next open —
+                # the documented at-least-once contract.
+                injector.fire("phoenix.drain.after_handler", kind=intention["kind"])
                 self._store(txn, remaining)
+                injector.fire("phoenix.drain.before_commit", kind=intention["kind"])
 
             manager.run_system_transaction(run)
             executed += 1

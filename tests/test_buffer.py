@@ -3,9 +3,9 @@
 import pytest
 
 from repro.errors import BufferPoolError, PageError
-from repro.storage.buffer import BufferPool, PagedFile
+from repro.storage.buffer import BufferPool, PagedFile, checksum_ok
 from repro.storage.interface import StorageStats
-from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.page import PAGE_SIZE, USABLE_END, SlottedPage
 
 
 @pytest.fixture
@@ -37,7 +37,10 @@ def test_write_wrong_size_raises(paged_file):
 
 def test_allocated_page_is_zeroed(paged_file):
     page_no = paged_file.allocate_page()
-    assert paged_file.read_page(page_no) == bytearray(PAGE_SIZE)
+    raw = paged_file.read_page(page_no)
+    # body is zeroed; the trailing 4 bytes hold the stamped CRC
+    assert raw[:USABLE_END] == bytearray(USABLE_END)
+    assert checksum_ok(raw)
 
 
 def test_reopen_preserves_pages(tmp_path):

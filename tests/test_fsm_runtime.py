@@ -134,13 +134,12 @@ class TestMasks:
         fsm.advance(state, "B", evaluate)  # no mask state entered
         assert calls == []
 
-    def test_pathological_cascade_raises(self):
-        # `any` in user expressions excludes pseudo-events, so build the
-        # loop explicitly through a union that includes nothing else —
-        # (A & m) looping via star re-arms only on real A events, which is
-        # fine; a truly non-quiescing machine needs a mask state whose
-        # True-edge leads back to itself.  `+(A & m) , B` armed by A keeps
-        # quiescing normally, so instead check the guard directly.
+    def test_pseudo_self_loop_quiesces_at_fixpoint(self):
+        # A mask state whose edge leads back to itself (a mask guarding a
+        # nullable loop, e.g. `relative((*a) & m, b)`, restarts its own
+        # obligation).  A mask has one value per instant, so re-checking
+        # cannot change anything: the cascade must detect the revisit and
+        # rest there instead of spinning.
         from repro.events.fsm import Fsm, FsmState
 
         looping = Fsm(
@@ -151,8 +150,29 @@ class TestMasks:
             alphabet=frozenset({"A", "true:m", "false:m"}),
             anchored=False,
         )
-        with pytest.raises(FSMError, match="quiesce"):
-            looping.advance(0, "A", lambda name: True)
+        calls = []
+
+        def evaluate(name):
+            calls.append(name)
+            return True
+
+        result = looping.advance(0, "A", evaluate)
+        assert result.state == 0
+        assert calls == ["m"]  # evaluated once per instant, not per lap
+
+    def test_mask_on_nullable_loop_quiesces(self):
+        # End-to-end shape of the same bug: the compiled machine for
+        # `relative((*A) & m, A)` carries the mask obligation on a state
+        # whose false-edge restarts the obligation.
+        fsm = compile_expression("relative((*A) & m, A)", DECLS).fsm
+        state, _ = fsm.quiesce(fsm.start, lambda name: False)
+        for symbol in ["A", "B", "A"]:
+            result = fsm.advance(state, symbol, lambda name: False)
+            assert result.consumed and not result.accepted
+            state = result.state
+        # with the mask true the match completes on the next A
+        state, _ = fsm.quiesce(fsm.start, lambda name: True)
+        assert fsm.advance(state, "A", lambda name: True).accepted
 
 
 class TestAcceptDuringCascade:

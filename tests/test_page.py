@@ -5,13 +5,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import PageError, PageFullError
-from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.page import PAGE_SIZE, USABLE_END, SlottedPage
 
 
 def test_new_page_is_empty():
     page = SlottedPage()
     assert page.slot_count == 0
-    assert page.free_end == PAGE_SIZE
+    # the trailing CHECKSUM_SIZE bytes are reserved for the page CRC
+    assert page.free_end == USABLE_END
     assert list(page.records()) == []
 
 

@@ -113,3 +113,47 @@ def test_multiple_intentions_drain_in_order(any_engine_db):
             db.phoenix.enqueue(txn, "step", i)
     assert db.phoenix.drain() == 5
     assert order == [0, 1, 2, 3, 4]
+
+
+def test_crash_during_drain_reruns_handler_exactly_once(db_path):
+    """Crash after the handler ran but before the intention was removed:
+    the drain transaction rolls back whole, so the reopen re-runs the
+    handler — and an idempotent handler yields exactly-once at the
+    application level (the paper's phoenix contract)."""
+    from repro.errors import InjectedCrashError
+    from repro.faults import FaultInjector
+
+    inj = FaultInjector().crash_on("phoenix.drain.after_handler")
+    db = Database.open(db_path, engine="disk", injector=inj)
+    with db.transaction() as txn:
+        lptr = db.pnew(Ledger).ptr
+        db.phoenix.enqueue(txn, "settle", {"ledger": lptr.rid, "tok": "t1"})
+
+    def make_handler(database):
+        def settle(txn, payload):
+            from repro.objects.oid import PersistentPtr
+
+            ledger = database.deref(
+                PersistentPtr(database.name, payload["ledger"])
+            )
+            if payload["tok"] not in ledger.entries:  # idempotent
+                ledger.entries = ledger.entries + [payload["tok"]]
+
+        return settle
+
+    db.phoenix.register_handler("settle", make_handler(db))
+    with pytest.raises(InjectedCrashError):
+        db.phoenix.drain()
+    db.simulate_crash()
+
+    recovered = Database.open(db_path, engine="disk")
+    with recovered.transaction() as txn:
+        # The crashed drain rolled back whole: still queued, not settled.
+        assert len(recovered.phoenix.pending(txn)) == 1
+        assert recovered.deref(lptr).entries == []
+    recovered.phoenix.register_handler("settle", make_handler(recovered))
+    assert recovered.phoenix.drain() == 1  # the handler re-runs
+    with recovered.transaction() as txn:
+        assert recovered.phoenix.pending(txn) == []  # queue ends empty
+        assert recovered.deref(lptr).entries == ["t1"]  # exactly once
+    recovered.close()

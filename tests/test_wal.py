@@ -143,3 +143,48 @@ def test_record_encode_decode_roundtrip(txid, rid, before, after, kind):
     # Strip the frame header (length + crc) before decoding the payload.
     decoded = LogRecord.decode(encoded[8:])
     assert decoded == record
+
+
+def test_interior_corruption_raises_with_salvage_info(tmp_path):
+    """A bad frame with valid frames after it means committed history was
+    damaged in place — replay must refuse, not silently drop the rest."""
+    path = str(tmp_path / "interior.wal")
+    log = WriteAheadLog(path)
+    log.append(1, LogRecordKind.BEGIN)
+    log.append(1, LogRecordKind.INSERT, 3, b"", b"payload")
+    log.append(1, LogRecordKind.COMMIT)
+    log.close()
+    from repro.storage.wal import _FRAME
+
+    with open(path, "r+b") as fh:
+        fh.seek(_FRAME.size + 1)  # inside the first record's payload
+        byte = fh.read(1)
+        fh.seek(_FRAME.size + 1)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+    # The scan runs as soon as the log is opened (to restore the LSN),
+    # so even opening the damaged log refuses.
+    with pytest.raises(WALError) as excinfo:
+        WriteAheadLog(path)
+    salvage = excinfo.value.salvage
+    assert salvage["records_before"] == 0
+    assert salvage["records_after"] == 2  # INSERT + COMMIT still decodable
+    assert salvage["corrupt_offset"] == 0
+    assert salvage["resync_offset"] > 0
+
+
+def test_wal_crash_drops_everything_after_the_last_force(tmp_path):
+    path = str(tmp_path / "crash.wal")
+    log = WriteAheadLog(path)
+    log.append(1, LogRecordKind.BEGIN)
+    log.append(1, LogRecordKind.COMMIT)
+    log.force()
+    log.append(2, LogRecordKind.BEGIN)  # never forced: dies with the cache
+    log.crash()
+
+    log2 = WriteAheadLog(path)
+    assert [r.kind for r in log2.replay()] == [
+        LogRecordKind.BEGIN,
+        LogRecordKind.COMMIT,
+    ]
+    log2.close()

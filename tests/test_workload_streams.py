@@ -72,6 +72,7 @@ class TestErrorHierarchy:
                 and obj.__module__ == "repro.errors"
                 and obj is not errors.OdeError
                 and obj is not errors.TransactionAbort
+                and obj is not errors.TransientIOError
             ):
                 assert issubclass(obj, errors.OdeError), name
 
@@ -79,6 +80,18 @@ class TestErrorHierarchy:
         """tabort is control flow, not a failure — catching OdeError must
         not swallow it."""
         assert not issubclass(errors.TransactionAbort, errors.OdeError)
+
+    def test_transient_io_error_is_an_os_error(self):
+        """Injected I/O hiccups must flow through the same retry paths as
+        real OSError — that is the whole point of injecting them."""
+        assert issubclass(errors.TransientIOError, OSError)
+        assert not issubclass(errors.TransientIOError, errors.OdeError)
+
+    def test_injected_crash_is_uncatchable_as_exception(self):
+        """A simulated dead process must not be resurrected by an
+        ``except Exception`` cleanup path."""
+        assert not issubclass(errors.InjectedCrashError, Exception)
+        assert issubclass(errors.InjectedCrashError, BaseException)
 
     def test_deadlock_error_carries_cycle(self):
         err = errors.DeadlockError(3, (3, 5, 3))

@@ -23,7 +23,19 @@ ODE040     warning  tabort from a dependent/!dependent action
 ODE041     warning  deferred trigger watches 'before tcomplete'
 ODE050     warning  persistent trigger state stuck dead (database pass)
 ODE051     info     trigger state's type not loaded — states skipped
+ODE200     error    irrefutable inferred cascade cycle (no posts= declares it)
+ODE201     warning  predicate-guarded cascade cycle (stops when mask is false)
+ODE202     warning  non-confluent trigger pair: firing order is observable
+ODE203     warning  stale posts=: the action never posts the declared event
+ODE204     info     action posts a user event posts= does not declare
+ODE205     info     stale suppress=: nothing to acknowledge at this trigger
+ODE206     info     action source unavailable — effects degrade to unknown
 =========  =======  ==========================================================
+
+The ``ODE2xx`` passes rest on :mod:`repro.analysis.effects`, an
+``ast``-based may-analysis of what each action *does* (attributes
+read/written, members called, events posted, aborts), with a sound
+``unknown`` widening for anything dynamic — see DESIGN.md §9.
 
 Entry points: :func:`analyze_class` / :func:`analyze_classes` for compiled
 declarations, :func:`analyze_machine` for bare machines,
@@ -35,6 +47,7 @@ class-level ``__strict_triggers__ = True``) makes declaration processing
 itself reject findings.
 """
 
+from repro.analysis.confluence import non_confluent_pairs
 from repro.analysis.diagnostics import (
     CODES,
     Diagnostic,
@@ -43,6 +56,7 @@ from repro.analysis.diagnostics import (
     render_json,
     render_text,
 )
+from repro.analysis.effects import EffectSet, infer_callable_effects, infer_trigger_effects
 from repro.analysis.runner import (
     AnalysisReport,
     analyze_class,
@@ -55,6 +69,10 @@ from repro.analysis.runner import (
 
 __all__ = [
     "CODES",
+    "EffectSet",
+    "infer_callable_effects",
+    "infer_trigger_effects",
+    "non_confluent_pairs",
     "Diagnostic",
     "Location",
     "Severity",

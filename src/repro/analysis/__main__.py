@@ -21,6 +21,7 @@ compiler could never produce).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import importlib
 import importlib.util
 import os
@@ -127,9 +128,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true", help="JSON output")
     parser.add_argument(
         "--fail-on",
-        default="warning",
+        default="error",
         choices=["info", "warning", "error", "never"],
-        help="minimum severity that makes the exit status nonzero",
+        help="minimum severity that makes the exit status nonzero "
+        "(default: error, so warnings-only runs exit 0)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="promote ODE2xx warnings (termination/confluence/metadata) "
+        "to errors",
     )
     parser.add_argument("--engine", choices=["disk", "mm"], default="disk")
     parser.add_argument(
@@ -156,6 +164,14 @@ def main(argv: list[str] | None = None) -> int:
 
     report.extend(analyze_registry().diagnostics)
     report.extend(_machine_findings(modules))
+
+    if args.strict:
+        report.diagnostics = [
+            dataclasses.replace(diag, severity=Severity.ERROR)
+            if diag.code.startswith("ODE2") and diag.severity == Severity.WARNING
+            else diag
+            for diag in report.diagnostics
+        ]
 
     print(report.render_json() if args.json else report.render_text())
 

@@ -41,7 +41,8 @@ class Severity(enum.IntEnum):
 
 #: The stable diagnostic catalogue: code -> (default severity, title).
 #: Codes are grouped by pass: 00x reachability/liveness, 01x masks,
-#: 02x subsumption, 03x cascades, 04x coupling modes, 05x database state.
+#: 02x subsumption, 03x cascades, 04x coupling modes, 05x database state,
+#: 20x effect-inference termination/confluence/metadata.
 CODES: dict[str, tuple[Severity, str]] = {
     "ODE001": (Severity.WARNING, "unreachable FSM state"),
     "ODE002": (Severity.WARNING, "FSM state cannot reach an accept state"),
@@ -57,6 +58,13 @@ CODES: dict[str, tuple[Severity, str]] = {
     "ODE041": (Severity.WARNING, "deferred trigger watches 'before tcomplete'"),
     "ODE050": (Severity.WARNING, "active trigger is stuck in a dead state"),
     "ODE051": (Severity.INFO, "trigger state references a type not loaded"),
+    "ODE200": (Severity.ERROR, "irrefutable inferred cascade cycle"),
+    "ODE201": (Severity.WARNING, "predicate-guarded cascade cycle"),
+    "ODE202": (Severity.WARNING, "non-confluent trigger pair"),
+    "ODE203": (Severity.WARNING, "stale posts= declaration"),
+    "ODE204": (Severity.INFO, "action posts an undeclared user event"),
+    "ODE205": (Severity.INFO, "stale suppress= declaration"),
+    "ODE206": (Severity.INFO, "action effects unknown (source unavailable)"),
 }
 
 

@@ -75,13 +75,30 @@ def check_trigger_masks(info: "TriggerInfo", type_name: str) -> list[Diagnostic]
                 )
             )
 
+    # ODE010 (pruned form): the expression names a mask the compiled
+    # machine never evaluates — minimization proved both outcomes
+    # equivalent everywhere (prune_irrelevant_masks), so the predicate
+    # cannot gate the trigger.  ``Ping || (Ping & maybe)`` compiles to a
+    # machine with no mask states at all.
+    evaluated_in: dict[str, list[int]] = {}
+    for state in info.compiled.fsm.states:
+        for mask in state.masks:
+            evaluated_in.setdefault(mask, []).append(state.statenum)
+    for mask in sorted(info.compiled.masks - set(evaluated_in)):
+        diagnostics.append(
+            Diagnostic(
+                "ODE010",
+                f"mask {mask!r} appears in event expression "
+                f"{info.compiled.text!r} but the compiled machine never "
+                "evaluates it: both outcomes are equivalent everywhere, "
+                "so the predicate cannot gate the trigger",
+                where,
+            )
+        )
+
     # ODE010 (semantic form): for a once-only trigger, a mask evaluated
     # only where acceptance is already decided cannot gate anything.
     if not info.perpetual:
-        evaluated_in: dict[str, list[int]] = {}
-        for state in info.compiled.fsm.states:
-            for mask in state.masks:
-                evaluated_in.setdefault(mask, []).append(state.statenum)
         for mask, statenums in sorted(evaluated_in.items()):
             if all(info.compiled.fsm.states[n].accept for n in statenums):
                 diagnostics.append(

@@ -1,0 +1,119 @@
+"""Declaration-metadata validation against inferred effects (ODE203–ODE206).
+
+``posts=`` and ``suppress=`` are promises about what an action does and
+which findings are deliberate.  Effect inference lets the linter check
+the promises:
+
+* ``ODE203`` (warning) — *stale posts*: the declaration claims the
+  action raises a user event, the event exists, but a confidently
+  analyzed body never posts it.  Stale metadata feeds phantom edges to
+  the termination pass.  Only reported when inference is confident
+  (``unknown`` actions might post anything) and the name resolves to a
+  known user event (unresolvable names are ODE032's business).
+* ``ODE204`` (info) — *missing posts*: the body posts a user event the
+  declaration does not mention.  The termination pass sees it anyway
+  (that is the point of inference), so this is informational hygiene.
+* ``ODE205`` (info) — *stale suppress*: ``suppress=`` acknowledges a
+  diagnostic code that the analyzer did not produce at this trigger (or
+  that is not a known code).  Emitted by the runner, which knows the
+  full pre-suppression report.
+* ``ODE206`` (info) — *unknown effects*: the action's source cannot be
+  recovered at all (``eval``'d code, C callables); every effect-based
+  pass degrades to "unknown" for it, so the trigger is effectively
+  exempt from ODE200–ODE204.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.analysis.diagnostics import CODES, Diagnostic, Location
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.effects import EffectSet
+    from repro.core.trigger_def import TriggerInfo
+
+__all__ = ["check_metadata", "check_stale_suppressions"]
+
+
+def check_metadata(
+    triggers: list[tuple[str, "TriggerInfo"]],
+    known_user_events: set[str],
+    effects: Sequence[Optional["EffectSet"]],
+) -> list[Diagnostic]:
+    """Compare each trigger's declared metadata with its inferred effects."""
+    diagnostics: list[Diagnostic] = []
+    for (type_name, info), eff in zip(triggers, effects):
+        if eff is None:
+            continue
+        where = Location(type_name, info.name)
+        if not eff.analyzed:
+            diagnostics.append(
+                Diagnostic(
+                    "ODE206",
+                    "action source is unavailable, so its effects cannot "
+                    "be inferred; termination/confluence/metadata checks "
+                    "treat this action as unknown",
+                    where,
+                )
+            )
+            continue
+        if not eff.unknown:
+            for name in info.posts:
+                if name in known_user_events and name not in eff.posts:
+                    diagnostics.append(
+                        Diagnostic(
+                            "ODE203",
+                            f"posts={name!r} is declared but the action "
+                            "never posts that event; stale metadata feeds "
+                            "phantom cascade edges — drop the declaration "
+                            "or restore the post",
+                            where,
+                        )
+                    )
+        for name in sorted(eff.posts - set(info.posts)):
+            diagnostics.append(
+                Diagnostic(
+                    "ODE204",
+                    f"action posts user event {name!r} that posts= does "
+                    "not declare; inference covers it, but declaring it "
+                    "documents the cascade edge",
+                    where,
+                )
+            )
+    return diagnostics
+
+
+def check_stale_suppressions(
+    triggers: list[tuple[str, "TriggerInfo"]],
+    produced: set[tuple[str, str, str]],
+) -> list[Diagnostic]:
+    """ODE205: ``suppress=`` entries that acknowledge nothing.
+
+    *produced* holds ``(type_name, trigger_name, code)`` for every
+    diagnostic the passes emitted (pre-suppression).  A suppression for
+    a code that never fires here — or that is not a known code at all —
+    is stale and should be deleted so it cannot mask a future finding.
+    """
+    diagnostics: list[Diagnostic] = []
+    for type_name, info in triggers:
+        for code in info.suppress:
+            if code in CODES and (
+                (type_name, info.name, code) in produced
+                or (info.defining_type, info.name, code) in produced
+            ):
+                continue
+            detail = (
+                "an unknown diagnostic code"
+                if code not in CODES
+                else "a finding the analyzer does not produce here"
+            )
+            diagnostics.append(
+                Diagnostic(
+                    "ODE205",
+                    f"suppress={code!r} acknowledges {detail}; delete the "
+                    "stale entry so it cannot hide a future finding",
+                    Location(type_name, info.name),
+                )
+            )
+    return diagnostics

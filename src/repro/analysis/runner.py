@@ -14,6 +14,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Iterable
 
 from repro.analysis.cascade import check_cascades
+from repro.analysis.confluence import check_confluence
 from repro.analysis.coupling import check_coupling
 from repro.analysis.diagnostics import (
     Diagnostic,
@@ -22,7 +23,9 @@ from repro.analysis.diagnostics import (
     render_json,
     render_text,
 )
+from repro.analysis.effects import EffectSet, infer_trigger_effects
 from repro.analysis.masks import check_trigger_masks, check_vacuous_masks
+from repro.analysis.metadata import check_metadata, check_stale_suppressions
 from repro.analysis.reachability import check_reachability
 from repro.analysis.subsumption import check_subsumption
 from repro.events.fsm import DEAD, Fsm
@@ -110,8 +113,23 @@ def analyze_classes(targets: Iterable) -> AnalysisReport:
                 suppressed[(metatype.name, info.name)] = frozenset(info.suppress)
                 suppressed[(info.defining_type, info.name)] = frozenset(info.suppress)
 
+    # Effect inference is memoized per run: the cascade, confluence and
+    # metadata passes all consult the same sets, and inference (source
+    # retrieval + an AST walk) is the expensive part.
+    effect_cache: dict[tuple[int, int], EffectSet] = {}
+
+    def effect_of(info: "TriggerInfo", metatype: "Metatype") -> EffectSet:
+        key = (id(info), id(metatype))
+        eff = effect_cache.get(key)
+        if eff is None:
+            eff = infer_trigger_effects(info, metatype)
+            effect_cache[key] = eff
+        return eff
+
     seen_infos: set[int] = set()
     all_triggers: list[tuple[str, "TriggerInfo"]] = []
+    trigger_effects: list[EffectSet] = []
+    trigger_decls: list[list] = []
     known_user_events: set[str] = set()
     for metatype in metatypes:
         for decl in metatype.declared_events:
@@ -122,6 +140,8 @@ def analyze_classes(targets: Iterable) -> AnalysisReport:
                 continue
             seen_infos.add(id(info))
             all_triggers.append((metatype.name, info))
+            trigger_effects.append(effect_of(info, metatype))
+            trigger_decls.append(metatype.declared_events)
             report.extend(analyze_trigger(info, metatype.name))
 
     seen_pairs: set[frozenset[int]] = set()
@@ -139,7 +159,26 @@ def analyze_classes(targets: Iterable) -> AnalysisReport:
         for first, second in fresh:
             report.extend(check_subsumption([first, second], metatype.name))
 
-    report.extend(check_cascades(all_triggers, known_user_events))
+    report.extend(
+        check_cascades(
+            all_triggers,
+            known_user_events,
+            effects=trigger_effects,
+            declared_events=trigger_decls,
+        )
+    )
+    report.extend(check_confluence(metatypes, effect_of))
+    report.extend(
+        check_metadata(all_triggers, known_user_events, trigger_effects)
+    )
+
+    # ODE205 must see the *pre-suppression* report: a suppression is live
+    # exactly when the code it names was produced at its trigger.
+    produced = {
+        (diag.location.type_name, diag.location.trigger, diag.code)
+        for diag in report.diagnostics
+    }
+    report.extend(check_stale_suppressions(all_triggers, produced))
 
     if suppressed:
         report.diagnostics = [

@@ -291,6 +291,7 @@ def process_active_class(cls: type, strict: bool | None = None) -> None:
             posts=tuple(decl.posts),
             declared_masks=tuple(sorted(decl.masks)),
             suppress=tuple(decl.suppress),
+            action_spec=decl.action,
         )
         own_infos.append(info)
 

@@ -58,6 +58,9 @@ class TriggerSystem:
         self.db = db
         self.index = TriggerIndex(db)
         self.stats = PostingStats()
+        # Static confluence verdicts, lazily computed per anchor class:
+        # metatype id -> frozenset of non-confluent trigger-name pairs.
+        self._confluence_cache: dict[int, frozenset[frozenset[str]]] = {}
         db.txn_manager.on_begin(self._install_hooks)
 
     # -- transaction hook installation ----------------------------------------
@@ -217,6 +220,51 @@ class TriggerSystem:
                 db.storage.delete(txn.txid, state_rid)
             except RecordNotFoundError:
                 pass
+
+    # -- firing-order guard (DESIGN.md §9) ---------------------------------------
+
+    def nonconfluent_pairs(self, cls: type) -> frozenset[frozenset[str]]:
+        """The statically non-confluent trigger-name pairs of *cls*.
+
+        Computed once per class from inferred action effects (see
+        ``repro.analysis.confluence``) and cached; analysis failures
+        degrade to "no known races" rather than breaking posting.
+        """
+        metatype = getattr(cls, "__metatype__", None)
+        if metatype is None:
+            return frozenset()
+        cached = self._confluence_cache.get(id(metatype))
+        if cached is None:
+            from repro.analysis.confluence import non_confluent_pairs
+
+            try:
+                cached = non_confluent_pairs(metatype)
+            except Exception:
+                cached = frozenset()
+            self._confluence_cache[id(metatype)] = cached
+        return cached
+
+    def order_ready(self, ready: list, cls: type) -> list:
+        """Canonical firing order for one posting's ready set.
+
+        The documented order is *activation order* — exactly what the
+        trigger index yields — so the list is returned unchanged.  The
+        guard's job is detection: when the set contains a pair the
+        analyzer proved non-confluent, the posting is counted in
+        ``stats.nonconfluent_firing_sets`` (ODE202 flags the same pair
+        statically; suppressing it and relying on this order is the
+        sanctioned escape hatch).
+        """
+        pairs = self.nonconfluent_pairs(cls)
+        if pairs:
+            names = [record.info.name for record in ready]
+            if any(
+                frozenset((names[i], names[j])) in pairs
+                for i in range(len(names))
+                for j in range(i + 1, len(names))
+            ):
+                self.stats.nonconfluent_firing_sets += 1
+        return ready
 
     # -- posting entry points -----------------------------------------------------
 

@@ -104,6 +104,9 @@ class PostingStats:
     state_writes: int = 0
     masks_evaluated: int = 0
     firings: int = 0
+    #: postings whose ready set contained a statically non-confluent
+    #: trigger pair (the firing-order guard observed a real race)
+    nonconfluent_firing_sets: int = 0
 
     def reset(self) -> None:
         for field in dataclasses.fields(self):
@@ -157,7 +160,13 @@ def post_event(
                 FiringRecord(PersistentPtr(db.name, state_rid), tstate, info)
             )
 
-    # Fire only after every trigger has had the basic event posted.
+    # Fire only after every trigger has had the basic event posted.  When
+    # more than one detection completed on the same posting, consult the
+    # static confluence verdict: non-confluent sets keep the documented
+    # canonical order (activation order, as yielded by the index) and are
+    # counted, so racy schedules are observable in the stats.
+    if len(ready) > 1:
+        ready = system.order_ready(ready, type(obj))
     for record in ready:
         dispatch_firing(system, db, txn, record)
         stats.firings += 1

@@ -228,6 +228,10 @@ class TriggerInfo:
     declared_masks: tuple[str, ...] = ()
     #: analyzer codes the declaration explicitly acknowledges as intended
     suppress: tuple[str, ...] = ()
+    #: the action exactly as declared (a method name string or the raw
+    #: callable), before ``_adapt_action`` wraps it — the effect-inference
+    #: analyzer resolves string actions against the class from this
+    action_spec: Any = None
 
     def __repr__(self) -> str:
         return (

@@ -137,6 +137,14 @@ class SchemaError(ObjectError):
     """A class schema declaration or value is invalid."""
 
 
+class UnknownTriggerError(SchemaError):
+    """A trigger number or name does not exist on the class.
+
+    Subclasses :class:`SchemaError` (callers historically caught that)
+    while carrying the class name and the valid range in its message.
+    """
+
+
 class SerializationError(ObjectError):
     """A value could not be encoded/decoded with the declared field type."""
 

@@ -6,12 +6,42 @@ contains an NFA state carrying the obligation to consume ``True_m`` (the
 obligation tags distinguish genuine ``e & m`` continuations from pseudo-
 events merely swallowed by an ``(*any)`` loop — only the former should make
 the runtime evaluate predicates).
+
+Mask pseudo-events are not stream events: feeding ``True_m``/``False_m``
+resolves mask *m* and must leave every NFA configuration that has no stake
+in *m* untouched.  A configuration has a stake when its ε-closure carries
+an explicit transition on either pseudo-event of that mask (an ``e & m``
+obligation, or an ``(*any)``-with-pseudo loop) — the closure matters
+because an ε-only junction whose sole successor is an obligation state
+must die with it, not resurrect it.  All other configurations — say, the
+middle of a parallel ``Seq`` branch — are carried through unchanged.
 """
 
 from __future__ import annotations
 
-from repro.events.fsm import DEAD, Fsm, FsmState
+from repro.events.fsm import DEAD, FALSE_PREFIX, TRUE_PREFIX, Fsm, FsmState
 from repro.events.nfa import Nfa
+
+
+def _staked_masks(nfa: Nfa) -> dict[int, frozenset[str]]:
+    """For each NFA state, the masks its ε-closure can explicitly consume.
+
+    A state is *staked* in mask *m* when some state in its ε-closure has
+    an explicit transition on ``true:m`` or ``false:m``; resolving *m*
+    then determines that configuration's fate, so the subset construction
+    must not carry it through a pseudo-event unchanged.
+    """
+    staked: dict[int, frozenset[str]] = {}
+    for state in range(nfa.state_count):
+        masks: set[str] = set()
+        for member in nfa.eps_closure({state}):
+            for symbol in nfa.transitions.get(member, {}):
+                if symbol.startswith(TRUE_PREFIX):
+                    masks.add(symbol[len(TRUE_PREFIX) :])
+                elif symbol.startswith(FALSE_PREFIX):
+                    masks.add(symbol[len(FALSE_PREFIX) :])
+        staked[state] = frozenset(masks)
+    return staked
 
 
 def determinize(nfa: Nfa, anchored: bool) -> Fsm:
@@ -20,6 +50,7 @@ def determinize(nfa: Nfa, anchored: bool) -> Fsm:
     numbering: dict[frozenset[int], int] = {start_set: 0}
     worklist: list[frozenset[int]] = [start_set]
     states: list[FsmState] = []
+    staked = _staked_masks(nfa)
 
     # Deterministic symbol order keeps machines (and tests) stable.
     symbols = sorted(nfa.alphabet)
@@ -30,6 +61,14 @@ def determinize(nfa: Nfa, anchored: bool) -> Fsm:
         transitions: dict[str, int] = {}
         for symbol in symbols:
             target = nfa.move(current, symbol)
+            if _is_pseudo(symbol):
+                # Resolving one mask must not kill configurations that are
+                # not waiting on it (they would otherwise be lost because
+                # they have no explicit pseudo edge to follow).
+                mask = symbol.split(":", 1)[1]
+                for nfa_state in current:
+                    if mask not in staked[nfa_state]:
+                        target.add(nfa_state)
             if not target:
                 continue  # missing transition: ignored/dead per Fsm.move
             closed = nfa.eps_closure(target)
@@ -124,3 +163,111 @@ def find_inclusion_witness(a: Fsm, b: Fsm) -> list[str] | None:
 def language_included(a: Fsm, b: Fsm) -> bool:
     """Whether every event sequence accepted by *a* is accepted by *b*."""
     return find_inclusion_witness(a, b) is None
+
+
+def _is_pseudo(symbol: str) -> bool:
+    return symbol.startswith("true:") or symbol.startswith("false:")
+
+
+def acceptance_avoiding(fsm: Fsm, avoid: frozenset[str] | set[str]) -> bool:
+    """Whether *fsm* accepts some sequence that never consumes a symbol
+    in *avoid*.
+
+    The termination pass uses this for guardedness: if no acceptance
+    avoids every ``true:mask`` pseudo-event, the trigger cannot fire
+    without at least one mask predicate holding — a cascade cycle
+    through it is predicate-guarded, not irrefutable.
+    """
+    if _accepts(fsm, fsm.start):
+        return True
+    symbols = sorted(fsm.alphabet - set(avoid))
+    seen = {fsm.start}
+    frontier = [fsm.start]
+    while frontier:
+        cur = frontier.pop()
+        for symbol in symbols:
+            nxt = resolved_target(fsm, cur, symbol)
+            if nxt == DEAD or nxt in seen:
+                continue
+            if _accepts(fsm, nxt):
+                return True
+            seen.add(nxt)
+            frontier.append(nxt)
+    return False
+
+
+def acceptance_through(fsm: Fsm, symbol: str) -> bool:
+    """Whether some accepted run of *fsm* explicitly consumes *symbol*.
+
+    Used to prune cascade edges: a posting of *symbol* can only feed a
+    downstream trigger if that trigger's machine can consume it on the
+    way to an accept state.  "Explicitly" matches the runtime, where a
+    firing requires the posted event to be consumed (not ignored or
+    swallowed by an anchored reset).
+    """
+    if not any(symbol in state.transitions for state in fsm.states):
+        return False
+    start = (fsm.start, False)
+    seen = {start}
+    frontier = [start]
+    symbols = sorted(fsm.alphabet)
+    while frontier:
+        cur, consumed = frontier.pop()
+        for sym in symbols:
+            explicit = sym in fsm.states[cur].transitions
+            nxt = resolved_target(fsm, cur, sym)
+            if nxt == DEAD:
+                continue
+            nflag = consumed or (explicit and sym == symbol)
+            key = (nxt, nflag)
+            if key in seen:
+                continue
+            if nflag and _accepts(fsm, nxt):
+                return True
+            seen.add(key)
+            frontier.append(key)
+    return False
+
+
+def firing_symbols(fsm: Fsm) -> frozenset[str]:
+    """The non-pseudo symbols whose consumption can complete a detection.
+
+    A symbol fires if some reachable state has an explicit transition on
+    it whose target reaches an accept state through pseudo-events alone
+    (mask evaluation happens in the same quiesce pass as the consuming
+    event, so the firing is attributed to that event).  Two triggers with
+    disjoint firing symbols can never fire on the same posting, which the
+    confluence pass uses to skip pairs that share no coupling point.
+    """
+    reachable = {fsm.start}
+    frontier = [fsm.start]
+    while frontier:
+        cur = frontier.pop()
+        for target in fsm.states[cur].transitions.values():
+            if target != DEAD and target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    result: set[str] = set()
+    for statenum in reachable:
+        for symbol, target in fsm.states[statenum].transitions.items():
+            if _is_pseudo(symbol) or symbol in result or target == DEAD:
+                continue
+            if _pseudo_closure_accepts(fsm, target):
+                result.add(symbol)
+    return frozenset(result)
+
+
+def _pseudo_closure_accepts(fsm: Fsm, statenum: int) -> bool:
+    seen: set[int] = set()
+    frontier = [statenum]
+    while frontier:
+        cur = frontier.pop()
+        if cur == DEAD or cur in seen:
+            continue
+        seen.add(cur)
+        if _accepts(fsm, cur):
+            return True
+        for symbol, target in fsm.states[cur].transitions.items():
+            if _is_pseudo(symbol):
+                frontier.append(target)
+    return False

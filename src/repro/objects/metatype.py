@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import SchemaError, UnknownTypeError
+from repro.errors import UnknownTriggerError, UnknownTypeError
 from repro.objects.schema import Field, collect_fields
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,19 +62,26 @@ class Metatype:
     # -- trigger helpers --------------------------------------------------------
 
     def trigger_info(self, triggernum: int) -> "TriggerInfo":
-        """The descriptor of trigger number *triggernum* defined by this class."""
-        try:
-            return self.trigger_infos[triggernum]
-        except IndexError:
-            raise SchemaError(
-                f"{self.name} defines no trigger number {triggernum}"
-            ) from None
+        """The descriptor of trigger number *triggernum* defined by this class.
+
+        Raises :class:`UnknownTriggerError` for any number outside the
+        defined range — including negative ones, which would otherwise
+        silently index from the end of the list.
+        """
+        if not 0 <= triggernum < len(self.trigger_infos):
+            raise UnknownTriggerError(
+                f"type {self.name!r} defines no trigger number {triggernum} "
+                f"(it defines {len(self.trigger_infos)}, numbered from 0)"
+            )
+        return self.trigger_infos[triggernum]
 
     def trigger_by_name(self, name: str) -> "TriggerInfo":
         for info in self.trigger_infos:
             if info.name == name:
                 return info
-        raise SchemaError(f"{self.name} defines no trigger named {name!r}")
+        raise UnknownTriggerError(
+            f"type {self.name!r} defines no trigger named {name!r}"
+        )
 
     def has_active_facilities(self) -> bool:
         """Whether this class (or a base) declared any events or triggers."""

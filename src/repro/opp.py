@@ -129,9 +129,16 @@ def _compile_action(
             for step in steps:
                 step(handle, ctx)
 
-        # Propagate the static-analysis tag: a block aborts if any step does.
+        # Propagate the static-analysis tags: a block aborts if any step
+        # does, and calls every method its steps call (effect inference
+        # reads the tags instead of parsing this shared closure).
         run_block.__ode_tabort__ = any(
             getattr(step, "__ode_tabort__", False) for step in steps
+        )
+        run_block.__ode_calls__ = tuple(
+            name
+            for step in steps
+            for name in getattr(step, "__ode_calls__", ())
         )
         return run_block
 
@@ -165,6 +172,9 @@ def _compile_action(
             )
         return method(*(get(ctx.params) for get in arg_getters))
 
+    # Effect tag: the analyzer cannot see through the dynamic getattr
+    # above, but the called member is statically known here.
+    run_call.__ode_calls__ = (method_name,)
     return run_call
 
 

@@ -81,6 +81,20 @@ class CredCard(Persistent):
             action="raise_limit",
             params=("amount",),
         ),
+        # The intentional cascade: paying down an over-limit balance posts
+        # `after pay_bill`, which re-arms this very trigger.  The cycle is
+        # predicate-guarded — it stops as soon as `over_limit` goes false,
+        # i.e. after finitely many paydowns — which the termination pass
+        # classifies as ODE201 (guarded), not ODE030/ODE200 (irrefutable);
+        # the suppression records that the guard has been reviewed.
+        trigger(
+            "AutoPayDown",
+            "after pay_bill & over_limit",
+            action="pay_bill",
+            params=("amount",),
+            perpetual=True,
+            suppress=("ODE201",),
+        ),
     ]
 
     # -- member functions (the declared events wrap these) ----------------------

@@ -12,9 +12,9 @@ the process type registry and the raw machines via
 
 Expected findings:
 
-==============================  =======
+==============================  ================
 fixture                         code
-==============================  =======
+==============================  ================
 BadVacuousMask.Gated            ODE010
 BadUnusedMask.Checked           ODE011
 BadSubsumedPair.Narrow          ODE020
@@ -24,14 +24,25 @@ BadDeferredCascade (pair)       ODE031
 BadGhostPoster.Ghost            ODE032
 BadDetachedAbort.Abort          ODE040
 BadDeferredCommitWatch.Late     ODE041
+BadHiddenCascade (pair)         ODE200 + ODE204
+WarnGuardedCascade.Reheat       ODE201
+BadRacingPair (pair)            ODE202
+BadStalePoster.Stale            ODE203
+BadSilentPoster.Silent          ODE204
+BadStaleSuppress.Solo           ODE205
+BadOpaqueAction.Opaque          ODE206
 machine "unreachable-state"     ODE001
 machine "trap-state"            ODE002
 machine "never-accepts"         ODE003
 machine "vacuous-mask"          ODE010
-==============================  =======
+==============================  ================
 
-``CleanIncomparablePair`` and ``CleanOnceOnlyCycle`` are control groups:
-superficially similar declarations the analyzer must stay quiet about.
+The ``Clean*`` classes are control groups: superficially similar
+declarations the analyzer must stay quiet about (incomparable pairs,
+once-only-broken cycles, acknowledged suppressions, declared posters,
+commuting same-point pairs).  Cascade-fixture actions genuinely post
+their events, so the effect-inference passes agree with the ``posts=``
+metadata instead of flagging it stale (ODE203).
 """
 
 from __future__ import annotations
@@ -46,12 +57,29 @@ def _noop(self, ctx) -> None:
     pass
 
 
-class BadVacuousMask(Persistent):
-    """Once-only trigger whose mask only runs after acceptance is decided.
+def _post_pong(self, ctx) -> None:
+    self.post_event("PongEvent")
 
-    ``Ping || (Ping & maybe)``: the plain ``Ping`` branch accepts first, so
-    ``maybe`` is only ever evaluated in an accept state — the trigger fires
-    and deactivates regardless of the predicate.
+
+def _post_ping(self, ctx) -> None:
+    self.post_event("PingEvent")
+
+
+def _post_review(self, ctx) -> None:
+    self.post_event("Review")
+
+
+def _post_submit(self, ctx) -> None:
+    self.post_event("Submit")
+
+
+class BadVacuousMask(Persistent):
+    """Trigger whose mask cannot change what the trigger does.
+
+    ``Ping || (Ping & maybe)``: the plain ``Ping`` branch accepts on its
+    own, so ``maybe``'s outcome is irrelevant — the compiler prunes the
+    mask from the machine entirely, and the lint reports the predicate in
+    the declaration as vacuous.
     """
 
     counter = field(int, default=0)
@@ -103,11 +131,11 @@ class BadImmediateCascade(Persistent):
     __events__ = ["PingEvent", "PongEvent"]
     __triggers__ = [
         trigger(
-            "Ping2Pong", "PingEvent", action=_noop, perpetual=True,
+            "Ping2Pong", "PingEvent", action=_post_pong, perpetual=True,
             posts=("PongEvent",),
         ),
         trigger(
-            "Pong2Ping", "PongEvent", action=_noop, perpetual=True,
+            "Pong2Ping", "PongEvent", action=_post_ping, perpetual=True,
             posts=("PingEvent",),
         ),
     ]
@@ -119,11 +147,11 @@ class BadDeferredCascade(Persistent):
     __events__ = ["Submit", "Review"]
     __triggers__ = [
         trigger(
-            "Submit2Review", "Submit", action=_noop, perpetual=True,
+            "Submit2Review", "Submit", action=_post_review, perpetual=True,
             coupling="end", posts=("Review",),
         ),
         trigger(
-            "Review2Submit", "Review", action=_noop, perpetual=True,
+            "Review2Submit", "Review", action=_post_submit, perpetual=True,
             posts=("Submit",),
         ),
     ]
@@ -166,7 +194,179 @@ class BadDeferredCommitWatch(Persistent):
     ]
 
 
+# -- effect-inference fixtures (ODE200-ODE206) --------------------------------
+
+
+def _post_loop_b(self, ctx) -> None:
+    self.post_event("LoopB")
+
+
+def _post_loop_a(self, ctx) -> None:
+    self.post_event("LoopA")
+
+
+class BadHiddenCascade(Persistent):
+    """An undeclared ``post_event`` cycle: no ``posts=`` metadata at all.
+
+    PR 1's declared-posts pass is blind here; only effect inference sees
+    the edges (ODE200, plus ODE204 for each undeclared post).
+    """
+
+    __events__ = ["LoopA", "LoopB"]
+    __triggers__ = [
+        trigger("A2B", "LoopA", action=_post_loop_b, perpetual=True),
+        trigger("B2A", "LoopB", action=_post_loop_a, perpetual=True),
+    ]
+
+
+def _post_step(self, ctx) -> None:
+    self.post_event("StepDone")
+
+
+class WarnGuardedCascade(Persistent):
+    """A self-cycle that cannot fire without its mask holding.
+
+    Every acceptance of ``StepDone & still_hot`` consumes
+    ``true:still_hot``, so the cascade stops when the predicate goes
+    false: a guarded cycle (ODE201), not an irrefutable one (ODE030).
+    """
+
+    heat = field(int, default=0)
+    __events__ = ["StepDone"]
+    __masks__ = {"still_hot": lambda self: self.heat > 0}
+    __triggers__ = [
+        trigger(
+            "Reheat", "StepDone & still_hot", action=_post_step,
+            perpetual=True, posts=("StepDone",),
+        ),
+    ]
+
+
+def _bump_total(self, ctx) -> None:
+    self.total = self.total + 5
+
+
+def _clamp_total(self, ctx) -> None:
+    self.total = min(self.total, 100)
+
+
+class BadRacingPair(Persistent):
+    """Two immediate triggers that can fire on the same posting and both
+    write ``total``: the final state depends on firing order (ODE202)."""
+
+    total = field(int, default=0)
+    __events__ = ["RaceTick"]
+    __masks__ = {
+        "low_total": lambda self: self.total < 50,
+        "high_total": lambda self: self.total > 90,
+    }
+    __triggers__ = [
+        trigger(
+            "BumpTotal", "RaceTick & low_total", action=_bump_total,
+            perpetual=True,
+        ),
+        trigger(
+            "ClampTotal", "RaceTick & high_total", action=_clamp_total,
+            perpetual=True,
+        ),
+    ]
+
+
+class BadStalePoster(Persistent):
+    """``posts=`` claims an event the (confidently analyzed) body never
+    posts: stale metadata feeding phantom cascade edges (ODE203)."""
+
+    __events__ = ["Poke", "StaleDone"]
+    __triggers__ = [
+        trigger("Stale", "Poke", action=_noop, posts=("StaleDone",))
+    ]
+
+
+def _post_side(self, ctx) -> None:
+    self.post_event("SideDone")
+
+
+class BadSilentPoster(Persistent):
+    """The body posts a user event ``posts=`` does not declare (ODE204);
+    inference covers the edge, but the declaration should document it."""
+
+    __events__ = ["Kickoff", "SideDone"]
+    __triggers__ = [trigger("Silent", "Kickoff", action=_post_side)]
+
+
+class BadStaleSuppress(Persistent):
+    """``suppress=`` acknowledges a finding the analyzer never produces
+    at this trigger (ODE205)."""
+
+    __events__ = ["Lone"]
+    __triggers__ = [
+        trigger("Solo", "Lone", action=_noop, suppress=("ODE021",))
+    ]
+
+
+#: ``eval``'d actions have no retrievable source: effect inference must
+#: degrade to an explicit unknown (ODE206), never crash.
+_OPAQUE = eval("lambda handle, ctx: None")
+
+
+class BadOpaqueAction(Persistent):
+    """Action source unavailable: effects are unknown (ODE206)."""
+
+    __events__ = ["Shrug"]
+    __triggers__ = [trigger("Opaque", "Shrug", action=_OPAQUE)]
+
+
 # -- control groups: similar shapes the analyzer must accept -----------------
+
+
+def _post_work_done(self, ctx) -> None:
+    self.post_event("WorkDone")
+
+
+class CleanDeclaredPoster(Persistent):
+    """A posting *chain* (no cycle) whose ``posts=`` matches the body:
+    the negative control for ODE200/ODE203/ODE204."""
+
+    __events__ = ["StartWork", "WorkDone"]
+    __triggers__ = [
+        trigger(
+            "Worker", "StartWork", action=_post_work_done,
+            posts=("WorkDone",), perpetual=True,
+        ),
+        trigger("Observer", "WorkDone", action=_noop, perpetual=True),
+    ]
+
+
+def _bump_left(self, ctx) -> None:
+    self.left = self.left + 1
+
+
+def _bump_right(self, ctx) -> None:
+    self.right = self.right + 1
+
+
+class CleanCommutingPair(Persistent):
+    """Two triggers at the same coupling point whose actions touch
+    disjoint attributes: confluent, the negative control for ODE202."""
+
+    left = field(int, default=0)
+    right = field(int, default=0)
+    __events__ = ["SharedTick"]
+    __masks__ = {
+        "left_low": lambda self: self.left < 10,
+        "right_low": lambda self: self.right < 10,
+    }
+    __triggers__ = [
+        trigger(
+            "BumpLeft", "SharedTick & left_low", action=_bump_left,
+            perpetual=True,
+        ),
+        trigger(
+            "BumpRight", "SharedTick & right_low", action=_bump_right,
+            perpetual=True,
+        ),
+    ]
+
 
 
 class CleanIncomparablePair(Persistent):
@@ -179,14 +379,22 @@ class CleanIncomparablePair(Persistent):
     ]
 
 
+def _post_answer(self, ctx) -> None:
+    self.post_event("Answer")
+
+
+def _post_ask(self, ctx) -> None:
+    self.post_event("Ask")
+
+
 class CleanOnceOnlyCycle(Persistent):
     """A posting cycle broken by a once-only trigger: self-limiting."""
 
     __events__ = ["Ask", "Answer"]
     __triggers__ = [
-        trigger("Ask2Answer", "Ask", action=_noop, posts=("Answer",)),
+        trigger("Ask2Answer", "Ask", action=_post_answer, posts=("Answer",)),
         trigger(
-            "Answer2Ask", "Answer", action=_noop, perpetual=True,
+            "Answer2Ask", "Answer", action=_post_ask, perpetual=True,
             posts=("Ask",),
         ),
     ]

@@ -76,6 +76,12 @@ class TestClassFixtures:
             ("BadGhostPoster", "ODE032"),
             ("BadDetachedAbort", "ODE040"),
             ("BadDeferredCommitWatch", "ODE041"),
+            ("WarnGuardedCascade", "ODE201"),
+            ("BadRacingPair", "ODE202"),
+            ("BadStalePoster", "ODE203"),
+            ("BadSilentPoster", "ODE204"),
+            ("BadStaleSuppress", "ODE205"),
+            ("BadOpaqueAction", "ODE206"),
         ],
     )
     def test_bad_class_reports_exact_code(self, cls_name, code):
@@ -87,6 +93,28 @@ class TestClassFixtures:
         (diag,) = report.by_code("ODE030")
         assert diag.severity == Severity.ERROR
 
+    def test_hidden_cascade_needs_inference(self):
+        """An undeclared post_event cycle with no posts= metadata at all:
+        the ODE200 acceptance case, plus one ODE204 per silent post."""
+        report = analyze_class(fx.BadHiddenCascade)
+        assert report.codes() == {"ODE200", "ODE204"}
+        (diag,) = report.by_code("ODE200")
+        assert diag.severity == Severity.ERROR
+        assert "A2B" in diag.message and "B2A" in diag.message
+        assert len(report.by_code("ODE204")) == 2
+
+    def test_guarded_cycle_is_a_warning_not_an_error(self):
+        report = analyze_class(fx.WarnGuardedCascade)
+        (diag,) = report.by_code("ODE201")
+        assert diag.severity == Severity.WARNING
+        assert "predicate-guarded" in diag.message
+
+    def test_racing_pair_names_the_conflicting_attribute(self):
+        report = analyze_class(fx.BadRacingPair)
+        (diag,) = report.by_code("ODE202")
+        assert "total" in diag.message
+        assert diag.related == ("BadRacingPair.ClampTotal",)
+
     def test_subsumption_names_both_triggers(self):
         report = analyze_class(fx.BadSubsumedPair)
         (diag,) = report.by_code("ODE020")
@@ -95,7 +123,13 @@ class TestClassFixtures:
 
     @pytest.mark.parametrize(
         "cls_name",
-        ["CleanIncomparablePair", "CleanOnceOnlyCycle", "CleanSuppressedPair"],
+        [
+            "CleanIncomparablePair",
+            "CleanOnceOnlyCycle",
+            "CleanSuppressedPair",
+            "CleanDeclaredPoster",
+            "CleanCommutingPair",
+        ],
     )
     def test_control_classes_are_clean(self, cls_name):
         report = analyze_class(getattr(fx, cls_name))
@@ -320,6 +354,13 @@ EXPECTED_FIXTURE_CODES = {
     "ODE032",
     "ODE040",
     "ODE041",
+    "ODE200",
+    "ODE201",
+    "ODE202",
+    "ODE203",
+    "ODE204",
+    "ODE205",
+    "ODE206",
 }
 
 
@@ -415,9 +456,61 @@ class TestCommandLine:
         assert alone.returncode == 0, alone.stdout + alone.stderr
         assert "ODE051" in alone.stdout  # info: type not loaded, exit clean
 
-        with_schema = _run_cli(str(schema), db_prefix)
+        # ODE050 is a warning; the default gate is `error`, so ask for
+        # the stricter threshold explicitly.
+        with_schema = _run_cli(str(schema), db_prefix, "--fail-on", "warning")
         assert with_schema.returncode == 1
         assert "ODE050" in with_schema.stdout
+
+    def test_warnings_only_run_exits_zero(self, tmp_path):
+        """The exit-code contract: findings below `error` never fail the
+        default run, in text or JSON mode."""
+        mod = tmp_path / "stale_posts.py"
+        mod.write_text(
+            "from repro.core.declarations import trigger\n"
+            "from repro.objects.persistent import Persistent\n"
+            "def _quiet(self, ctx):\n"
+            "    pass\n"
+            "class StaleOnly(Persistent):\n"
+            "    __events__ = ['Go', 'Done']\n"
+            "    __triggers__ = [trigger('T', 'Go', action=_quiet,\n"
+            "                            posts=('Done',))]\n"
+        )
+        text = _run_cli(str(mod))
+        assert text.returncode == 0, text.stdout + text.stderr
+        assert "ODE203" in text.stdout
+        as_json = _run_cli(str(mod), "--json")
+        assert as_json.returncode == 0, as_json.stdout + as_json.stderr
+        assert {f["code"] for f in json.loads(as_json.stdout)} == {"ODE203"}
+
+    def test_strict_promotes_ode2xx_warnings_to_errors(self, tmp_path):
+        mod = tmp_path / "stale_posts.py"
+        mod.write_text(
+            "from repro.core.declarations import trigger\n"
+            "from repro.objects.persistent import Persistent\n"
+            "def _quiet(self, ctx):\n"
+            "    pass\n"
+            "class StaleOnly(Persistent):\n"
+            "    __events__ = ['Go', 'Done']\n"
+            "    __triggers__ = [trigger('T', 'Go', action=_quiet,\n"
+            "                            posts=('Done',))]\n"
+        )
+        proc = _run_cli(str(mod), "--strict", "--json")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        (finding,) = [
+            f for f in json.loads(proc.stdout) if f["code"] == "ODE203"
+        ]
+        assert finding["severity"] == "error"
+
+    def test_strict_leaves_ode0xx_severities_alone(self):
+        proc = _run_cli("tests/analysis_fixtures.py", "--strict", "--json")
+        assert proc.returncode == 1
+        by_code = {}
+        for f in json.loads(proc.stdout):
+            by_code.setdefault(f["code"], set()).add(f["severity"])
+        assert by_code["ODE020"] == {"warning"}   # 0xx untouched
+        assert by_code["ODE201"] == {"error"}     # 2xx promoted
+        assert by_code["ODE206"] == {"info"}      # info stays info
 
     def test_tools_lint_subcommand_dispatches(self):
         env = dict(os.environ)

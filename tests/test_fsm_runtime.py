@@ -200,6 +200,43 @@ class TestAcceptDuringCascade:
         assert result.accepted  # fired exactly once for this posting
 
 
+class TestMaskResolutionPreservesParallelBranches:
+    """Regressions (found by the property-based oracle): resolving one
+    mask's pseudo-event must not discard NFA configurations that have no
+    stake in that mask — e.g. progress in a parallel ``Seq`` branch, or an
+    obligation on a *different* mask."""
+
+    def test_failed_mask_keeps_parallel_seq_progress(self):
+        # +((A & m) || (A, A)): the first A both arms the masked branch and
+        # starts the two-A sequence; a false mask on the second A must not
+        # reset the sequence branch, which completes regardless of masks.
+        fsm = compile_expression("+((A & m) || (A, A))", DECLS).fsm
+        values = {"m": True}
+        evaluate = lambda name: values[name]
+        state = fsm.start
+        state, _ = fsm.quiesce(state, evaluate)
+        result = fsm.advance(state, "A", evaluate)
+        assert result.accepted  # m true: masked branch fires
+        values["m"] = False
+        result = fsm.advance(result.state, "A", evaluate)
+        assert result.accepted  # (A, A) completed; false mask is irrelevant
+
+    def test_failed_mask_keeps_other_masks_obligation(self):
+        # (A & m) || (A & m2): one posting arms both obligations; m false
+        # must leave the m2 obligation standing so m2 alone can fire.
+        fsm = compile_expression("(A & m) || (A & m2)", DECLS).fsm
+        assert drive(fsm, ["A"], {"m": False, "m2": True}) == [True]
+        assert drive(fsm, ["A"], {"m": True, "m2": False}) == [True]
+        assert drive(fsm, ["A"], {"m": False, "m2": False}) == [False]
+
+    def test_junction_dies_with_its_only_obligation(self):
+        # (A & m), B: when m fails, the ε-junction between A and the mask
+        # obligation must die with it — B alone must not complete a match.
+        fsm = compile_expression("(A & m), B", DECLS).fsm
+        assert drive(fsm, ["A", "B"], {"m": False}) == [False, False]
+        assert drive(fsm, ["A", "B"], {"m": True}) == [False, True]
+
+
 class TestQuiesceAtActivation:
     def test_start_state_mask_evaluated_on_quiesce(self):
         # (+A) & m: after each A run the mask guards acceptance; also the

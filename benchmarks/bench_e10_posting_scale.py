@@ -100,7 +100,7 @@ def test_posting_vs_mask_depth(benchmark, tmp_path, depth):
         per_event = time_per_op(post_all, EVENTS, repeats=2)
         benchmark.pedantic(post_all, rounds=1, iterations=1)
         stats = db.trigger_system.stats
-        masks_per_event = stats.masks_evaluated / max(stats.events_posted, 1)
+        masks_per_event = stats.masks_evaluated_posting / max(stats.events_posted, 1)
         _MASKS.append([depth, us(per_event), f"{masks_per_event:.1f}"])
         # One pseudo-event per chained mask (the Section 5.4.5 cascade).
         assert masks_per_event == pytest.approx(depth, rel=0.01)

@@ -88,6 +88,18 @@ def test_trigger_overhead_ladder(benchmark, db):
     active_us = time_per_op(run_handle(active_ptr), OPS)
     benchmark.pedantic(run_volatile, rounds=2, iterations=1)
 
+    snap = db.metrics.snapshot()
+    posting = ", ".join(
+        f"{key.split('.', 1)[1]}={snap[key]}"
+        for key in (
+            "posting.events_posted",
+            "posting.skipped_no_triggers",
+            "posting.fsm_advances",
+            "posting.firings",
+            "posting.masks_evaluated_posting",
+            "posting.masks_evaluated_activation",
+        )
+    )
     emit_table(
         "E3",
         "method-invocation cost by trigger exposure (us/call)",
@@ -100,7 +112,8 @@ def test_trigger_overhead_ladder(benchmark, db):
         ],
         notes=(
             "Goals 3+4: volatile calls bypass all machinery; event-declaring "
-            "classes without active triggers pay only the control-bit check."
+            "classes without active triggers pay only the control-bit check.\n"
+            f"registry posting.*: {posting}"
         ),
     )
 

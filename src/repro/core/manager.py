@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from repro import obs
 from repro.core.posting import (
     DEPENDENT_LIST,
     END_LIST,
@@ -58,6 +59,9 @@ class TriggerSystem:
         self.db = db
         self.index = TriggerIndex(db)
         self.stats = PostingStats()
+        metrics = getattr(db, "metrics", None)
+        if metrics is not None:
+            metrics.register_source("posting", self.stats)
         # Static confluence verdicts, lazily computed per anchor class:
         # metatype id -> frozenset of non-confluent trigger-name pairs.
         self._confluence_cache: dict[int, frozenset[frozenset[str]]] = {}
@@ -108,12 +112,31 @@ class TriggerSystem:
         def evaluate(mask_name: str) -> bool:
             from repro.core.posting import NULL_OCCURRENCE
 
-            self.stats.masks_evaluated += 1
-            return bool(info.masks[mask_name](handle.obj, params, NULL_OCCURRENCE))
+            # Activation-time quiescing, not posting: counted separately so
+            # per-posting overhead numbers (E3) stay honest.
+            self.stats.masks_evaluated_activation += 1
+            outcome = bool(info.masks[mask_name](handle.obj, params, NULL_OCCURRENCE))
+            if obs.ENABLED:
+                obs.emit(
+                    "mask.eval",
+                    mask=mask_name,
+                    trigger=info.name,
+                    outcome=outcome,
+                    phase="activation",
+                )
+            return outcome
 
         tstate.statenum, _ = info.fsm.quiesce(tstate.statenum, evaluate)
         state_rid = db.storage.insert(txn.txid, tstate.encode())
         self.index.add(txn, ptr.rid, state_rid)
+        if obs.ENABLED:
+            obs.emit(
+                "trigger.activate",
+                trigger=info.name,
+                rid=ptr.rid,
+                state_rid=state_rid,
+                start_state=tstate.statenum,
+            )
         # Flip the object's control bit so PostEvent stops skipping it.
         flags = handle.obj.__dict__.get("_p_flags", 0)
         if not flags & FLAG_HAS_TRIGGERS:
@@ -302,6 +325,13 @@ class TriggerSystem:
             txn.attachment(TX_EVENT_OBJECTS, dict)[ptr.rid] = (ptr, obj)
 
     def _post_tx_event(self, txn: "Transaction", name: str) -> None:
+        if obs.ENABLED:
+            interested = len(txn.attachment(TX_EVENT_OBJECTS, dict))
+            if interested:
+                obs.emit(
+                    "tx_event.post", event=f"before {name}",
+                    txid=txn.txid, objects=interested,
+                )
         for ptr, obj in list(txn.attachment(TX_EVENT_OBJECTS, dict).values()):
             metatype = type(obj).__metatype__
             symbol = f"before {name}"
@@ -315,6 +345,8 @@ class TriggerSystem:
         # 1. Scan the end list, executing deferred actions (which may
         #    themselves fire more triggers, growing the list — drain it).
         end_list = txn.attachment(END_LIST, list)
+        if obs.ENABLED and end_list:
+            obs.emit("txn.drain", list="end", txid=txn.txid, queued=len(end_list))
         while end_list:
             record = end_list.pop(0)
             run_action(self, self.db, txn, record)
@@ -343,6 +375,13 @@ class TriggerSystem:
         records = txn.attachments.get(list_key) or []
         if not records:
             return
+        if obs.ENABLED:
+            obs.emit(
+                "txn.drain",
+                list="dependent" if list_key == DEPENDENT_LIST else "independent",
+                txid=txn.txid,
+                queued=len(records),
+            )
 
         def body(system_txn: "Transaction") -> None:
             for record in records:

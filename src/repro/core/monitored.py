@@ -186,7 +186,7 @@ class LocalTriggerSystem:
         def evaluate(mask: str) -> bool:
             from repro.core.posting import NULL_OCCURRENCE
 
-            self.stats.masks_evaluated += 1
+            self.stats.masks_evaluated_activation += 1
             return bool(info.masks[mask](obj, params, NULL_OCCURRENCE))
 
         state.statenum, _ = info.fsm.quiesce(state.statenum, evaluate)
@@ -233,7 +233,7 @@ class LocalTriggerSystem:
             info = state.info
 
             def evaluate(mask: str, _info=info, _state=state) -> bool:
-                self.stats.masks_evaluated += 1
+                self.stats.masks_evaluated_posting += 1
                 return bool(
                     _info.masks[mask](_state.obj, _state.params, occurrence)
                 )

@@ -25,8 +25,10 @@ Posting a basic event to an object:
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Mapping
 from typing import TYPE_CHECKING, Any
 
+from repro import obs
 from repro.core.trigger_def import CouplingMode, TriggerInfo
 from repro.core.trigger_state import TriggerState
 from repro.errors import TransactionAbort
@@ -44,6 +46,52 @@ DEPENDENT_LIST = "trigger:dependent_list"
 INDEPENDENT_LIST = "trigger:independent_list"
 
 
+class FrozenKwargs(Mapping):
+    """An immutable, hashable mapping for event keyword arguments.
+
+    Masks read ``event.kwargs`` like a dict (``get``, ``[]``, ``in``); what
+    they cannot do is mutate it — an occurrence is a snapshot of one
+    instant, shared between every trigger the posting reaches and any
+    trace record that captures it.  Hashing follows tuple semantics: it
+    works when the values are hashable and raises otherwise.
+    """
+
+    __slots__ = ("_d",)
+
+    def __init__(self, items: Mapping | tuple = ()):
+        # bypass Mapping's __setattr__-less protocol; _d is never rebound
+        object.__setattr__(self, "_d", dict(items))
+
+    def __getitem__(self, key):
+        return self._d[key]
+
+    def __contains__(self, key):
+        return key in self._d
+
+    def __iter__(self):
+        return iter(self._d)
+
+    def __len__(self):
+        return len(self._d)
+
+    def __eq__(self, other):
+        if isinstance(other, FrozenKwargs):
+            return self._d == other._d
+        if isinstance(other, Mapping):
+            return self._d == dict(other)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(tuple(sorted(self._d.items())))
+
+    def __repr__(self):
+        return f"FrozenKwargs({self._d!r})"
+
+
+#: Shared empty mapping — the common "no keyword arguments" case.
+EMPTY_KWARGS = FrozenKwargs()
+
+
 @dataclasses.dataclass(frozen=True)
 class EventOccurrence:
     """One event instance, carrying the member function's arguments.
@@ -52,12 +100,30 @@ class EventOccurrence:
     parameters passed to the corresponding member function".  ``args`` /
     ``kwargs`` are the invocation arguments for member-function events and
     empty for user-defined and transaction events.
+
+    Occurrences are genuinely immutable: ``args`` is normalized to a tuple
+    and ``kwargs`` is *copied* into a :class:`FrozenKwargs` at
+    construction, so a caller mutating the dict it passed in (or a mask
+    poking at a shared occurrence such as the activation-time
+    ``NULL_OCCURRENCE``) can never change what other triggers — or trace
+    records — observe.  This also makes occurrences hashable/comparable by
+    value, which the frozen dataclass always promised but a raw ``dict``
+    field silently broke.
     """
 
     eventnum: int
     method: str = ""
     args: tuple = ()
-    kwargs: dict = dataclasses.field(default_factory=dict)
+    kwargs: Mapping = EMPTY_KWARGS
+
+    def __post_init__(self):
+        if type(self.args) is not tuple:
+            object.__setattr__(self, "args", tuple(self.args))
+        kwargs = self.kwargs
+        if type(kwargs) is not FrozenKwargs:
+            object.__setattr__(
+                self, "kwargs", FrozenKwargs(kwargs) if kwargs else EMPTY_KWARGS
+            )
 
 
 #: Occurrence used when masks run outside any posting (trigger activation).
@@ -96,17 +162,36 @@ class TriggerContext:
 
 @dataclasses.dataclass
 class PostingStats:
-    """Instrumentation for experiments E3/E6/E10."""
+    """Instrumentation for experiments E3/E6/E10.
+
+    Mounted on the database's :class:`~repro.obs.metrics.MetricsRegistry`
+    under the ``posting.`` prefix; the plain-int fields stay because the
+    posting hot path increments them directly.
+
+    Mask evaluations are counted *separately* for the posting path and for
+    activation-time quiescing: ``activate()`` evaluates start-state masks
+    once per activation, and folding that into the per-posting count
+    polluted E3's overhead-per-posting numbers whenever a benchmark
+    activated triggers inside the measured window.
+    """
 
     events_posted: int = 0
     skipped_no_triggers: int = 0
     fsm_advances: int = 0
     state_writes: int = 0
-    masks_evaluated: int = 0
+    #: masks evaluated while advancing a machine on a posted event
+    masks_evaluated_posting: int = 0
+    #: masks evaluated while quiescing a freshly activated machine
+    masks_evaluated_activation: int = 0
     firings: int = 0
     #: postings whose ready set contained a statically non-confluent
     #: trigger pair (the firing-order guard observed a real race)
     nonconfluent_firing_sets: int = 0
+
+    @property
+    def masks_evaluated(self) -> int:
+        """Legacy aggregate of both mask counters (read-only)."""
+        return self.masks_evaluated_posting + self.masks_evaluated_activation
 
     def reset(self) -> None:
         for field in dataclasses.fields(self):
@@ -114,6 +199,10 @@ class PostingStats:
 
     def snapshot(self) -> dict[str, int]:
         return dataclasses.asdict(self)
+
+    def diff(self, before: dict[str, int]) -> dict[str, int]:
+        """Per-field delta of the current values against *before*."""
+        return {k: v - before.get(k, 0) for k, v in self.snapshot().items()}
 
 
 def post_event(
@@ -129,32 +218,70 @@ def post_event(
         occurrence = EventOccurrence(eventnum=eventnum)
     stats = system.stats
     stats.events_posted += 1
+    span = 0
+    if obs.ENABLED:
+        span = obs.begin_span(
+            "post",
+            eventnum=eventnum,
+            method=occurrence.method,
+            rid=ptr.rid,
+            type=type(obj).__name__,
+        )
     # Footnote 3: the persistent object's control information says whether
     # any triggers are active — if not, no index lookup is required.
     if not obj.__dict__.get("_p_flags", 0) & FLAG_HAS_TRIGGERS:
         stats.skipped_no_triggers += 1
+        if span:
+            obs.end_span(span, "post", skipped="no-active-triggers")
         return 0
 
     txn = db.txn_manager.current()
     ready: list[FiringRecord] = []
 
-    for state_rid in system.index.lookup(txn, ptr.rid):
+    state_rids = system.index.lookup(txn, ptr.rid)
+    if span:
+        obs.emit("index.lookup", span, rid=ptr.rid, states=len(state_rids))
+    for state_rid in state_rids:
         raw = db.storage.read(txn.txid, state_rid)
         tstate = TriggerState.decode(raw)
         defining = db.registry.find(tstate.trigobjtype)
         info = defining.trigger_info(tstate.triggernum)
 
         def evaluate(mask_name: str, _info=info, _tstate=tstate) -> bool:
-            stats.masks_evaluated += 1
-            return bool(_info.masks[mask_name](obj, _tstate.params, occurrence))
+            stats.masks_evaluated_posting += 1
+            outcome = bool(_info.masks[mask_name](obj, _tstate.params, occurrence))
+            if obs.ENABLED:
+                obs.emit(
+                    "mask.eval",
+                    span,
+                    mask=mask_name,
+                    trigger=_info.name,
+                    outcome=outcome,
+                    phase="posting",
+                )
+            return outcome
 
-        result = info.fsm.advance(tstate.statenum, eventnum, evaluate)
+        old_state = tstate.statenum
+        result = info.fsm.advance(old_state, eventnum, evaluate)
         stats.fsm_advances += 1
-        if result.state != tstate.statenum:
+        if span:
+            obs.emit(
+                "fsm.advance",
+                span,
+                trigger=info.name,
+                from_state=old_state,
+                to_state=result.state,
+                consumed=result.consumed,
+                accepted=result.accepted,
+                pseudo_steps=result.pseudo_steps,
+            )
+        if result.state != old_state:
             tstate.statenum = result.state
             # The write that turns a read-only access into a write lock.
             db.storage.write(txn.txid, state_rid, tstate.encode())
             stats.state_writes += 1
+            if span:
+                obs.emit("state.write", span, state_rid=state_rid, trigger=info.name)
         if result.accepted:
             ready.append(
                 FiringRecord(PersistentPtr(db.name, state_rid), tstate, info)
@@ -167,9 +294,19 @@ def post_event(
     # counted, so racy schedules are observable in the stats.
     if len(ready) > 1:
         ready = system.order_ready(ready, type(obj))
-    for record in ready:
+    for order, record in enumerate(ready):
+        if span:
+            obs.emit(
+                "fire",
+                span,
+                trigger=record.info.name,
+                coupling=record.info.coupling.value,
+                order=order,
+            )
         dispatch_firing(system, db, txn, record)
         stats.firings += 1
+    if span:
+        obs.end_span(span, "post", firings=len(ready))
     return len(ready)
 
 
@@ -214,6 +351,13 @@ def run_action(
         params=dict(record.state.params),
         coupling=record.info.coupling,
     )
+    if obs.ENABLED:
+        obs.emit(
+            "action.run",
+            trigger=record.info.name,
+            coupling=record.info.coupling.value,
+            txid=txn.txid,
+        )
     record.info.action(handle, ctx)
     if not record.info.perpetual:
         # missing_ok: a once-only trigger detected twice before its queued

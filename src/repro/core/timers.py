@@ -11,6 +11,20 @@ user-defined event to the target object — from there, ordinary composite
 event expressions take over (e.g. ``"after buy, Timeout"`` fires when a
 purchase is not followed by payment before the timeout event).
 
+Scheduling invariants the service maintains:
+
+* **no drift** — a periodic timer's next due time is ``due + period``
+  (anchored to the schedule), never ``now + period`` (anchored to when the
+  service happened to run), so a late ``advance_to`` cannot push every
+  subsequent firing later;
+* **no dangling posts** — a timer whose target object was deleted
+  mid-flight is cancelled (and counted in ``stats.dangling_cancelled``)
+  instead of posting through a dangling :class:`PersistentPtr`; a target
+  whose triggers were merely deactivated receives the event harmlessly
+  (the posting short-circuits on the control bit);
+* **self-cancellation** — a trigger action cancelling its own (periodic)
+  timer wins: the timer is not rescheduled.
+
 Timers are transient (rebuilt by the application at startup), matching the
 prototype status the paper gives this feature.
 """
@@ -22,7 +36,8 @@ import heapq
 import itertools
 from typing import TYPE_CHECKING
 
-from repro.errors import TriggerError
+from repro import obs
+from repro.errors import DanglingPointerError, TriggerError
 from repro.objects.oid import PersistentPtr
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,6 +78,25 @@ class _Timer:
     cancelled: bool = dataclasses.field(compare=False, default=False)
 
 
+@dataclasses.dataclass
+class TimerStats:
+    """Counters for the timer subsystem (mounted as ``timers.*``)."""
+
+    scheduled: int = 0
+    fired: int = 0
+    rescheduled: int = 0
+    cancelled: int = 0
+    #: timers auto-cancelled because their target object was deleted
+    dangling_cancelled: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def reset(self) -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
 class TimerService:
     """Schedules timer events against one database."""
 
@@ -73,7 +107,15 @@ class TimerService:
         self._timers: dict[int, _Timer] = {}
         self._ids = itertools.count(1)
         self._seq = itertools.count()
-        self.fired = 0
+        self.stats = TimerStats()
+        metrics = getattr(db, "metrics", None)
+        if metrics is not None:
+            metrics.register_source("timers", self.stats)
+
+    @property
+    def fired(self) -> int:
+        """Total timer events posted (legacy alias of ``stats.fired``)."""
+        return self.stats.fired
 
     # -- scheduling -----------------------------------------------------------
 
@@ -109,6 +151,16 @@ class TimerService:
         )
         heapq.heappush(self._heap, timer)
         self._timers[timer.timer_id] = timer
+        self.stats.scheduled += 1
+        if obs.ENABLED:
+            obs.emit(
+                "timer.schedule",
+                timer_id=timer.timer_id,
+                event=event_name,
+                rid=target.rid,
+                due=due,
+                period=period,
+            )
         return timer.timer_id
 
     def cancel(self, timer_id: int) -> bool:
@@ -116,6 +168,9 @@ class TimerService:
         if timer is None:
             return False
         timer.cancelled = True
+        self.stats.cancelled += 1
+        if obs.ENABLED:
+            obs.emit("timer.cancel", timer_id=timer_id, event=timer.event_name)
         return True
 
     def pending(self) -> int:
@@ -127,7 +182,11 @@ class TimerService:
         """Advance the clock, posting every due timer event; returns count.
 
         Each due timer's event is posted in its own transaction unless the
-        caller already holds one.
+        caller already holds one.  A timer whose target object no longer
+        exists is cancelled rather than left to raise through the clock
+        advance; a periodic timer is rescheduled *before* its event posts,
+        so its cadence survives an action that raises and an action that
+        cancels it observes the usual "cancel wins" rule.
         """
         self.clock.set(when)
         fired = 0
@@ -135,15 +194,42 @@ class TimerService:
             timer = heapq.heappop(self._heap)
             if timer.cancelled:
                 continue
-            self._post(timer)
-            fired += 1
-            self.fired += 1
             if timer.period is not None:
+                # Anchor to the schedule (due + period), NOT to `now`:
+                # rescheduling off the processing time would drift every
+                # firing later by however late the service ran.
                 timer.due += timer.period
                 timer.seq = next(self._seq)
                 heapq.heappush(self._heap, timer)
+                self.stats.rescheduled += 1
             else:
                 self._timers.pop(timer.timer_id, None)
+            try:
+                self._post(timer)
+            except DanglingPointerError:
+                # The target was deleted mid-flight: cancel instead of
+                # propagating a dangling-pointer error out of the clock.
+                timer.cancelled = True
+                self._timers.pop(timer.timer_id, None)
+                self.stats.dangling_cancelled += 1
+                if obs.ENABLED:
+                    obs.emit(
+                        "timer.dangling",
+                        timer_id=timer.timer_id,
+                        event=timer.event_name,
+                        rid=timer.target.rid,
+                    )
+                continue
+            fired += 1
+            self.stats.fired += 1
+            if obs.ENABLED:
+                obs.emit(
+                    "timer.fire",
+                    timer_id=timer.timer_id,
+                    event=timer.event_name,
+                    rid=timer.target.rid,
+                    now=self.clock.now,
+                )
         return fired
 
     def advance(self, delta: float) -> int:

@@ -67,6 +67,14 @@ class Database:
         else:
             self.storage = open_storage(path, engine=engine, **engine_kwargs)
         try:
+            # One metrics namespace per database: the per-layer stats
+            # dataclasses mount here (posting.* joins when the trigger
+            # system attaches, timers.* when a TimerService is created).
+            from repro.obs.metrics import MetricsRegistry
+
+            self.metrics = MetricsRegistry()
+            self.metrics.register_source("storage", self.storage.stats)
+            self.metrics.register_source("locks", self.storage.lock_manager.stats)
             self.txn_manager = TransactionManager(self)
             self.phoenix = PhoenixQueue(self)
             self._catalog_rid: int | None = None

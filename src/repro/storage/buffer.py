@@ -26,6 +26,7 @@ import struct
 import zlib
 from collections import OrderedDict
 
+from repro import obs
 from repro.errors import BufferPoolError, PageChecksumError, PageError
 from repro.faults.injector import NULL_INJECTOR, FaultInjector, with_retry
 from repro.storage.page import PAGE_SIZE, USABLE_END, SlottedPage
@@ -192,9 +193,13 @@ class BufferPool:
             self._frames.move_to_end(page_no)
             if self._stats is not None:
                 self._stats.page_hits += 1
+            if obs.ENABLED:
+                obs.emit("page.hit", page_no=page_no)
         else:
             if self._stats is not None:
                 self._stats.page_misses += 1
+            if obs.ENABLED:
+                obs.emit("page.miss", page_no=page_no)
             self._ensure_room()
             frame = _Frame(SlottedPage(self.file.read_page(page_no)))
             self._frames[page_no] = frame
@@ -240,6 +245,7 @@ class BufferPool:
             return
         for page_no, frame in self._frames.items():
             if frame.pin_count == 0:
+                was_dirty = frame.dirty
                 if frame.dirty:
                     if self.read_only:
                         continue  # never write through a failed medium
@@ -250,6 +256,8 @@ class BufferPool:
                 del self._frames[page_no]
                 if self._stats is not None:
                     self._stats.page_evictions += 1
+                if obs.ENABLED:
+                    obs.emit("page.evict", page_no=page_no, dirty=was_dirty)
                 return
         if self.read_only:
             return  # grow past capacity rather than touch the medium

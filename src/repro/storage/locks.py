@@ -21,6 +21,7 @@ import dataclasses
 import enum
 from collections import defaultdict
 
+from repro import obs
 from repro.errors import DeadlockError, LockError
 
 
@@ -115,14 +116,32 @@ class LockManager:
                 self.stats.s_acquired += 1
             else:
                 self.stats.x_acquired += 1
+            if obs.ENABLED:
+                obs.emit(
+                    "lock.acquire",
+                    txid=txid,
+                    resource=resource,
+                    mode=mode.name,
+                    upgrade=upgrading,
+                )
             return LockRequestStatus.GRANTED
 
         self.stats.waits += 1
+        if obs.ENABLED:
+            obs.emit(
+                "lock.wait",
+                txid=txid,
+                resource=resource,
+                mode=mode.name,
+                blockers=sorted(blockers),
+            )
         self._waits_for[txid] |= blockers
         cycle = self._find_cycle(txid)
         if cycle:
             self.stats.deadlocks += 1
             self._waits_for.pop(txid, None)
+            if obs.ENABLED:
+                obs.emit("lock.deadlock", txid=txid, cycle=list(cycle))
             raise DeadlockError(txid, cycle)
         if (txid, mode) not in entry.waiters:
             entry.waiters.append((txid, mode))

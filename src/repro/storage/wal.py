@@ -32,6 +32,7 @@ import struct
 import zlib
 from collections.abc import Iterator
 
+from repro import obs
 from repro.errors import WALError
 from repro.faults.injector import NULL_INJECTOR, FaultInjector, with_retry
 
@@ -179,6 +180,15 @@ class WriteAheadLog:
         with_retry(op, on_retry=self._count_retry)
         if self._stats is not None:
             self._stats.log_records += 1
+        if obs.ENABLED:
+            obs.emit(
+                "wal.append",
+                lsn=record.lsn,
+                txid=txid,
+                record=kind.name,
+                rid=rid,
+                bytes=len(frame),
+            )
         return record
 
     def force(self) -> None:
@@ -193,6 +203,8 @@ class WriteAheadLog:
         self.injector.fire("wal.force.after")  # crash here: tail is durable
         if self._stats is not None:
             self._stats.log_forces += 1
+        if obs.ENABLED:
+            obs.emit("wal.force", synced_bytes=self._synced_size)
 
     # -- reading -----------------------------------------------------------------
 

@@ -6,7 +6,10 @@ flags, every active trigger with its FSM position, the catalog, and any
 static-analyzer findings.  ``python -m repro.tools lint ...`` forwards to
 the trigger linter (see :mod:`repro.analysis`); ``python -m repro.tools
 fsck <path>`` runs the storage integrity checker (see :mod:`repro.fsck`)
-and exits non-zero when anything at warning severity or above is found.
+and exits non-zero when anything at warning severity or above is found;
+``python -m repro.tools trace {record,show,summary}`` records a traced
+credit-card workload run and pretty-prints the resulting JSONL (see
+:mod:`repro.obs`).
 
 The functions are also importable for programmatic use (the test suite
 uses them as a read-only consistency probe).
@@ -90,6 +93,16 @@ def describe_analysis(db: "Database") -> list[str]:
     return [diag.render() for diag in report.diagnostics] or ["ok"]
 
 
+def describe_stats(db: "Database") -> list[str]:
+    """Current metrics-registry snapshot, one ``name = value`` line each."""
+    from repro.obs.metrics import describe
+
+    metrics = getattr(db, "metrics", None)
+    if metrics is None:
+        return ["(no metrics registry)"]
+    return describe(metrics.snapshot())
+
+
 def dump_database(db: "Database") -> str:
     """A full textual dump of *db* (runs in its own transaction if needed)."""
     manager = db.txn_manager
@@ -104,6 +117,7 @@ def dump_database(db: "Database") -> str:
             ("active triggers", describe_triggers(db)),
             ("integrity", db.trigger_system.verify_integrity() or ["ok"]),
             ("analysis", describe_analysis(db)),
+            ("stats", describe_stats(db)),
         ]
         parts = []
         for title, lines in sections:
@@ -113,6 +127,94 @@ def dump_database(db: "Database") -> str:
     finally:
         if own:
             manager.commit(txn)
+
+
+def trace_main(argv: list[str]) -> int:
+    """``python -m repro.tools trace {record,show,summary} ...``.
+
+    ``record`` runs the credit-card workload (paper Section 4) against a
+    scratch database with tracing enabled and exports the ring buffer as
+    JSONL; ``show`` pretty-prints a JSONL trace with span nesting and
+    firing order; ``summary`` prints per-kind record counts.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.tools trace", description="Record or inspect an obs trace"
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    rec = sub.add_parser("record", help="run the credit-card workload traced")
+    rec.add_argument("out", help="output JSONL path")
+    rec.add_argument("--db", default=None, help="database path (default: temp)")
+    rec.add_argument("--engine", choices=["disk", "mm"], default="mm")
+    rec.add_argument("--cards", type=int, default=4)
+    rec.add_argument("--ops", type=int, default=40)
+    rec.add_argument("--seed", type=int, default=1996)
+    rec.add_argument("--capacity", type=int, default=65536)
+
+    show = sub.add_parser("show", help="pretty-print a JSONL trace")
+    show.add_argument("path", help="trace JSONL path")
+
+    summ = sub.add_parser("summary", help="per-kind record counts")
+    summ.add_argument("path", help="trace JSONL path")
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "record":
+        import tempfile
+
+        from repro import obs
+        from repro.objects.database import Database
+        from repro.workloads.credit_card import CreditCardWorkload
+
+        path = args.db
+        tmp = None
+        if path is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-trace-")
+            path = f"{tmp.name}/trace-db"
+        try:
+            db = Database.open(path, engine=args.engine)
+            try:
+                workload = CreditCardWorkload(seed=args.seed)
+                ptrs = workload.setup(
+                    db, args.cards, activate_deny=True, activate_raise=True
+                )
+                obs.enable(capacity=args.capacity)
+                result = workload.run(db, ptrs, args.ops)
+                recorder = obs.disable()
+                recorder.export(args.out)
+                delta = db.metrics.snapshot()
+                print(
+                    f"recorded {len(recorder.records())} record(s) "
+                    f"({recorder.stats.records_dropped} dropped) -> {args.out}"
+                )
+                print(
+                    f"workload: {result.operations} ops, {result.buys} buys, "
+                    f"{result.payments} payments, {result.denied} denied"
+                )
+                print(
+                    f"posting: {delta.get('posting.events_posted', 0)} events, "
+                    f"{delta.get('posting.firings', 0)} firings, "
+                    f"{delta.get('posting.masks_evaluated_posting', 0)} masks"
+                )
+            finally:
+                db.close()
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+        return 0
+
+    from repro.obs.trace import load_jsonl, render_trace, summarize_trace
+
+    records = load_jsonl(args.path)
+    if args.cmd == "show":
+        print("\n".join(render_trace(records)))
+    else:
+        counts = summarize_trace(records)
+        width = max((len(k) for k in counts), default=0)
+        for kind in sorted(counts):
+            print(f"{kind:<{width}}  {counts[kind]}")
+        print(f"{'total':<{width}}  {len(records)}")
+    return 0
 
 
 def fsck_main(argv: list[str]) -> int:
@@ -162,6 +264,8 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "fsck":
         return fsck_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(description="Dump an Ode-repro database")
     parser.add_argument("path", help="database path")
@@ -176,4 +280,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # e.g. `trace show ... | head`
+        raise SystemExit(0)

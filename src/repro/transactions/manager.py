@@ -18,6 +18,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable
 
+from repro import obs
 from repro.errors import (
     DatabaseClosedError,
     NestedTransactionError,
@@ -66,6 +67,13 @@ class TransactionManager:
         self._next_txid += 1
         self.db.storage.begin_transaction(txn.txid)
         self._current = txn
+        if obs.ENABLED:
+            obs.emit("txn.begin", txid=txn.txid, system=system)
+            # Per-transaction metrics delta: snapshot the registry now so
+            # obs.transaction_delta(txn) can report what this txn cost.
+            metrics = getattr(self.db, "metrics", None)
+            if metrics is not None:
+                txn.attachments[obs.TXN_METRICS_KEY] = metrics.snapshot()
         for listener in self._begin_listeners:
             listener(txn)
         return txn
@@ -117,6 +125,8 @@ class TransactionManager:
             raise
         txn.state = TxnState.COMMITTED
         self._finish(txn)
+        if obs.ENABLED:
+            obs.emit("txn.commit", txid=txn.txid, system=txn.system)
         for hook in list(txn.after_commit):
             hook(txn)
         return txn.state
@@ -139,6 +149,8 @@ class TransactionManager:
         txn.dirty.clear()
         txn.state = TxnState.ABORTED
         self._finish(txn)
+        if obs.ENABLED:
+            obs.emit("txn.abort", txid=txn.txid, explicit=explicit, system=txn.system)
         for hook in list(txn.after_abort):
             hook(txn)
         return txn.state

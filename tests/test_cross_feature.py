@@ -111,3 +111,61 @@ class TestIndexesMeetTriggers:
             assert [h.ptr for h in db2.find(Gauge, "severity", 1)] == [ptr]
             assert db2.trigger_system.verify_integrity() == []
         db2.close()
+
+
+@pytest.mark.obs
+class TestTracedCrashRecovery:
+    """Observability meets the fault harness: a run that crashes mid-commit
+    records a coherent trace, the trace survives a JSONL round trip, and
+    the recovered database replays cleanly under tracing too."""
+
+    def test_traced_crash_recovery_round_trips(self, db_path, tmp_path):
+        from repro import obs
+        from repro.errors import InjectedCrashError
+        from repro.faults import FaultInjector
+        from repro.obs.trace import load_jsonl, render_trace, summarize_trace
+        from repro.workloads.credit_card import CreditCardWorkload
+
+        db = Database.open(db_path, engine="disk")
+        workload = CreditCardWorkload(seed=7)
+        ptrs = workload.setup(db, 3, activate_deny=True)
+        db.close()
+
+        # Crash on a later WAL force — mid-workload, after some commits
+        # (reopening the database itself forces the log a few times).
+        inj = FaultInjector().crash_on("wal.force", after=8)
+        db = Database.open(db_path, engine="disk", injector=inj)
+        recorder = obs.enable()
+        try:
+            with pytest.raises(InjectedCrashError):
+                workload.run(db, ptrs, 100)
+        finally:
+            obs.disable()
+        db.simulate_crash()
+
+        # The trace captured work up to the crash and round-trips exactly.
+        records = recorder.records()
+        assert any(r.kind == "post.begin" for r in records)
+        assert any(r.kind == "wal.append" for r in records)
+        path = str(tmp_path / "crash-trace.jsonl")
+        recorder.export(path)
+        reloaded = load_jsonl(path)
+        assert reloaded == records
+        rendered = render_trace(reloaded)
+        assert len(rendered) == len(records)
+        assert summarize_trace(reloaded)["txn.begin"] >= 1
+
+        # Recovery replays cleanly — traced as well.
+        with obs.enabled() as recovery_recorder:
+            recovered = Database.open(db_path, engine="disk")
+            with recovered.transaction():
+                balances = [recovered.deref(p).curr_bal for p in ptrs]
+                assert recovered.trigger_system.verify_integrity() == []
+        assert all(b >= 0.0 for b in balances)
+        recovery_records = recovery_recorder.records()
+        assert any(r.kind == "wal.append" for r in recovery_records)
+        # The recovery trace round-trips through the same JSONL path.
+        rec_path = str(tmp_path / "recovery-trace.jsonl")
+        recovery_recorder.export(rec_path)
+        assert load_jsonl(rec_path) == recovery_records
+        recovered.close()

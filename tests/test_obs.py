@@ -1,0 +1,414 @@
+"""Observability layer: metrics registry, trace recorder, instrumentation.
+
+Everything here is marked ``obs``.  The suite covers the registry and
+recorder as plain data structures, the posting-path instrumentation
+end-to-end (spans, mask evaluations, firing order), the per-transaction
+metrics delta, and the :class:`EventOccurrence` immutability regression
+that motivated ``FrozenKwargs``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.core.declarations import trigger
+from repro.core.posting import EMPTY_KWARGS, EventOccurrence, FrozenKwargs
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, describe
+from repro.obs.trace import (
+    TraceRecord,
+    TraceRecorder,
+    records_from_jsonl,
+    records_to_jsonl,
+    render_record,
+    render_trace,
+    summarize_trace,
+)
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Never leak an enabled recorder between tests."""
+    yield
+    obs.disable()
+
+
+class ObsGadget(Persistent):
+    n = field(int, default=0)
+    limit = field(int, default=2)
+
+    __events__ = ["after bump", "after poke"]
+    __masks__ = {
+        "over": lambda self: self.n > self.limit,
+        "small": lambda self: self.n <= self.limit,
+    }
+    __triggers__ = [
+        trigger("WatchAll", "after bump", action=lambda s, c: None, perpetual=True),
+        trigger("WatchOver", "after bump & over", action=lambda s, c: None, perpetual=True),
+        # `*(e) & m` leaves a mask obligation on the FSM start state, so
+        # activating this trigger evaluates `small` immediately.
+        trigger("StarMask", "(*(after bump) & small, after poke)", action=lambda s, c: None),
+    ]
+
+    def bump(self):
+        self.n += 1
+
+    def poke(self):
+        pass
+
+
+# -- MetricsRegistry -----------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _FakeStats:
+    hits: int = 0
+    misses: int = 0
+
+    def snapshot(self):
+        return dataclasses.asdict(self)
+
+    def reset(self):
+        self.hits = self.misses = 0
+
+
+class TestMetricsRegistry:
+    def test_counter_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.counter("a.b").inc(4)
+        assert registry.snapshot() == {"a.b": 5}
+        assert int(registry.counter("a.b")) == 5
+
+    def test_histogram_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for v in (1, 2, 3, 10):
+            hist.observe(v)
+        snap = registry.snapshot()["lat"]
+        assert snap["count"] == 4
+        assert snap["min"] == 1
+        assert snap["max"] == 10
+        assert snap["mean"] == pytest.approx(4.0)
+
+    def test_source_mounted_under_prefix(self):
+        registry = MetricsRegistry()
+        stats = _FakeStats()
+        registry.register_source("cache", stats)
+        stats.hits += 3
+        assert registry.snapshot() == {"cache.hits": 3, "cache.misses": 0}
+
+    def test_reregistering_prefix_replaces(self):
+        registry = MetricsRegistry()
+        old, new = _FakeStats(hits=7), _FakeStats()
+        registry.register_source("cache", old)
+        registry.register_source("cache", new)
+        assert registry.snapshot()["cache.hits"] == 0
+
+    def test_diff_and_delta_since(self):
+        registry = MetricsRegistry()
+        stats = _FakeStats()
+        registry.register_source("cache", stats)
+        registry.counter("ops")
+        before = registry.snapshot()
+        stats.hits += 2
+        registry.counter("ops").inc(9)
+        delta = registry.delta_since(before)
+        assert delta["cache.hits"] == 2
+        assert delta["ops"] == 9
+        assert MetricsRegistry.diff(before, before) == {
+            "cache.hits": 0,
+            "cache.misses": 0,
+            "ops": 0,
+        }
+
+    def test_diff_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(10)
+        before = registry.snapshot()
+        registry.histogram("h").observe(30)
+        delta = registry.delta_since(before)["h"]
+        assert delta["count"] == 1
+        assert delta["mean"] == pytest.approx(30.0)
+
+    def test_measure_context(self):
+        registry = MetricsRegistry()
+        with registry.measure() as delta:
+            registry.counter("x").inc(2)
+        assert delta["x"] == 2
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        stats = _FakeStats(hits=5)
+        registry.register_source("cache", stats)
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["cache.hits"] == 0
+        assert snap["c"] == 0
+        assert snap["h"]["count"] == 0
+
+    def test_describe_renders_sorted_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.histogram("h").observe(4)
+        lines = describe(registry.snapshot())
+        assert lines[0] == "a = 1"
+        assert lines[1] == "b = 2"
+        assert lines[2].startswith("h = {count=1")
+
+
+# -- TraceRecorder -------------------------------------------------------------
+
+
+class TestTraceRecorder:
+    def test_ring_is_bounded_and_counts_drops(self):
+        recorder = TraceRecorder(capacity=3)
+        for i in range(5):
+            recorder.emit("tick", i=i)
+        assert len(recorder) == 3
+        assert [r.get("i") for r in recorder.records()] == [2, 3, 4]
+        assert recorder.stats.records_dropped == 2
+        assert recorder.stats.records_emitted == 5
+
+    def test_seq_keeps_counting_past_drops(self):
+        recorder = TraceRecorder(capacity=2)
+        for _ in range(4):
+            recorder.emit("tick")
+        assert [r.seq for r in recorder.records()] == [3, 4]
+
+    def test_jsonl_round_trip_is_identity(self):
+        recorder = TraceRecorder()
+        recorder.emit("a", x=1, y="s", z=[1, 2], w={"k": True}, n=None)
+        span = recorder.begin_span("post", rid=7)
+        recorder.emit("mask.eval", span=span, outcome=False)
+        recorder.end_span(span, "post", firings=0)
+        text = recorder.to_jsonl()
+        assert records_from_jsonl(text) == recorder.records()
+
+    def test_non_json_values_coerced_at_emit(self):
+        recorder = TraceRecorder()
+
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        recorder.emit("a", obj=Opaque(), t=(1, 2))
+        record = recorder.records()[0]
+        assert record.get("obj") == "<opaque>"
+        assert record.get("t") == [1, 2]  # tuples normalize to lists
+        assert records_from_jsonl(recorder.to_jsonl()) == recorder.records()
+
+    def test_export(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.emit("a", x=1)
+        path = str(tmp_path / "t.jsonl")
+        assert recorder.export(path) == 1
+        from repro.obs.trace import load_jsonl
+
+        assert load_jsonl(path) == recorder.records()
+
+    def test_render_trace_indents_spans_and_numbers_fires(self):
+        recorder = TraceRecorder()
+        span = recorder.begin_span("post", rid=1)
+        recorder.emit("fire", span=span, trigger="A")
+        recorder.emit("fire", span=span, trigger="B")
+        recorder.end_span(span, "post", firings=2)
+        recorder.emit("txn.commit", txid=9)
+        lines = render_trace(recorder.records())
+        assert lines[0].lstrip().startswith("[")
+        assert "post span=1" in lines[0]
+        assert lines[1].startswith("    ") and "fire #1" in lines[1]
+        assert lines[2].startswith("    ") and "fire #2" in lines[2]
+        assert "end post" in lines[3]
+        assert lines[4].lstrip().startswith("[") and "txn.commit" in lines[4]
+
+    def test_summarize_and_render_record(self):
+        recorder = TraceRecorder()
+        recorder.emit("a")
+        recorder.emit("a")
+        recorder.emit("b", k=1)
+        assert summarize_trace(recorder.records()) == {"a": 2, "b": 1}
+        assert "b k=1" in render_record(recorder.records()[-1])
+
+
+# -- module-level gate ---------------------------------------------------------
+
+
+class TestObsGate:
+    def test_disabled_by_default_and_emit_is_noop(self):
+        assert obs.ENABLED is False
+        obs.emit("nothing", x=1)  # must not raise without a recorder
+        assert obs.begin_span("post") == obs.NO_SPAN
+        obs.end_span(obs.NO_SPAN, "post")
+
+    def test_enable_disable_round_trip(self):
+        recorder = obs.enable(capacity=16)
+        assert obs.ENABLED and obs.recorder() is recorder
+        obs.emit("x")
+        returned = obs.disable()
+        assert returned is recorder
+        assert not obs.ENABLED and obs.recorder() is None
+        assert len(recorder) == 1
+
+    def test_enabled_context(self):
+        with obs.enabled() as recorder:
+            assert obs.ENABLED
+            obs.emit("y")
+        assert not obs.ENABLED
+        assert [r.kind for r in recorder.records()] == ["y"]
+
+
+# -- posting-path integration ---------------------------------------------------
+
+
+class TestPostingInstrumentation:
+    def test_posting_trace_spans_masks_and_firing_order(self, mm_db):
+        with mm_db.transaction():
+            handle = mm_db.pnew(ObsGadget)
+            ptr = handle.ptr
+            handle.WatchAll()
+            handle.WatchOver()
+
+        with obs.enabled() as recorder:
+            with mm_db.transaction():
+                gadget = mm_db.deref(ptr)
+                gadget.bump()  # n=1: WatchAll fires, WatchOver masked out
+                gadget.bump()
+                gadget.bump()  # n=3 > limit: both fire
+
+        records = recorder.records()
+        begins = [r for r in records if r.kind == "post.begin"]
+        assert len(begins) == 3
+        assert {r.get("method") for r in begins} == {"bump"}
+
+        # Every in-span record carries its posting's span id.
+        span = begins[-1].span
+        block = [r for r in records if r.span == span]
+        kinds = [r.kind for r in block]
+        assert kinds[0] == "post.begin" and kinds[-1] == "post.end"
+        assert "index.lookup" in kinds and "fsm.advance" in kinds
+
+        masks = [r for r in block if r.kind == "mask.eval"]
+        assert [(m.get("mask"), m.get("outcome")) for m in masks] == [("over", True)]
+        assert all(m.get("phase") == "posting" for m in masks)
+
+        fires = [r for r in block if r.kind == "fire"]
+        assert len(fires) == 2
+        assert [f.get("order") for f in fires] == [0, 1]
+
+        rendered = "\n".join(render_trace(records))
+        assert "fire #1" in rendered and "fire #2" in rendered
+        assert "mask.eval" in rendered
+
+    def test_skipped_posting_recorded(self, mm_db):
+        with mm_db.transaction():
+            ptr = mm_db.pnew(ObsGadget).ptr  # events declared, nothing active
+
+        with obs.enabled() as recorder:
+            with mm_db.transaction():
+                mm_db.deref(ptr).bump()
+
+        ends = [r for r in recorder.records() if r.kind == "post.end"]
+        assert ends and ends[0].get("skipped") == "no-active-triggers"
+
+    def test_transaction_delta(self, mm_db):
+        with mm_db.transaction():
+            handle = mm_db.pnew(ObsGadget)
+            ptr = handle.ptr
+            handle.WatchAll()
+
+        with obs.enabled():
+            with mm_db.transaction() as txn:
+                mm_db.deref(ptr).bump()
+                delta = obs.transaction_delta(txn)
+        assert delta["posting.events_posted"] == 1
+        assert delta["posting.firings"] == 1
+
+    def test_transaction_delta_empty_when_tracing_off(self, mm_db):
+        with mm_db.transaction() as txn:
+            assert obs.transaction_delta(txn) == {}
+
+    def test_mask_counter_split(self, mm_db):
+        """Activation-time quiescing and posting-time evaluation count apart."""
+        stats = mm_db.trigger_system.stats
+        with mm_db.transaction():
+            handle = mm_db.pnew(ObsGadget)
+            ptr = handle.ptr
+            handle.StarMask()  # start-state obligation: quiesced at activation
+        assert stats.masks_evaluated_activation == 1
+        assert stats.masks_evaluated_posting == 0
+
+        with mm_db.transaction():
+            mm_db.deref(ptr).bump()
+        assert stats.masks_evaluated_activation == 1
+        assert stats.masks_evaluated_posting >= 1
+        # The legacy aggregate keeps old consumers working.
+        assert stats.masks_evaluated == (
+            stats.masks_evaluated_activation + stats.masks_evaluated_posting
+        )
+
+    def test_activation_mask_eval_traced(self, mm_db):
+        with obs.enabled() as recorder:
+            with mm_db.transaction():
+                mm_db.pnew(ObsGadget).StarMask()
+        masks = [r for r in recorder.records() if r.kind == "mask.eval"]
+        assert masks and all(m.get("phase") == "activation" for m in masks)
+        assert any(r.kind == "trigger.activate" for r in recorder.records())
+
+    def test_db_metrics_snapshot_has_all_prefixes(self, disk_db):
+        snap = disk_db.metrics.snapshot()
+        assert any(k.startswith("posting.") for k in snap)
+        assert any(k.startswith("storage.") for k in snap)
+        assert any(k.startswith("locks.") for k in snap)
+
+
+# -- EventOccurrence immutability regression ------------------------------------
+
+
+class TestEventOccurrenceImmutability:
+    def test_kwargs_copied_not_aliased(self):
+        caller_kwargs = {"dest": "x"}
+        event = EventOccurrence(1, "m", (1,), caller_kwargs)
+        caller_kwargs["dest"] = "mutated"
+        assert event.kwargs["dest"] == "x"
+
+    def test_kwargs_mapping_interface(self):
+        event = EventOccurrence(1, "m", (), {"dest": "x", "n": 2})
+        assert event.kwargs.get("dest") == "x"
+        assert event.kwargs.get("missing", "d") == "d"
+        assert "n" in event.kwargs and len(event.kwargs) == 2
+        assert dict(event.kwargs) == {"dest": "x", "n": 2}
+
+    def test_kwargs_not_mutable(self):
+        event = EventOccurrence(1, "m")
+        with pytest.raises(TypeError):
+            event.kwargs["k"] = 1
+
+    def test_hashable_and_equal(self):
+        a = EventOccurrence(1, "m", (1, 2), {"k": "v"})
+        b = EventOccurrence(1, "m", (1, 2), {"k": "v"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_args_normalized_to_tuple(self):
+        event = EventOccurrence(1, "m", [1, 2])
+        assert event.args == (1, 2)
+        assert type(event.args) is tuple
+
+    def test_empty_kwargs_shared_sentinel(self):
+        assert EventOccurrence(1).kwargs is EMPTY_KWARGS
+        assert EventOccurrence(1, kwargs={}).kwargs is EMPTY_KWARGS
+
+    def test_frozen_kwargs_equality_with_plain_dict(self):
+        frozen = FrozenKwargs({"a": 1})
+        assert frozen == {"a": 1}
+        assert frozen != {"a": 2}
+        assert hash(frozen) == hash(FrozenKwargs({"a": 1}))

@@ -166,3 +166,83 @@ class TestTimerService:
         assert service.pending() == 2
         service.advance_to(1.5)
         assert service.pending() == 1
+
+    def test_periodic_timer_does_not_drift(self, mm_db, target):
+        """Reschedule anchors to ``due + period``, never ``now + period``.
+
+        Processing the tick at t=10 while the clock already reads 10.5
+        must leave the next firing at exactly 20.0 — drift-anchoring to
+        the processing time would push it to 20.5, then 31.0, ...
+        """
+        service = TimerService(mm_db)
+        service.schedule(target, "Tick", delay=10.0, period=10.0)
+        assert service.advance_to(10.5) == 1
+        assert service.advance_to(19.9) == 0  # 20.4 would be due if drifted
+        assert service.advance_to(20.0) == 1
+        # Late by nearly a full period: both the t=30 and t=40 firings land.
+        assert service.advance_to(49.9) == 2
+        assert service.advance_to(50.0) == 1
+
+    def test_dangling_target_cancels_timer(self, mm_db, target):
+        service = TimerService(mm_db)
+        service.schedule(target, "Tick", delay=5.0, period=5.0)
+        with mm_db.transaction():
+            mm_db.pdelete(target)
+        # No DanglingPointerError escapes; the timer is gone for good.
+        assert service.advance_to(20.0) == 0
+        assert service.pending() == 0
+        assert service.stats.dangling_cancelled == 1
+        assert service.fired == 0
+
+    def test_deactivated_target_posts_harmlessly(self, mm_db, target):
+        with mm_db.transaction():
+            [(trigger_id, _, _)] = mm_db.trigger_system.active_triggers(target)
+            mm_db.trigger_system.deactivate(trigger_id)
+        service = TimerService(mm_db)
+        service.schedule(target, "Tick", delay=1.0)
+        assert service.advance_to(2.0) == 1  # posted, short-circuited
+        with mm_db.transaction():
+            assert mm_db.deref(target).fired == 0
+
+    def test_action_cancelling_own_periodic_timer_wins(self, mm_db):
+        service_box = []
+        timer_box = []
+
+        class SelfStopping(Persistent):
+            ticks = field(int, default=0)
+
+            __events__ = ["Tick"]
+            __triggers__ = [
+                trigger("Stop", "Tick", action=lambda s, c: s.stop(), perpetual=True)
+            ]
+
+            def stop(self):
+                self.ticks += 1
+                service_box[0].cancel(timer_box[0])
+
+        with mm_db.transaction():
+            handle = mm_db.pnew(SelfStopping)
+            handle.Stop()
+            ptr = handle.ptr
+        service = TimerService(mm_db)
+        service_box.append(service)
+        timer_box.append(service.schedule(ptr, "Tick", delay=1.0, period=1.0))
+        # The action cancels the timer while it fires: the pending
+        # reschedule must not resurrect it.
+        assert service.advance_to(10.0) == 1
+        assert service.pending() == 0
+        with mm_db.transaction():
+            assert mm_db.deref(ptr).ticks == 1
+
+    def test_timer_stats_counters(self, mm_db, target):
+        service = TimerService(mm_db)
+        timer_id = service.schedule(target, "Tick", delay=1.0)
+        service.schedule(target, "Tick", delay=2.0, period=2.0)
+        service.cancel(timer_id)
+        service.advance_to(6.0)  # periodic fires at 2, 4, 6
+        assert service.stats.scheduled == 2
+        assert service.stats.cancelled == 1
+        assert service.stats.fired == 3
+        assert service.stats.rescheduled == 3
+        # The service mounted itself on the database's registry.
+        assert mm_db.metrics.snapshot()["timers.fired"] == 3

@@ -4,103 +4,98 @@ Section 6: "We also discovered that triggers turn read access into write
 access, increasing both the amount of time the transactions spend waiting
 for locks and the likelihood of deadlock."
 
-Simulated clients replay the exact lock traces the real posting path
-issues (S on the object; with active triggers, additional X locks on each
-persistent TriggerState) against one lock manager, round-robin, strict
-2PL, deadlock-victim abort/retry.  Sweep: client count × triggers per
-object over a small hot set.
+Since the multi-session refactor this experiment runs the *real* system:
+N concurrent sessions over one shared in-memory database, interleaved by
+the deterministic cooperative scheduler, each transaction dereferencing
+hot objects and posting their observation events.  The two configurations
+run **identical client code** — the only difference is whether ``Watch``
+triggers were activated on the hot set, so every extra X lock, wait, and
+deadlock is attributable to the trigger machinery itself.
 
+Sweep: session count × triggers per object over a small hot set.
 Expected shape: with 0 triggers the workload is share-everything — zero
-waits, zero deadlocks at any client count.  With triggers, waits appear
-and grow with both axes, and deadlocks appear once several X locks are
-taken per transaction.
+waits, zero deadlocks at any session count.  With triggers, every posting
+writes a persistent TriggerState (S→X upgrades under strict 2PL), so
+waits appear and grow with both axes, and deadlock abort/retry kicks in
+once several sessions upgrade on the same hot records.
 """
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry
-from repro.workloads.locksim import LockTraceSimulator, hot_set_workload
+from repro.workloads.locksim import run_hot_set
 
 from benchmarks.common import emit_table
 
 HOT_OBJECTS = 6
-TXNS = 400
+TXNS = 120
 
 _RESULTS: list[list[str]] = []
-_REGISTRY_NOTES: list[str] = []
 
 
-@pytest.mark.parametrize("clients", [2, 8, 16])
+@pytest.mark.parametrize("sessions", [2, 8, 16])
 @pytest.mark.parametrize("triggers", [0, 1, 3])
-def test_lock_amplification(benchmark, clients, triggers):
-    simulators = []
+def test_lock_amplification(benchmark, sessions, triggers):
+    results = []
 
     def run():
-        simulator = LockTraceSimulator(
-            hot_set_workload(HOT_OBJECTS, triggers_per_object=triggers),
-            n_clients=clients,
+        result = run_hot_set(
+            HOT_OBJECTS,
+            triggers,
+            n_sessions=sessions,
+            transactions=TXNS,
             seed=1996,
         )
-        simulators.append(simulator)
-        return simulator.run(TXNS)
+        results.append(result)
+        return result
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    # Cross-check the simulator's own counters against the lock manager's
-    # stats as seen through the metrics registry.
-    registry = MetricsRegistry()
-    registry.register_source("locks", simulators[-1].locks.stats)
-    snap = registry.snapshot()
-    assert {"locks.s_acquired", "locks.x_acquired", "locks.waits", "locks.upgrades", "locks.deadlocks"} <= set(snap)
-    assert snap["locks.deadlocks"] == result.aborted_deadlock
-    _REGISTRY_NOTES.append(
-        f"c={clients} t={triggers}: "
-        + ", ".join(
-            f"{key.split('.', 1)[1]}={snap[key]}"
-            for key in sorted(snap)
-            if key.startswith("locks.")
-        )
-    )
     _RESULTS.append(
         [
-            clients,
+            sessions,
             triggers,
             result.s_locks,
             result.x_locks,
-            result.wait_steps,
+            result.lock_waits,
             f"{result.wait_fraction:.3f}",
-            result.aborted_deadlock,
+            result.deadlock_aborts,
+            result.state_writes,
         ]
     )
 
+    assert result.committed == TXNS  # retries recover every victim
     if triggers == 0:
         assert result.x_locks == 0
-        assert result.wait_steps == 0
-        assert result.aborted_deadlock == 0
-    elif clients > 1:
+        assert result.lock_waits == 0
+        assert result.deadlock_aborts == 0
+    else:
         assert result.x_locks > 0
-        assert result.wait_steps > 0  # the paper's added lock waiting
+        assert result.state_writes > 0
+        if sessions > 1:
+            assert result.lock_waits > 0  # the paper's added lock waiting
 
 
 def teardown_module(module):
     _RESULTS.sort(key=lambda row: (row[1], row[0]))
     emit_table(
         "E6",
-        f"lock amplification on a {HOT_OBJECTS}-object hot set ({TXNS} txns)",
+        f"lock amplification on a {HOT_OBJECTS}-object hot set "
+        f"({TXNS} interleaved txns, real engine)",
         [
-            "clients",
+            "sessions",
             "triggers/obj",
             "S locks",
             "X locks",
-            "wait steps",
+            "lock waits",
             "wait frac",
             "deadlock aborts",
+            "state writes",
         ],
         _RESULTS,
         notes=(
-            "Section 6: FSM advances write TriggerStates, so read workloads "
-            "acquire X locks -> waits and deadlocks that a passive database "
-            "never sees.\nregistry locks.* per configuration:\n  "
-            + "\n  ".join(_REGISTRY_NOTES)
+            "Section 6: FSM advances write TriggerStates, so read-only "
+            "transactions acquire X locks -> waits and deadlocks that a "
+            "passive database never sees.  Identical client code in both "
+            "configurations; deterministic cooperative interleaving."
         ),
     )

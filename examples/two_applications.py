@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Two applications, one database — a global composite event (paper §7).
+
+Ode keeps trigger state *in the database*, not in the monitoring process,
+so a composite event can span applications: "the database, rather than an
+application, is being monitored".  This example runs two concurrent
+sessions over one on-disk database:
+
+* the **editor** session drafts a document — posting ``after draft`` arms
+  the ``PublishWhenReviewed`` trigger (its FSM state is written to disk);
+* the **reviewer** session — a different "application", its own
+  transactions — reviews the document; posting ``after review`` completes
+  the composite event ``relative(after draft, after review)``, and the
+  trigger fires in the *reviewer's* transaction even though the first half
+  of the event happened in the editor's.
+
+The sessions then contend for the same record under the cooperative
+scheduler: the reviewer blocks on the editor's write lock and is woken,
+FIFO, by the editor's commit — the concurrency model of DESIGN.md §11.
+
+Usage: python examples/two_applications.py
+"""
+
+import shutil
+import tempfile
+
+from repro import Database
+from repro.core.declarations import trigger
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+from repro.sessions import CooperativeScheduler
+
+
+def _publish(self, ctx) -> None:
+    self.published = True
+
+
+class Document(Persistent):
+    """A document two applications collaborate on."""
+
+    title = field(str, default="")
+    revision = field(int, default=0)
+    published = field(bool, default=False)
+
+    __events__ = ["after draft", "after review"]
+    __triggers__ = [
+        trigger(
+            "PublishWhenReviewed",
+            "relative(after draft, after review)",
+            action=_publish,
+            perpetual=True,
+        ),
+    ]
+
+    def draft(self) -> None:
+        self.revision += 1
+
+    def review(self) -> None:
+        pass  # the posting is the point
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="ode-two-apps-")
+    db = Database.open(f"{workdir}/shared", engine="disk")
+    print(f"opened disk database at {workdir}/shared")
+
+    with db.transaction():
+        doc = db.pnew(Document, title="Design notes")
+        ptr = doc.ptr
+        doc.PublishWhenReviewed()
+    print("activated PublishWhenReviewed (state persisted to disk)")
+
+    # --- two applications, each with its own session --------------------------
+    editor = db.session("editor")
+    reviewer = db.session("reviewer")
+
+    with editor.transaction():
+        editor.deref(ptr).draft()  # posts `after draft` -> FSM armed
+    print("editor drafted: composite event is half-complete, on disk")
+
+    with reviewer.transaction():
+        reviewer.deref(ptr).review()  # posts `after review` -> trigger fires
+    with db.transaction():
+        doc = db.deref(ptr)
+        print(
+            f"reviewer reviewed: trigger fired in the reviewer's transaction "
+            f"-> published={doc.published}"
+        )
+
+    # --- contention: the reviewer blocks on the editor's lock ------------------
+    sched = CooperativeScheduler()
+    seen = {}
+
+    def editing():
+        with editor.transaction():
+            doc = editor.deref(ptr)
+            doc.draft()  # X lock on the document until commit
+            sched.yield_now()  # give the reviewer a turn: it blocks
+
+    def reviewing():
+        with reviewer.transaction():
+            seen["revision"] = reviewer.deref(ptr).revision  # blocks, then reads
+
+    sched.spawn(editing, "editor", session=editor)
+    sched.spawn(reviewing, "reviewer", session=reviewer)
+    sched.run()
+    print(
+        f"reviewer blocked on the editor's write lock, woke on commit, "
+        f"read revision={seen['revision']}"
+    )
+    print(f"schedule: {sched.log}")
+
+    db.close()
+    shutil.rmtree(workdir, ignore_errors=True)
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,7 +34,6 @@ from repro.core.trigger_def import TriggerInfo
 from repro.core.trigger_index import TriggerIndex
 from repro.core.trigger_state import TriggerId, TriggerState
 from repro.errors import (
-    CommitDependencyError,
     RecordNotFoundError,
     TriggerArgumentError,
     TriggerError,
@@ -387,7 +386,7 @@ class TriggerSystem:
             for record in records:
                 run_action(self, self.db, system_txn, record)
 
-        try:
-            self.db.txn_manager.run_system_transaction(body, depends_on=depends_on)
-        except CommitDependencyError:
-            pass  # parent did not commit: the dependent action is discarded
+        # Scheduled, not run inline: the shared queue is drained by whichever
+        # session is next between transactions (the committing one, in the
+        # common case), and a failed commit dependency discards the entry.
+        self.db.txn_manager.schedule_system(body, depends_on=depends_on)

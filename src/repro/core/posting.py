@@ -226,6 +226,7 @@ def post_event(
             method=occurrence.method,
             rid=ptr.rid,
             type=type(obj).__name__,
+            session=db.current_session().name,
         )
     # Footnote 3: the persistent object's control information says whether
     # any triggers are active — if not, no index lookup is required.
@@ -240,7 +241,9 @@ def post_event(
 
     state_rids = system.index.lookup(txn, ptr.rid)
     if span:
-        obs.emit("index.lookup", span, rid=ptr.rid, states=len(state_rids))
+        obs.emit(
+            "index.lookup", span, rid=ptr.rid, txid=txn.txid, states=len(state_rids)
+        )
     for state_rid in state_rids:
         raw = db.storage.read(txn.txid, state_rid)
         tstate = TriggerState.decode(raw)
@@ -357,6 +360,7 @@ def run_action(
             trigger=record.info.name,
             coupling=record.info.coupling.value,
             txid=txn.txid,
+            session=txn.session_name,
         )
     record.info.action(handle, ctx)
     if not record.info.perpetual:

@@ -19,6 +19,8 @@ defining class, so the integer-keyed FSMs are closed over one alphabet.
 
 from __future__ import annotations
 
+import threading
+
 
 class EventRep:
     """One registered event: the paper's ``eventRep``.
@@ -46,18 +48,22 @@ class EventRegistry:
         self._reverse: dict[int, tuple[str, str]] = {}
         self._counter = 0
         self.lookups = 0  # instrumentation for experiment E1
+        # Concurrent sessions may declare classes while others post events;
+        # assignment must stay a process-wide atomic increment.
+        self._mutex = threading.Lock()
 
     def assign(self, type_name: str, symbol: str) -> int:
         """Return the unique integer for this underlying event."""
         key = (type_name, symbol)
         self.lookups += 1
-        existing = self._table.get(key)
-        if existing is not None:
-            return existing
-        self._counter += 1
-        self._table[key] = self._counter
-        self._reverse[self._counter] = key
-        return self._counter
+        with self._mutex:
+            existing = self._table.get(key)
+            if existing is not None:
+                return existing
+            self._counter += 1
+            self._table[key] = self._counter
+            self._reverse[self._counter] = key
+            return self._counter
 
     def lookup(self, type_name: str, symbol: str) -> int | None:
         """The integer previously assigned, or None."""
@@ -73,12 +79,26 @@ class EventRegistry:
     def __len__(self) -> int:
         return len(self._table)
 
+    # -- metrics source protocol (mounted as ``events.*`` in db.metrics) -------
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "table_size": len(self._table),
+            "assigned": self._counter,
+            "lookups": self.lookups,
+        }
+
+    def reset(self) -> None:
+        """Zero the counters (table contents are state, not a counter)."""
+        self.lookups = 0
+
     def clear(self) -> None:
         """Forget all assignments (test isolation only)."""
-        self._table.clear()
-        self._reverse.clear()
-        self._counter = 0
-        self.lookups = 0
+        with self._mutex:
+            self._table.clear()
+            self._reverse.clear()
+            self._counter = 0
+            self.lookups = 0
 
 
 _GLOBAL = EventRegistry()

@@ -34,6 +34,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import itertools
+import threading
 from typing import TYPE_CHECKING
 
 from repro import obs
@@ -107,6 +108,10 @@ class TimerService:
         self._timers: dict[int, _Timer] = {}
         self._ids = itertools.count(1)
         self._seq = itertools.count()
+        # Concurrent sessions share one service: heap and table mutations
+        # are serialized (postings run outside the lock, in the calling
+        # session's transaction).
+        self._mutex = threading.RLock()
         self.stats = TimerStats()
         metrics = getattr(db, "metrics", None)
         if metrics is not None:
@@ -141,17 +146,18 @@ class TimerService:
         due = self.clock.now + delay if delay is not None else float(at)
         if due < self.clock.now:
             raise TriggerError(f"timer due time {due} is in the past")
-        timer = _Timer(
-            due=due,
-            seq=next(self._seq),
-            timer_id=next(self._ids),
-            target=target,
-            event_name=event_name,
-            period=period,
-        )
-        heapq.heappush(self._heap, timer)
-        self._timers[timer.timer_id] = timer
-        self.stats.scheduled += 1
+        with self._mutex:
+            timer = _Timer(
+                due=due,
+                seq=next(self._seq),
+                timer_id=next(self._ids),
+                target=target,
+                event_name=event_name,
+                period=period,
+            )
+            heapq.heappush(self._heap, timer)
+            self._timers[timer.timer_id] = timer
+            self.stats.scheduled += 1
         if obs.ENABLED:
             obs.emit(
                 "timer.schedule",
@@ -164,11 +170,12 @@ class TimerService:
         return timer.timer_id
 
     def cancel(self, timer_id: int) -> bool:
-        timer = self._timers.pop(timer_id, None)
-        if timer is None:
-            return False
-        timer.cancelled = True
-        self.stats.cancelled += 1
+        with self._mutex:
+            timer = self._timers.pop(timer_id, None)
+            if timer is None:
+                return False
+            timer.cancelled = True
+            self.stats.cancelled += 1
         if obs.ENABLED:
             obs.emit("timer.cancel", timer_id=timer_id, event=timer.event_name)
         return True
@@ -190,20 +197,23 @@ class TimerService:
         """
         self.clock.set(when)
         fired = 0
-        while self._heap and self._heap[0].due <= self.clock.now:
-            timer = heapq.heappop(self._heap)
-            if timer.cancelled:
-                continue
-            if timer.period is not None:
-                # Anchor to the schedule (due + period), NOT to `now`:
-                # rescheduling off the processing time would drift every
-                # firing later by however late the service ran.
-                timer.due += timer.period
-                timer.seq = next(self._seq)
-                heapq.heappush(self._heap, timer)
-                self.stats.rescheduled += 1
-            else:
-                self._timers.pop(timer.timer_id, None)
+        while True:
+            with self._mutex:
+                if not self._heap or self._heap[0].due > self.clock.now:
+                    break
+                timer = heapq.heappop(self._heap)
+                if timer.cancelled:
+                    continue
+                if timer.period is not None:
+                    # Anchor to the schedule (due + period), NOT to `now`:
+                    # rescheduling off the processing time would drift every
+                    # firing later by however late the service ran.
+                    timer.due += timer.period
+                    timer.seq = next(self._seq)
+                    heapq.heappush(self._heap, timer)
+                    self.stats.rescheduled += 1
+                else:
+                    self._timers.pop(timer.timer_id, None)
             try:
                 self._post(timer)
             except DanglingPointerError:
@@ -236,6 +246,9 @@ class TimerService:
         return self.advance_to(self.clock.now + delta)
 
     def _post(self, timer: _Timer) -> None:
+        # Posted in the *calling* session: advance_to runs in whichever
+        # session drives the clock, and the event lands in that session's
+        # current transaction (or a fresh one if it is between them).
         manager = self.db.txn_manager
         if manager.current_or_none() is not None:
             handle = self.db.deref(timer.target)

@@ -161,6 +161,10 @@ class DatabaseError(ObjectError):
     """Database-level misuse (duplicate open, bad path, ...)."""
 
 
+class SessionError(DatabaseError):
+    """Session-level misuse (duplicate live name, use after close, ...)."""
+
+
 # ---------------------------------------------------------------------------
 # Transactions
 # ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@ triggers' states" (Section 5.5).
 from __future__ import annotations
 
 import os
+import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
 from typing import Any
@@ -25,6 +26,7 @@ from repro.errors import (
     DatabaseError,
     ObjectError,
     RecordNotFoundError,
+    SessionError,
 )
 from repro.objects.cluster import Cluster
 from repro.objects.handle import PersistentHandle
@@ -32,6 +34,7 @@ from repro.objects.metatype import TypeRegistry, global_type_registry
 from repro.objects.oid import PersistentPtr
 from repro.objects.persistent import Persistent
 from repro.objects.serialize import decode_object, decode_value, encode_object, encode_value
+from repro.sessions.session import Session, SessionStats, current_ambient_session
 from repro.storage import open_storage
 from repro.storage.locks import LockMode
 from repro.transactions.manager import TransactionManager
@@ -43,6 +46,7 @@ class Database:
     """One open Ode database."""
 
     _open_databases: dict[str, "Database"] = {}
+    _open_lock = threading.Lock()
 
     def __init__(
         self,
@@ -56,8 +60,9 @@ class Database:
             if path is None:
                 raise DatabaseError("a database without a path needs an explicit name")
             name = os.path.basename(str(path))
-        if name in Database._open_databases:
-            raise DatabaseError(f"a database named {name!r} is already open")
+        with Database._open_lock:
+            if name in Database._open_databases:
+                raise DatabaseError(f"a database named {name!r} is already open")
         self.name = name
         self.path = str(path) if path is not None else None
         self.engine = engine
@@ -79,13 +84,31 @@ class Database:
             self.phoenix = PhoenixQueue(self)
             self._catalog_rid: int | None = None
             self._clusters: dict[str, Cluster] = {}
+            self._clusters_lock = threading.Lock()
             self._closed = False
+            # Sessions: the default one carries the serial API; Database.
+            # session() opens more, flipping the lock manager to blocking.
+            self.session_stats = SessionStats()
+            self.session_stats.opened = 1
+            self.session_stats.peak_concurrent = 1
+            self._sessions_lock = threading.Lock()
+            self._default_session = Session(self, "main", default=True)
+            self._sessions: list[Session] = [self._default_session]
+            self.metrics.register_source("sessions", self.session_stats)
+            from repro.core.registry import global_event_registry
+
+            self.metrics.register_source("events", global_event_registry())
             # Attached below; kept as an attribute so the object layer has no
             # import-time dependency on the trigger system.
             self.trigger_system = None
             self._bootstrap()
             self._attach_trigger_system()
-            Database._open_databases[name] = self
+            with Database._open_lock:
+                if name in Database._open_databases:
+                    raise DatabaseError(
+                        f"a database named {name!r} is already open"
+                    )
+                Database._open_databases[name] = self
             # Crash-restart semantics: finish any phoenix intentions left
             # over.  Non-strict: kinds whose handlers are registered later
             # stay queued.
@@ -173,7 +196,7 @@ class Database:
         txn.cache[rid] = instance
         for index in self._indexes_for(txn, cls):
             index.on_insert(txn, rid, instance.__dict__.get(index.field_name))
-        handle = PersistentHandle(self, ptr, instance)
+        handle = PersistentHandle(self, ptr, instance, self.current_session())
         if self.trigger_system is not None:
             self.trigger_system.on_access(txn, ptr, instance)
             from repro.core.constraints import activate_constraints, constraint_infos
@@ -204,7 +227,7 @@ class Database:
             txn.cache[ptr.rid] = instance
             if self.trigger_system is not None:
                 self.trigger_system.on_access(txn, ptr, instance)
-        return PersistentHandle(self, ptr, instance)
+        return PersistentHandle(self, ptr, instance, self.current_session())
 
     def pdelete(self, ptr: PersistentPtr) -> None:
         """Free a persistent object (O++ ``pdelete``)."""
@@ -290,7 +313,7 @@ class Database:
         if ptr is None:
             return  # volatile object: nothing to do
         txn = self.txn_manager.current()
-        self.storage.lock_manager.acquire_or_raise(txn.txid, ptr.rid, LockMode.X)
+        self.storage.lock_manager.lock(txn.txid, ptr.rid, LockMode.X)
         txn.cache.setdefault(ptr.rid, instance)
         txn.mark_dirty(ptr.rid)
 
@@ -327,7 +350,10 @@ class Database:
         name = cls.__name__ if isinstance(cls, type) else str(cls)
         cluster = self._clusters.get(name)
         if cluster is None:
-            cluster = self._clusters[name] = Cluster(self, name)
+            with self._clusters_lock:
+                cluster = self._clusters.get(name)
+                if cluster is None:
+                    cluster = self._clusters[name] = Cluster(self, name)
         return cluster
 
     def objects(self, cls: type, include_derived: bool = True) -> Iterator[PersistentHandle]:
@@ -341,6 +367,57 @@ class Database:
         for mt in metatypes:
             for rid in self.cluster(mt.pyclass).rids(txn):
                 yield self.deref(PersistentPtr(self.name, rid))
+
+    # -- sessions (DESIGN.md §11) -------------------------------------------------
+
+    def session(self, name: str | None = None) -> Session:
+        """Open a new concurrent session (one more "application").
+
+        Opening a second live session switches the lock manager to
+        *blocking* mode: an incompatible lock request now waits (cooperative
+        yield or condition variable) for the holder's commit instead of
+        raising.  The serial API keeps using the built-in default session.
+        """
+        self._check_open()
+        with self._sessions_lock:
+            if name is None:
+                name = f"session-{self.session_stats.opened}"
+            if any(s.name == name and not s.closed for s in self._sessions):
+                raise SessionError(
+                    f"a session named {name!r} is already open on {self.name!r}"
+                )
+            sess = Session(self, name)
+            self._sessions.append(sess)
+            self.session_stats.opened += 1
+            live = sum(1 for s in self._sessions if not s.closed)
+            if live > self.session_stats.peak_concurrent:
+                self.session_stats.peak_concurrent = live
+            if live > 1:
+                # Sticky: stays blocking for the rest of this open — a
+                # closed session's handles may still be in flight.
+                self.storage.lock_manager.blocking = True
+        return sess
+
+    def current_session(self) -> Session:
+        """The calling thread's ambient session, or the default one."""
+        ambient = current_ambient_session()
+        if ambient is not None and ambient.db is self:
+            return ambient
+        return self._default_session
+
+    def default_session(self) -> Session:
+        return self._default_session
+
+    def sessions(self) -> list[Session]:
+        """The sessions currently open on this database."""
+        with self._sessions_lock:
+            return [s for s in self._sessions if not s.closed]
+
+    def _session_closed(self, session: Session) -> None:
+        with self._sessions_lock:
+            if session in self._sessions and session is not self._default_session:
+                self._sessions.remove(session)
+            self.session_stats.closed += 1
 
     # -- transactions -----------------------------------------------------------------------
 
@@ -405,7 +482,8 @@ class Database:
             return
         self.storage.close()
         self._closed = True
-        Database._open_databases.pop(self.name, None)
+        with Database._open_lock:
+            Database._open_databases.pop(self.name, None)
 
     def simulate_crash(self) -> None:
         """Kill the process's view of this database without flushing."""

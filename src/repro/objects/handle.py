@@ -17,6 +17,12 @@ rewrite, so dereferencing returns a :class:`PersistentHandle` proxy:
 * ``post_event`` posts a user-defined (declared) event, the explicit
   posting the paper requires for non-member-function events.
 
+A handle is **bound to the session that dereferenced it**: every operation
+through the handle runs with that session ambient, so its reads, writes,
+lock acquisitions, and event postings land in the owning session's
+transaction even if the handle escapes to other code.  (Serial programs
+never notice — their handles are bound to the default session.)
+
 Volatile instances never see a handle, so they pay zero trigger overhead —
 design goals 3 and 4.
 """
@@ -27,22 +33,31 @@ import functools
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import TriggerError
+from repro.sessions.session import ambient_session
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.objects.database import Database
     from repro.objects.oid import PersistentPtr
     from repro.objects.persistent import Persistent
+    from repro.sessions.session import Session
 
 
 class PersistentHandle:
-    """Proxy for one persistent object within the current transaction."""
+    """Proxy for one persistent object within its session's transaction."""
 
-    __slots__ = ("_db", "_ptr", "_obj")
+    __slots__ = ("_db", "_ptr", "_obj", "_session")
 
-    def __init__(self, db: "Database", ptr: "PersistentPtr", obj: "Persistent"):
+    def __init__(
+        self,
+        db: "Database",
+        ptr: "PersistentPtr",
+        obj: "Persistent",
+        session: "Session | None" = None,
+    ):
         object.__setattr__(self, "_db", db)
         object.__setattr__(self, "_ptr", ptr)
         object.__setattr__(self, "_obj", obj)
+        object.__setattr__(self, "_session", session)
 
     # -- identity ------------------------------------------------------------
 
@@ -59,17 +74,35 @@ class PersistentHandle:
     def database(self) -> "Database":
         return self._db
 
+    @property
+    def session(self) -> "Session | None":
+        """The session this handle is bound to (None on detached handles)."""
+        return self._session
+
+    def _scoped(self, fn, *args: Any, **kwargs: Any) -> Any:
+        """Run *fn* with this handle's session ambient."""
+        if self._session is None:
+            return fn(*args, **kwargs)
+        with ambient_session(self._session):
+            return fn(*args, **kwargs)
+
     # -- attribute protocol ------------------------------------------------------
 
     def __getattr__(self, name: str) -> Any:
         metatype = type(self._obj).__metatype__
         wrapper = metatype.method_wrappers.get(name)
         if wrapper is not None:
-            return functools.partial(wrapper, self._db, self._ptr, self._obj)
+            return functools.partial(
+                self._scoped, wrapper, self._db, self._ptr, self._obj
+            )
         for info in metatype.all_trigger_infos:
             if info.name == name:
                 return functools.partial(
-                    self._db.trigger_system.activate, self._db, self._ptr, info
+                    self._scoped,
+                    self._db.trigger_system.activate,
+                    self._db,
+                    self._ptr,
+                    info,
                 )
         value = getattr(self._obj, name)
         if callable(value) and not isinstance(value, type):
@@ -83,17 +116,23 @@ class PersistentHandle:
                 f"{metatype.name} has no field {name!r}; only declared fields "
                 "may be written through a persistent handle"
             )
-        setattr(self._obj, name, value)
-        self._db.mark_dirty(self._obj)
+        def write() -> None:
+            setattr(self._obj, name, value)
+            self._db.mark_dirty(self._obj)
+
+        self._scoped(write)
 
     def _dirtying(self, method):
         """Wrap an event-less method so calling it still marks the object dirty."""
 
         @functools.wraps(method)
         def call(*args: Any, **kwargs: Any) -> Any:
-            result = method(*args, **kwargs)
-            self._db.mark_dirty(self._obj)
-            return result
+            def body():
+                result = method(*args, **kwargs)
+                self._db.mark_dirty(self._obj)
+                return result
+
+            return self._scoped(body)
 
         return call
 
@@ -104,7 +143,9 @@ class PersistentHandle:
         trigger_system = self._db.trigger_system
         if trigger_system is None:
             raise TriggerError("this database has no trigger system attached")
-        trigger_system.post_user_event(self._db, self._ptr, self._obj, event_name)
+        self._scoped(
+            trigger_system.post_user_event, self._db, self._ptr, self._obj, event_name
+        )
 
     # -- misc ----------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ states are resolved when a database is reopened by another "application".
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import UnknownTriggerError, UnknownTypeError
@@ -100,6 +101,9 @@ class TypeRegistry:
     def __init__(self) -> None:
         self._by_name: dict[str, Metatype] = {}
         self._by_class: dict[type, Metatype] = {}
+        # Concurrent sessions can register classes while others resolve
+        # them; registration must be atomic (lookups are GIL-safe reads).
+        self._mutex = threading.Lock()
 
     def register(self, pyclass: type) -> Metatype:
         """Create (or return the existing) metatype for *pyclass*.
@@ -111,10 +115,14 @@ class TypeRegistry:
         existing = self._by_class.get(pyclass)
         if existing is not None:
             return existing
-        metatype = Metatype(pyclass)
-        self._by_name[metatype.name] = metatype
-        self._by_class[pyclass] = metatype
-        return metatype
+        with self._mutex:
+            existing = self._by_class.get(pyclass)
+            if existing is not None:
+                return existing
+            metatype = Metatype(pyclass)
+            self._by_name[metatype.name] = metatype
+            self._by_class[pyclass] = metatype
+            return metatype
 
     def register_shim(self, name: str, shim: "Metatype | Any") -> None:
         """Register a dynamic pseudo-metatype under *name*.
@@ -123,7 +131,8 @@ class TypeRegistry:
         shim only needs ``trigger_info(n)`` and ``pyclass``; it is looked
         up through the same ``trigobjtype`` resolution as real classes.
         """
-        self._by_name[name] = shim
+        with self._mutex:
+            self._by_name[name] = shim
 
     def find(self, name: str) -> Metatype:
         try:

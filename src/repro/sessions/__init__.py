@@ -1,0 +1,39 @@
+"""Concurrent sessions over one database (paper Section 7 made real).
+
+A :class:`Session` is one application's connection: it owns its transaction
+context (one active transaction at a time, as Ode programs execute
+transaction blocks serially *within* an application), while several
+sessions run concurrent transactions against the same database, mediated by
+the storage engine's :class:`~repro.storage.locks.LockManager`.
+
+Two execution modes share all of the code:
+
+* **cooperative** — :class:`~repro.sessions.scheduler.CooperativeScheduler`
+  runs session programs one at a time and switches deterministically at
+  lock waits and explicit yield points; this is what the tier-1 tests and
+  the E6 lock-amplification study use, so interleavings are reproducible;
+* **threaded** — each session runs in its own ``threading`` thread and
+  blocks on the lock manager's condition variable; the stress tests
+  (pytest marker ``concurrency``) and bench E16 use it.
+
+The serial one-session API is the degenerate case: every database carries a
+default session, and code that never calls :meth:`~repro.objects.database.
+Database.session` behaves exactly as before.
+"""
+
+from repro.sessions.session import (
+    Session,
+    SessionStats,
+    ambient_session,
+    current_ambient_session,
+)
+from repro.sessions.scheduler import CooperativeScheduler, SchedulerTask
+
+__all__ = [
+    "CooperativeScheduler",
+    "SchedulerTask",
+    "Session",
+    "SessionStats",
+    "ambient_session",
+    "current_ambient_session",
+]

@@ -1,0 +1,196 @@
+"""Deterministic cooperative scheduler for multi-session tests and studies.
+
+Session programs run in real threads, but the scheduler owns a single
+"processor": exactly one task executes at any moment, and control changes
+hands only at deterministic points —
+
+* a **lock wait**: the lock manager (via :func:`repro.storage.locks.
+  set_wait_hooks`) parks the task until its request has been *granted* by a
+  release, and the scheduler runs someone else;
+* an explicit :meth:`CooperativeScheduler.yield_now` checkpoint a workload
+  drops between operations to force fine-grained interleaving;
+* task completion.
+
+Scheduling is round-robin over spawn order, and blocked tasks are woken in
+the order the lock manager granted them (FIFO per resource), so a given
+(program, seed) pair always produces the same interleaving — which is what
+lets tier-1 assert on lock schedules instead of racing wall-clock threads.
+
+The scheduler records a ``log`` of (event, task) pairs — ``run`` /
+``block`` / ``wake`` / ``done`` / ``fail`` — that tests use to assert who
+blocked whom and in which order waiters were granted.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.storage.locks import set_wait_hooks
+
+_NEW = "new"
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+_FAILED = "failed"
+
+
+class SchedulerTask:
+    """One session program under the scheduler."""
+
+    def __init__(self, index: int, name: str, fn: Callable[[], Any]):
+        self.index = index
+        self.name = name
+        self.fn = fn
+        self.state = _NEW
+        self.go = threading.Event()
+        self.wake_check: Callable[[], bool] | None = None
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.thread: threading.Thread | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (_DONE, _FAILED)
+
+    def __repr__(self) -> str:
+        return f"<SchedulerTask {self.name} {self.state}>"
+
+
+class CooperativeScheduler:
+    """Runs spawned tasks one at a time with deterministic switching."""
+
+    def __init__(self) -> None:
+        self._tasks: list[SchedulerTask] = []
+        self._tls = threading.local()
+        self._yielded = threading.Event()
+        self._next_index = 0
+        self.switches = 0
+        self.log: list[tuple[str, str]] = []
+
+    # -- building the task set -------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable[[], Any],
+        name: str | None = None,
+        *,
+        session=None,
+    ) -> SchedulerTask:
+        """Register *fn* as a task; with *session*, wire its backoff to us."""
+        task = SchedulerTask(len(self._tasks), name or f"task{len(self._tasks)}", fn)
+        self._tasks.append(task)
+        if session is not None:
+            session.scheduler = self
+        return task
+
+    # -- the processor ---------------------------------------------------------
+
+    def run(self, *, max_switches: int = 1_000_000, raise_errors: bool = True):
+        """Drive every task to completion; returns the list of results.
+
+        With *raise_errors* (default), the first task exception is
+        re-raised after all tasks have stopped; otherwise inspect
+        ``task.error`` per task.
+        """
+        for task in self._tasks:
+            thread = threading.Thread(
+                target=self._task_main, args=(task,), name=task.name, daemon=True
+            )
+            task.thread = thread
+            thread.start()
+        while not all(task.finished for task in self._tasks):
+            if self.switches >= max_switches:
+                raise RuntimeError(
+                    f"cooperative scheduler exceeded {max_switches} switches"
+                )
+            self._promote_woken()
+            task = self._pick_next()
+            if task is None:
+                stuck = [t.name for t in self._tasks if t.state == _BLOCKED]
+                raise RuntimeError(
+                    f"cooperative scheduler wedged: {stuck} blocked with no "
+                    "grant pending (lock released without waking waiters?)"
+                )
+            self._dispatch(task)
+        for task in self._tasks:
+            if task.thread is not None:
+                task.thread.join(timeout=10)
+        if raise_errors:
+            for task in self._tasks:
+                if task.error is not None:
+                    raise task.error
+        return [task.result for task in self._tasks]
+
+    def _promote_woken(self) -> None:
+        # Spawn order here too: grants already happened inside the lock
+        # manager (FIFO per resource), so this order only decides who runs
+        # first among tasks woken by the same release.
+        for task in self._tasks:
+            if task.state == _BLOCKED and task.wake_check is not None:
+                if task.wake_check():
+                    task.wake_check = None
+                    task.state = _READY
+                    self.log.append(("wake", task.name))
+
+    def _pick_next(self) -> SchedulerTask | None:
+        n = len(self._tasks)
+        for offset in range(n):
+            task = self._tasks[(self._next_index + offset) % n]
+            if task.state in (_NEW, _READY):
+                self._next_index = (task.index + 1) % n
+                return task
+        return None
+
+    def _dispatch(self, task: SchedulerTask) -> None:
+        task.state = _RUNNING
+        self.switches += 1
+        self.log.append(("run", task.name))
+        self._yielded.clear()
+        task.go.set()
+        self._yielded.wait()
+
+    # -- task side --------------------------------------------------------------
+
+    def _task_main(self, task: SchedulerTask) -> None:
+        self._tls.task = task
+        set_wait_hooks(self)
+        task.go.wait()
+        task.go.clear()
+        try:
+            task.result = task.fn()
+        except BaseException as exc:
+            task.error = exc
+            task.state = _FAILED
+            self.log.append(("fail", task.name))
+        else:
+            task.state = _DONE
+            self.log.append(("done", task.name))
+        finally:
+            set_wait_hooks(None)
+            self._yielded.set()
+
+    def _park(self, task: SchedulerTask, state: str) -> None:
+        task.state = state
+        self._yielded.set()
+        task.go.wait()
+        task.go.clear()
+
+    def yield_now(self) -> None:
+        """Cooperative checkpoint: let every other runnable task have a turn."""
+        task = getattr(self._tls, "task", None)
+        if task is None:
+            return  # called outside the scheduler (serial code path): no-op
+        self._park(task, _READY)
+
+    # -- lock-manager wait hook (repro.storage.locks.set_wait_hooks) -----------
+
+    def lock_wait(self, predicate: Callable[[], bool]) -> None:
+        """Park the calling task until *predicate* (the grant check) holds."""
+        task = self._tls.task
+        if predicate():
+            return
+        task.wake_check = predicate
+        self.log.append(("block", task.name))
+        self._park(task, _BLOCKED)

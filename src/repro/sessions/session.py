@@ -1,0 +1,243 @@
+"""The session: one application's transaction context over a shared database.
+
+DESIGN.md §11 describes the model; the short version:
+
+* a session owns *its* current transaction (``deref``/``pnew``/handles in a
+  session resolve against that transaction's object cache);
+* the **ambient session** is a thread-local — each session thread resolves
+  ``db.txn_manager.current()`` to its own session's transaction, which is
+  how every existing ``db.deref(...)`` call site became session-aware
+  without changing its signature;
+* persistent handles are *bound to the session that dereferenced them*: a
+  handle used from anywhere runs its reads, writes, and event postings in
+  its owning session's transaction.
+
+Deadlock policy: the lock manager raises
+:class:`~repro.errors.DeadlockError` in the victim (the session whose
+request closed the cycle); :meth:`Session.run` aborts the transaction,
+backs off, and retries the whole transaction body — the unit of retry is
+the transaction, exactly because strict 2PL released all its locks at
+abort.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, fields as dataclass_fields, asdict
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro import obs
+from repro.errors import DatabaseClosedError, DeadlockError, TransactionError
+from repro.storage.locks import current_wait_hooks
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.database import Database
+    from repro.objects.handle import PersistentHandle
+    from repro.objects.oid import PersistentPtr
+    from repro.transactions.txn import Transaction
+
+
+@dataclass
+class SessionStats:
+    """Per-database session counters (mounted as ``sessions.*``)."""
+
+    opened: int = 0
+    closed: int = 0
+    peak_concurrent: int = 0
+    deadlock_retries: int = 0
+    #: transactions that exhausted their deadlock-retry budget
+    retry_exhausted: int = 0
+    system_txns: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return asdict(self)
+
+    def reset(self) -> None:
+        for field in dataclass_fields(self):
+            setattr(self, field.name, 0)
+
+
+# -- ambient session ----------------------------------------------------------
+
+_ambient = threading.local()
+
+
+def current_ambient_session() -> "Session | None":
+    """The session the calling thread is executing in, if any."""
+    stack = getattr(_ambient, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def ambient_session(session: "Session") -> Iterator["Session"]:
+    """Make *session* the calling thread's ambient session for the block."""
+    stack = getattr(_ambient, "stack", None)
+    if stack is None:
+        stack = _ambient.stack = []
+    stack.append(session)
+    try:
+        yield session
+    finally:
+        stack.pop()
+
+
+class Session:
+    """One application's connection to an open database."""
+
+    def __init__(self, db: "Database", name: str, *, default: bool = False):
+        self.db = db
+        self.name = name
+        self.default = default
+        self.closed = False
+        #: The session's active (or committing) transaction, if any.  Only
+        #: the session's own thread assigns it, via the transaction manager.
+        self.current_txn: "Transaction | None" = None
+        #: Set by a CooperativeScheduler when this session runs under it;
+        #: used to make deadlock backoff a deterministic yield.
+        self.scheduler = None
+        self._rng = random.Random(hash((db.name, name)) & 0xFFFFFFFF)
+
+    # -- transactions ---------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, *, system: bool = False) -> Iterator["Transaction"]:
+        """A transaction block in this session (O++ semantics, see
+        :meth:`repro.transactions.manager.TransactionManager.transaction`)."""
+        self._check_open()
+        with ambient_session(self):
+            with self.db.txn_manager.transaction(system=system, session=self) as txn:
+                yield txn
+
+    def begin(self, *, system: bool = False) -> "Transaction":
+        self._check_open()
+        return self.db.txn_manager.begin(system=system, session=self)
+
+    def commit(self) -> None:
+        self.db.txn_manager.commit(self._require_txn())
+
+    def abort(self) -> None:
+        self.db.txn_manager.abort(self._require_txn())
+
+    def run(
+        self,
+        body: Callable[["Transaction"], Any],
+        *,
+        retries: int = 5,
+    ) -> Any:
+        """Run *body* in a transaction, retrying on deadlock with backoff.
+
+        The deadlock victim's transaction is aborted (strict 2PL releases
+        all its locks, unblocking the survivors), the session backs off —
+        a deterministic yield under a cooperative scheduler, a randomized
+        sleep in threaded mode — and the body runs again from the top.
+        Exhausting *retries* re-raises the last :class:`DeadlockError`.
+        """
+        attempt = 0
+        while True:
+            try:
+                with self.transaction() as txn:
+                    return body(txn)
+            except DeadlockError:
+                attempt += 1
+                self.db.session_stats.deadlock_retries += 1
+                if obs.ENABLED:
+                    obs.emit(
+                        "session.deadlock_retry",
+                        session=self.name,
+                        attempt=attempt,
+                    )
+                if attempt > retries:
+                    self.db.session_stats.retry_exhausted += 1
+                    raise
+                self._backoff(attempt)
+
+    def _backoff(self, attempt: int) -> None:
+        scheduler = self.scheduler
+        if scheduler is None:
+            # Running inside a scheduler task without an explicit binding:
+            # the thread's lock-wait hooks *are* the scheduler.  Backing off
+            # with time.sleep() here would wedge the whole scheduler — the
+            # victim never yields, so the lock holders it keeps deadlocking
+            # against never get the processor back to commit.
+            hooks = current_wait_hooks()
+            if hooks is not None and hasattr(hooks, "yield_now"):
+                scheduler = hooks
+        if scheduler is not None:
+            # Deterministic: yield the processor `attempt` times so the
+            # surviving transactions make progress before we retry.
+            for _ in range(attempt):
+                scheduler.yield_now()
+        else:
+            time.sleep(self._rng.uniform(0, 0.002 * (2**min(attempt, 6))))
+
+    # -- data plane (delegates to the database with this session ambient) ------
+
+    def pnew(self, cls: type, *args: Any, **kwargs: Any) -> "PersistentHandle":
+        with ambient_session(self):
+            return self.db.pnew(cls, *args, **kwargs)
+
+    def deref(self, ptr: "PersistentPtr") -> "PersistentHandle":
+        with ambient_session(self):
+            return self.db.deref(ptr)
+
+    def pdelete(self, ptr: "PersistentPtr") -> None:
+        with ambient_session(self):
+            return self.db.pdelete(ptr)
+
+    def objects(self, cls: type, include_derived: bool = True):
+        with ambient_session(self):
+            yield from self.db.objects(cls, include_derived)
+
+    def find(self, cls: type, field_name: str, value):
+        with ambient_session(self):
+            return self.db.find(cls, field_name, value)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def current_txn_or_raise(self) -> "Transaction":
+        from repro.errors import NoActiveTransactionError
+        from repro.transactions.txn import TxnState
+
+        txn = self.current_txn
+        # COMMITTING counts as current: before-commit hooks (deferred
+        # trigger actions, `before tcomplete` posting) still run inside
+        # the transaction and perform data operations.
+        if txn is None or txn.state not in (TxnState.ACTIVE, TxnState.COMMITTING):
+            raise NoActiveTransactionError(
+                f"no active transaction in session {self.name!r}; "
+                "use `with session.transaction():`"
+            )
+        return txn
+
+    def _require_txn(self) -> "Transaction":
+        txn = self.current_txn
+        if txn is None:
+            raise TransactionError(f"session {self.name!r} has no transaction")
+        return txn
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise DatabaseClosedError(f"session {self.name!r} is closed")
+
+    def close(self) -> None:
+        """Close the session, aborting any transaction still in flight."""
+        if self.closed:
+            return
+        txn = self.current_txn
+        if txn is not None and txn.is_active:
+            self.db.txn_manager.abort(txn, explicit=False)
+        self.closed = True
+        self.db._session_closed(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<Session {self.name!r} on {self.db.name!r} ({state})>"

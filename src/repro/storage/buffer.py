@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from collections import OrderedDict
 
@@ -180,6 +181,10 @@ class BufferPool:
         self.read_only = False
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         self._stats = stats
+        # Serializes frame-table mutation for threaded sessions (the disk
+        # engine's mutex covers its own calls; this keeps the pool safe
+        # when driven directly).
+        self._mutex = threading.RLock()
         # Called before any dirty frame reaches disk — the engine forces the
         # WAL here so the write-ahead rule holds even for STEAL evictions.
         self._pre_write = pre_write
@@ -188,6 +193,10 @@ class BufferPool:
 
     def fetch(self, page_no: int) -> SlottedPage:
         """Pin and return the page; loads (and possibly evicts) as needed."""
+        with self._mutex:
+            return self._fetch_locked(page_no)
+
+    def _fetch_locked(self, page_no: int) -> SlottedPage:
         frame = self._frames.get(page_no)
         if frame is not None:
             self._frames.move_to_end(page_no)
@@ -207,30 +216,33 @@ class BufferPool:
         return frame.page
 
     def unpin(self, page_no: int, *, dirty: bool) -> None:
-        frame = self._frames.get(page_no)
-        if frame is None or frame.pin_count == 0:
-            raise BufferPoolError(f"page {page_no} is not pinned")
-        frame.pin_count -= 1
-        frame.dirty = frame.dirty or dirty
+        with self._mutex:
+            frame = self._frames.get(page_no)
+            if frame is None or frame.pin_count == 0:
+                raise BufferPoolError(f"page {page_no} is not pinned")
+            frame.pin_count -= 1
+            frame.dirty = frame.dirty or dirty
 
     # -- flushing -----------------------------------------------------------
 
     def flush_page(self, page_no: int) -> None:
         if self.read_only:
             return
-        frame = self._frames.get(page_no)
-        if frame is not None and frame.dirty:
-            if self._pre_write is not None:
-                self._pre_write()
-            self.file.write_page(page_no, frame.page.raw)
-            frame.dirty = False
+        with self._mutex:
+            frame = self._frames.get(page_no)
+            if frame is not None and frame.dirty:
+                if self._pre_write is not None:
+                    self._pre_write()
+                self.file.write_page(page_no, frame.page.raw)
+                frame.dirty = False
 
     def flush_all(self) -> None:
         if self.read_only:
             return
-        for page_no in list(self._frames):
-            self.flush_page(page_no)
-        self.file.sync()
+        with self._mutex:
+            for page_no in list(self._frames):
+                self.flush_page(page_no)
+            self.file.sync()
 
     def drop_all(self) -> None:
         """Forget every frame without writing (used after crash simulation)."""

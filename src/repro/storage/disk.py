@@ -38,6 +38,7 @@ log tail so no half-acknowledged commit surfaces after restart.
 from __future__ import annotations
 
 import struct
+import threading
 from collections.abc import Iterator
 
 from repro.errors import (
@@ -132,6 +133,11 @@ class DiskStorageManager(StorageManager):
                 pre_write=self._wal.force,
             )
             self._locks = LockManager()
+            # Engine-wide mutex for threaded sessions: guards pages, the
+            # buffer pool, the free map, per-txn undo lists, and the WAL.
+            # Record locks are always taken *outside* it — a blocking lock
+            # wait must never hold the engine mutex.
+            self._mutex = threading.RLock()
             self._active: dict[int, list[LogRecord]] = {}
             self._page_free: dict[int, int] = {}
             self._root = self.NO_ROOT
@@ -244,42 +250,51 @@ class DiskStorageManager(StorageManager):
 
     def begin_transaction(self, txid: int) -> None:
         self._check_open()
-        if txid in self._active:
-            raise StorageError(f"transaction {txid} already active")
-        self._active[txid] = []
-        if not self.degraded:  # read-only transactions stay possible
-            self._append_logged(txid, LogRecordKind.BEGIN)
+        with self._mutex:
+            if txid in self._active:
+                raise StorageError(f"transaction {txid} already active")
+            self._active[txid] = []
+            if not self.degraded:  # read-only transactions stay possible
+                self._append_logged(txid, LogRecordKind.BEGIN)
 
     def commit_transaction(self, txid: int) -> None:
         self._check_open()
-        records = self._require_active(txid)
-        if self.degraded:
-            if records:
+        with self._mutex:
+            records = self._require_active(txid)
+            if self.degraded:
+                if records:
+                    raise ReadOnlyStorageError(
+                        f"cannot commit transaction {txid}: "
+                        "database degraded to read-only with logged mutations"
+                    )
+                del self._active[txid]
+                self.stats.commits += 1
+                self._locks.release_all(txid)
+                return
+            self.injector.fire("txn.commit.begin", txid=txid)
+            try:
+                self._wal.append(txid, LogRecordKind.COMMIT)
+                self._wal.force()
+            except UnrecoverableMediaError as exc:
+                self._degrade()
                 raise ReadOnlyStorageError(
-                    f"cannot commit transaction {txid}: "
-                    "database degraded to read-only with logged mutations"
-                )
+                    f"commit of transaction {txid} failed permanently; "
+                    "database degraded to read-only"
+                ) from exc
+            self.injector.fire("txn.commit.durable", txid=txid)
             del self._active[txid]
-            self._locks.release_all(txid)
             self.stats.commits += 1
-            return
-        self.injector.fire("txn.commit.begin", txid=txid)
-        try:
-            self._wal.append(txid, LogRecordKind.COMMIT)
-            self._wal.force()
-        except UnrecoverableMediaError as exc:
-            self._degrade()
-            raise ReadOnlyStorageError(
-                f"commit of transaction {txid} failed permanently; "
-                "database degraded to read-only"
-            ) from exc
-        self.injector.fire("txn.commit.durable", txid=txid)
-        del self._active[txid]
+        # Outside the mutex: releasing grants queued requests FIFO and
+        # wakes the blocked sessions that now hold their locks.
         self._locks.release_all(txid)
-        self.stats.commits += 1
 
     def abort_transaction(self, txid: int) -> None:
         self._check_open()
+        with self._mutex:
+            self._abort_locked(txid)
+        self._locks.release_all(txid)
+
+    def _abort_locked(self, txid: int) -> None:
         records = self._require_active(txid)
         for record in reversed(records):
             compensation = record.inverse()
@@ -303,7 +318,6 @@ class DiskStorageManager(StorageManager):
             except UnrecoverableMediaError:
                 self._degrade()
         del self._active[txid]
-        self._locks.release_all(txid)
         self.stats.aborts += 1
 
     def _require_active(self, txid: int) -> list[LogRecord]:
@@ -321,75 +335,85 @@ class DiskStorageManager(StorageManager):
         self._check_open()
         self._check_writable()
         self._require_active(txid)
-        rid = self._insert_raw(bytes(data))
-        self._locks.acquire_or_raise(txid, rid, LockMode.X)
-        try:
-            record = self._append_logged(
-                txid, LogRecordKind.INSERT, rid, b"", bytes(data)
-            )
-        except ReadOnlyStorageError:
-            self._delete_raw(rid)  # un-place the unlogged record (in memory)
-            raise
-        self._active[txid].append(record)
-        self.stats.inserts += 1
+        with self._mutex:
+            rid = self._insert_raw(bytes(data))
+        # A fresh rid is invisible to other transactions: the X lock is
+        # granted immediately, it just records the holding for 2PL.
+        self._locks.lock(txid, rid, LockMode.X)
+        with self._mutex:
+            try:
+                record = self._append_logged(
+                    txid, LogRecordKind.INSERT, rid, b"", bytes(data)
+                )
+            except ReadOnlyStorageError:
+                self._delete_raw(rid)  # un-place the unlogged record (in memory)
+                raise
+            self._active[txid].append(record)
+            self.stats.inserts += 1
         return rid
 
     def read(self, txid: int, rid: int) -> bytes:
         self._check_open()
         self._require_active(txid)
-        self._locks.acquire_or_raise(txid, rid, LockMode.S)
-        self.stats.reads += 1
-        return self._read_raw(rid)
+        self._locks.lock(txid, rid, LockMode.S)
+        with self._mutex:
+            self.stats.reads += 1
+            return self._read_raw(rid)
 
     def write(self, txid: int, rid: int, data: bytes) -> None:
         self._check_open()
         self._check_writable()
         self._require_active(txid)
-        self._locks.acquire_or_raise(txid, rid, LockMode.X)
-        before = self._read_raw(rid)
-        record = self._append_logged(
-            txid, LogRecordKind.UPDATE, rid, before, bytes(data)
-        )
-        self._active[txid].append(record)
-        self._write_raw(rid, bytes(data))
-        self.stats.writes += 1
+        self._locks.lock(txid, rid, LockMode.X)
+        with self._mutex:
+            before = self._read_raw(rid)
+            record = self._append_logged(
+                txid, LogRecordKind.UPDATE, rid, before, bytes(data)
+            )
+            self._active[txid].append(record)
+            self._write_raw(rid, bytes(data))
+            self.stats.writes += 1
 
     def delete(self, txid: int, rid: int) -> None:
         self._check_open()
         self._check_writable()
         self._require_active(txid)
-        self._locks.acquire_or_raise(txid, rid, LockMode.X)
-        before = self._read_raw(rid)
-        record = self._append_logged(txid, LogRecordKind.DELETE, rid, before, b"")
-        self._active[txid].append(record)
-        self._delete_raw(rid)
-        self.stats.deletes += 1
+        self._locks.lock(txid, rid, LockMode.X)
+        with self._mutex:
+            before = self._read_raw(rid)
+            record = self._append_logged(txid, LogRecordKind.DELETE, rid, before, b"")
+            self._active[txid].append(record)
+            self._delete_raw(rid)
+            self.stats.deletes += 1
 
     def exists(self, txid: int, rid: int) -> bool:
         self._check_open()
         self._require_active(txid)
-        return self._exists_raw(rid)
+        with self._mutex:
+            return self._exists_raw(rid)
 
     def scan(self, txid: int) -> Iterator[tuple[int, bytes]]:
         self._check_open()
         self._require_active(txid)
         for page_no in range(1, self._file.num_pages):
-            page = self._pool.fetch(page_no)
-            try:
-                entries = [
-                    (slot_no, data)
-                    for slot_no, data in page.records()
-                    if data and data[0] in (_FLAG_INLINE, _FLAG_FORWARD)
-                ]
-            finally:
-                self._pool.unpin(page_no, dirty=False)
+            with self._mutex:
+                page = self._pool.fetch(page_no)
+                try:
+                    entries = [
+                        (slot_no, data)
+                        for slot_no, data in page.records()
+                        if data and data[0] in (_FLAG_INLINE, _FLAG_FORWARD)
+                    ]
+                finally:
+                    self._pool.unpin(page_no, dirty=False)
             for slot_no, data in entries:
                 rid = pack_rid(page_no, slot_no)
-                self._locks.acquire_or_raise(txid, rid, LockMode.S)
+                self._locks.lock(txid, rid, LockMode.S)
                 if data[0] == _FLAG_INLINE:
                     yield rid, _inline_data(data)
                 else:  # forwarded: fetch the body from the target
-                    yield rid, self._read_raw(rid)
+                    with self._mutex:
+                        yield rid, self._read_raw(rid)
 
     # -- root pointer --------------------------------------------------------------------
 
@@ -401,16 +425,17 @@ class DiskStorageManager(StorageManager):
         self._check_open()
         self._check_writable()
         self._require_active(txid)
-        self._locks.acquire_or_raise(txid, _ROOT_RESOURCE, LockMode.X)
-        record = self._append_logged(
-            txid,
-            LogRecordKind.SET_ROOT,
-            -1,
-            _FWD.pack(self._root),
-            _FWD.pack(rid),
-        )
-        self._active[txid].append(record)
-        self._root = rid
+        self._locks.lock(txid, _ROOT_RESOURCE, LockMode.X)
+        with self._mutex:
+            record = self._append_logged(
+                txid,
+                LogRecordKind.SET_ROOT,
+                -1,
+                _FWD.pack(self._root),
+                _FWD.pack(rid),
+            )
+            self._active[txid].append(record)
+            self._root = rid
 
     # -- lifecycle ------------------------------------------------------------------------
 
@@ -423,13 +448,14 @@ class DiskStorageManager(StorageManager):
             raise StorageError("cannot checkpoint with active transactions")
         try:
             self.injector.fire("checkpoint.begin")
-            self._wal.force()
-            self._pool.flush_all()
-            self.injector.fire("checkpoint.after_flush")
-            self._write_header()
-            self._file.sync()
-            self.injector.fire("checkpoint.before_truncate")
-            self._wal.truncate()
+            with self._mutex:
+                self._wal.force()
+                self._pool.flush_all()
+                self.injector.fire("checkpoint.after_flush")
+                self._write_header()
+                self._file.sync()
+                self.injector.fire("checkpoint.before_truncate")
+                self._wal.truncate()
             self.injector.fire("checkpoint.end")
         except UnrecoverableMediaError as exc:
             self._degrade()

@@ -6,23 +6,44 @@ time the transactions spend waiting for locks and the likelihood of
 deadlock"* — experiment E6 measures exactly that, so the lock manager keeps
 detailed counters.
 
-The manager is *logical*: callers (the single-session database, or the
-interleaved-transaction simulator used by the benchmarks) drive it
-synchronously.  :meth:`LockManager.acquire` returns
-:attr:`LockRequestStatus.GRANTED` or :attr:`LockRequestStatus.WAIT`; a WAIT
-registers the requester in the waits-for graph and, if that closes a cycle,
-raises :class:`~repro.errors.DeadlockError` choosing the requester as the
-victim (the simplest deterministic policy).
+The manager serves two callers:
+
+* the **serial** database (one session): :meth:`LockManager.acquire_or_raise`
+  — with one transaction at a time a conflict indicates a bug, so it raises
+  :class:`~repro.errors.LockError` instead of waiting;
+* the **multi-session** database: :meth:`LockManager.acquire_blocking` —
+  a conflicting request queues FIFO behind the current holders and earlier
+  waiters and *blocks the calling session* until granted.  Releases
+  (:meth:`release_all`) grant queued requests in arrival order per resource
+  and wake the blocked sessions.  Engines pick the behaviour through
+  :meth:`lock`, switched by the :attr:`blocking` flag the database flips
+  when a second session opens.
+
+Blocking has two waiting strategies: by default the caller sleeps on the
+manager's condition variable (real ``threading`` concurrency); a
+cooperative scheduler installs per-thread *wait hooks*
+(:func:`set_wait_hooks`) and the manager delegates the entire wait to the
+scheduler, which parks the session deterministically.
+
+Deadlock policy: the waits-for graph is rebuilt from the grant table and
+the FIFO queues on every change, so it is always sound — a transaction
+waiting on several resources keeps every edge.  A request that would close
+a cycle raises :class:`~repro.errors.DeadlockError` in the *requester*
+(the victim is the transaction that completes the cycle — the simplest
+deterministic policy); the victim's abort releases its locks, which grants
+and wakes the survivors.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import threading
+import time
 from collections import defaultdict
 
 from repro import obs
-from repro.errors import DeadlockError, LockError
+from repro.errors import DeadlockError, LockError, LockTimeoutError
 
 
 class LockMode(enum.IntEnum):
@@ -49,6 +70,7 @@ class LockStats:
     upgrades: int = 0
     waits: int = 0
     deadlocks: int = 0
+    timeouts: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -56,6 +78,27 @@ class LockStats:
     def reset(self) -> None:
         for field in dataclasses.fields(self):
             setattr(self, field.name, 0)
+
+
+# -- cooperative wait hooks ----------------------------------------------------
+
+#: Thread-local carrier for the active wait strategy.  A cooperative
+#: scheduler sets hooks for each session thread it runs; the default (no
+#: hooks) blocks on the lock manager's condition variable.
+_wait_context = threading.local()
+
+
+def set_wait_hooks(hooks) -> None:
+    """Install *hooks* (or ``None``) as this thread's wait strategy.
+
+    *hooks* needs one method: ``lock_wait(predicate)`` — block the calling
+    session until ``predicate()`` is true, letting other sessions run.
+    """
+    _wait_context.hooks = hooks
+
+
+def current_wait_hooks():
+    return getattr(_wait_context, "hooks", None)
 
 
 class _LockEntry:
@@ -76,16 +119,30 @@ class LockManager:
         self._held: dict[int, set[object]] = defaultdict(set)
         self._waits_for: dict[int, set[int]] = defaultdict(set)
         self.stats = LockStats()
+        self._mutex = threading.RLock()
+        self._cond = threading.Condition(self._mutex)
+        #: Conflict behaviour of :meth:`lock`: ``False`` (serial database)
+        #: raises LockError, ``True`` (multi-session) blocks until granted.
+        self.blocking = False
+        #: Safety net for the threaded mode — a wait longer than this
+        #: raises :class:`LockTimeoutError` instead of hanging the suite.
+        self.wait_timeout = 30.0
 
     # -- acquisition ---------------------------------------------------------
 
     def acquire(self, txid: int, resource: object, mode: LockMode) -> LockRequestStatus:
-        """Request *mode* on *resource* for *txid*.
+        """Request *mode* on *resource* for *txid* without blocking.
 
         Returns GRANTED immediately when compatible; otherwise records the
-        wait (raising :class:`DeadlockError` if it would deadlock) and
+        FIFO wait (raising :class:`DeadlockError` if it would deadlock) and
         returns WAIT.  The caller retries after other transactions release.
         """
+        with self._mutex:
+            return self._acquire_locked(txid, resource, mode)
+
+    def _acquire_locked(
+        self, txid: int, resource: object, mode: LockMode
+    ) -> LockRequestStatus:
         entry = self._table.get(resource)
         if entry is None:
             entry = self._table[resource] = _LockEntry()
@@ -94,57 +151,42 @@ class LockManager:
         if current is not None and current >= mode:
             return LockRequestStatus.GRANTED  # already held at this strength
 
-        blockers = {
-            holder
-            for holder, held_mode in entry.holders.items()
-            if holder != txid and not held_mode.compatible(mode)
-        }
-        # A new S request must also queue behind waiting X requests to avoid
-        # writer starvation — unless we'd be upgrading our own lock.
-        if current is None and any(
-            wmode is LockMode.X and waiter != txid for waiter, wmode in entry.waiters
-        ):
-            blockers |= {w for w, m in entry.waiters if m is LockMode.X and w != txid}
-
-        if not blockers:
-            upgrading = current is not None and mode > current
-            entry.holders[txid] = mode
-            self._held[txid].add(resource)
-            if upgrading:
-                self.stats.upgrades += 1
-            if mode is LockMode.S:
-                self.stats.s_acquired += 1
-            else:
-                self.stats.x_acquired += 1
+        already_queued = any(w == txid for w, _ in entry.waiters)
+        # An upgrader already holds the resource, so it conceptually sits at
+        # the head of the queue: only the holders can block it.
+        position = 0 if current is not None else None
+        if not already_queued and self._grantable(entry, txid, mode, position=position):
+            self._grant(entry, txid, resource, mode)
             if obs.ENABLED:
                 obs.emit(
                     "lock.acquire",
                     txid=txid,
                     resource=resource,
                     mode=mode.name,
-                    upgrade=upgrading,
+                    upgrade=current is not None,
                 )
             return LockRequestStatus.GRANTED
 
-        self.stats.waits += 1
-        if obs.ENABLED:
-            obs.emit(
-                "lock.wait",
-                txid=txid,
-                resource=resource,
-                mode=mode.name,
-                blockers=sorted(blockers),
-            )
-        self._waits_for[txid] |= blockers
-        cycle = self._find_cycle(txid)
-        if cycle:
-            self.stats.deadlocks += 1
-            self._waits_for.pop(txid, None)
+        if not already_queued:
+            self.stats.waits += 1
             if obs.ENABLED:
-                obs.emit("lock.deadlock", txid=txid, cycle=list(cycle))
-            raise DeadlockError(txid, cycle)
-        if (txid, mode) not in entry.waiters:
-            entry.waiters.append((txid, mode))
+                obs.emit(
+                    "lock.wait",
+                    txid=txid,
+                    resource=resource,
+                    mode=mode.name,
+                    blockers=self._describe_blockers(entry, txid, mode),
+                )
+            self._enqueue(entry, txid, mode)
+            self._rebuild_waits_for()
+            cycle = self._find_cycle(txid)
+            if cycle:
+                self.stats.deadlocks += 1
+                entry.waiters = [(t, m) for t, m in entry.waiters if t != txid]
+                self._rebuild_waits_for()
+                if obs.ENABLED:
+                    obs.emit("lock.deadlock", txid=txid, cycle=list(cycle))
+                raise DeadlockError(txid, cycle)
         return LockRequestStatus.WAIT
 
     def acquire_or_raise(self, txid: int, resource: object, mode: LockMode) -> None:
@@ -153,72 +195,252 @@ class LockManager:
         The single-session database uses this path: with one transaction at a
         time a conflict indicates a bug rather than contention.
         """
-        status = self.acquire(txid, resource, mode)
-        if status is not LockRequestStatus.GRANTED:
-            holders = self.holders_of(resource)
-            raise LockError(
-                f"transaction {txid} blocked on {resource!r} held by {sorted(holders)}"
-            )
+        with self._mutex:
+            status = self._acquire_locked(txid, resource, mode)
+            if status is LockRequestStatus.GRANTED:
+                return
+            # Undo the queued request — serial callers never retry.
+            entry = self._table.get(resource)
+            holders = frozenset(entry.holders) if entry else frozenset()
+            if entry is not None:
+                entry.waiters = [(t, m) for t, m in entry.waiters if t != txid]
+            self._rebuild_waits_for()
+        raise LockError(
+            f"transaction {txid} blocked on {resource!r} held by {sorted(holders)}"
+        )
+
+    def acquire_blocking(
+        self,
+        txid: int,
+        resource: object,
+        mode: LockMode,
+        timeout: float | None = None,
+    ) -> None:
+        """Acquire, blocking the calling session until the lock is granted.
+
+        Raises :class:`DeadlockError` when this request closes a waits-for
+        cycle (the requester is the victim) and :class:`LockTimeoutError`
+        when the threaded wait exceeds *timeout* (default
+        :attr:`wait_timeout`).
+        """
+        hooks = current_wait_hooks()
+        deadline = None
+        while True:
+            with self._mutex:
+                status = self._acquire_locked(txid, resource, mode)
+                if status is LockRequestStatus.GRANTED:
+                    return
+                if hooks is None:
+                    # Threaded mode: sleep on the condition until a release
+                    # grants us (or the safety-net timeout trips).
+                    if deadline is None:
+                        budget = self.wait_timeout if timeout is None else timeout
+                        deadline = time.monotonic() + budget
+                    while not self._is_granted_locked(txid, resource, mode):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            if self._is_granted_locked(txid, resource, mode):
+                                break
+                            self.stats.timeouts += 1
+                            self._drop_request(txid, resource)
+                            raise LockTimeoutError(
+                                f"transaction {txid} timed out waiting for "
+                                f"{resource!r} ({mode.name})"
+                            )
+                    return
+            # Cooperative mode: the scheduler parks this session and runs
+            # others until the predicate reports the grant happened.
+            hooks.lock_wait(lambda: self.is_granted(txid, resource, mode))
+
+    def lock(self, txid: int, resource: object, mode: LockMode) -> None:
+        """The engines' acquisition entry point; behaviour per :attr:`blocking`."""
+        if self.blocking:
+            self.acquire_blocking(txid, resource, mode)
+        else:
+            self.acquire_or_raise(txid, resource, mode)
+
+    # -- grant machinery -------------------------------------------------------
+
+    def _grantable(
+        self, entry: _LockEntry, txid: int, mode: LockMode, position: int | None
+    ) -> bool:
+        """Whether *txid*'s request is compatible with holders and the queue.
+
+        *position* is the request's index in the FIFO queue (``None`` for a
+        fresh request, which conceptually sits at the tail).  A request is
+        grantable when no *other* holder conflicts and no earlier queued
+        request conflicts — later arrivals never overtake an incompatible
+        waiter, so writers cannot starve.
+        """
+        for holder, held in entry.holders.items():
+            if holder != txid and not held.compatible(mode):
+                return False
+        ahead = entry.waiters if position is None else entry.waiters[:position]
+        for waiter, wmode in ahead:
+            if waiter != txid and not (
+                wmode.compatible(mode) and mode.compatible(wmode)
+            ):
+                return False
+        return True
+
+    def _grant(
+        self, entry: _LockEntry, txid: int, resource: object, mode: LockMode
+    ) -> None:
+        current = entry.holders.get(txid)
+        upgrading = current is not None and mode > current
+        entry.holders[txid] = mode if current is None else max(current, mode)
+        self._held[txid].add(resource)
+        if upgrading:
+            self.stats.upgrades += 1
+        if mode is LockMode.S:
+            self.stats.s_acquired += 1
+        else:
+            self.stats.x_acquired += 1
+
+    def _enqueue(self, entry: _LockEntry, txid: int, mode: LockMode) -> None:
+        """Queue a request FIFO; lock *upgrades* jump ahead of fresh requests.
+
+        An upgrader already holds the resource, so anything granted before
+        it would conflict anyway; front-running it shortens the convoy and
+        matches conventional lock-manager behaviour.
+        """
+        if txid in entry.holders:
+            at = 0
+            while at < len(entry.waiters) and entry.waiters[at][0] in entry.holders:
+                at += 1
+            entry.waiters.insert(at, (txid, mode))
+        else:
+            entry.waiters.append((txid, mode))
+
+    def _describe_blockers(
+        self, entry: _LockEntry, txid: int, mode: LockMode
+    ) -> list:
+        return sorted(
+            holder
+            for holder, held in entry.holders.items()
+            if holder != txid and not held.compatible(mode)
+        )
+
+    def _is_granted_locked(self, txid: int, resource: object, mode: LockMode) -> bool:
+        entry = self._table.get(resource)
+        if entry is None:
+            return False
+        held = entry.holders.get(txid)
+        return held is not None and held >= mode
+
+    def is_granted(self, txid: int, resource: object, mode: LockMode) -> bool:
+        """Whether *txid* currently holds *resource* at least at *mode*."""
+        with self._mutex:
+            return self._is_granted_locked(txid, resource, mode)
+
+    def _drop_request(self, txid: int, resource: object) -> None:
+        entry = self._table.get(resource)
+        if entry is not None:
+            entry.waiters = [(t, m) for t, m in entry.waiters if t != txid]
+            if not entry.holders and not entry.waiters:
+                del self._table[resource]
+        self._rebuild_waits_for()
 
     # -- release ---------------------------------------------------------------
 
     def release_all(self, txid: int) -> None:
-        """Release every lock *txid* holds and drop its queued requests."""
-        for resource in self._held.pop(txid, set()):
-            entry = self._table.get(resource)
-            if entry is not None:
-                entry.holders.pop(txid, None)
-                if not entry.holders and not entry.waiters:
-                    del self._table[resource]
-        for entry in list(self._table.values()):
-            entry.waiters = [(t, m) for t, m in entry.waiters if t != txid]
-        self._waits_for.pop(txid, None)
-        for waiters in self._waits_for.values():
-            waiters.discard(txid)
+        """Release every lock *txid* holds, drop its queued requests, and
+        grant-and-wake whoever its release unblocks (FIFO per resource)."""
+        with self._mutex:
+            for resource in self._held.pop(txid, set()):
+                entry = self._table.get(resource)
+                if entry is not None:
+                    entry.holders.pop(txid, None)
+                    if not entry.holders and not entry.waiters:
+                        del self._table[resource]
+            for entry in list(self._table.values()):
+                entry.waiters = [(t, m) for t, m in entry.waiters if t != txid]
+            granted = self._retry_waiters_locked()
+            self._rebuild_waits_for()
+            if granted:
+                self._cond.notify_all()
 
     def retry_waiters(self) -> list[int]:
-        """Re-attempt every queued request; returns txids newly granted.
+        """Grant every now-compatible queued request in FIFO arrival order
+        per resource; returns the txids granted (with repeats per resource).
 
-        Used by the interleaved-transaction simulator after each release.
+        Grants stop at the first still-blocked request of each queue so a
+        late arrival can never overtake an incompatible earlier waiter.
+        The waits-for graph is rebuilt from the remaining queues — a
+        granted transaction still waiting on *other* resources keeps those
+        edges, so deadlock detection stays sound.
         """
+        with self._mutex:
+            granted = self._retry_waiters_locked()
+            self._rebuild_waits_for()
+            if granted:
+                self._cond.notify_all()
+            return granted
+
+    def _retry_waiters_locked(self) -> list[int]:
         granted: list[int] = []
         for resource, entry in list(self._table.items()):
-            for txid, mode in list(entry.waiters):
-                probe = {
-                    holder
-                    for holder, held in entry.holders.items()
-                    if holder != txid and not held.compatible(mode)
-                }
-                if probe:
+            while entry.waiters:
+                txid, mode = entry.waiters[0]
+                held = entry.holders.get(txid)
+                if held is not None and held >= mode:
+                    entry.waiters.pop(0)  # stale: already satisfied
                     continue
-                entry.waiters.remove((txid, mode))
-                entry.holders[txid] = max(mode, entry.holders.get(txid, mode))
-                self._held[txid].add(resource)
-                self._waits_for.pop(txid, None)
-                if mode is LockMode.S:
-                    self.stats.s_acquired += 1
-                else:
-                    self.stats.x_acquired += 1
+                if not self._grantable(entry, txid, mode, position=0):
+                    break
+                entry.waiters.pop(0)
+                self._grant(entry, txid, resource, mode)
                 granted.append(txid)
+            if not entry.holders and not entry.waiters:
+                del self._table[resource]
+        if granted:
+            self._rebuild_waits_for()
         return granted
 
     # -- introspection ------------------------------------------------------------
 
     def holders_of(self, resource: object) -> frozenset[int]:
-        entry = self._table.get(resource)
-        return frozenset(entry.holders) if entry else frozenset()
+        with self._mutex:
+            entry = self._table.get(resource)
+            return frozenset(entry.holders) if entry else frozenset()
 
     def mode_held(self, txid: int, resource: object) -> LockMode | None:
-        entry = self._table.get(resource)
-        return entry.holders.get(txid) if entry else None
+        with self._mutex:
+            entry = self._table.get(resource)
+            return entry.holders.get(txid) if entry else None
 
     def locks_held(self, txid: int) -> frozenset[object]:
-        return frozenset(self._held.get(txid, set()))
+        with self._mutex:
+            return frozenset(self._held.get(txid, set()))
 
     def waits_for_edges(self) -> dict[int, frozenset[int]]:
-        return {t: frozenset(b) for t, b in self._waits_for.items() if b}
+        with self._mutex:
+            return {t: frozenset(b) for t, b in self._waits_for.items() if b}
 
     # -- deadlock detection ----------------------------------------------------------
+
+    def _rebuild_waits_for(self) -> None:
+        """Recompute the waits-for graph from the grant table and queues.
+
+        An edge ``W -> B`` exists when queued request W conflicts with
+        holder B, or with an *earlier* queued request B on the same
+        resource (FIFO: W cannot be granted before B).  Rebuilding from
+        ground truth — instead of mutating edges incrementally — is what
+        keeps a transaction's edges on its *other* pending resources alive
+        when one of its requests is granted.
+        """
+        self._waits_for.clear()
+        for entry in self._table.values():
+            for position, (txid, mode) in enumerate(entry.waiters):
+                edges = self._waits_for[txid]
+                for holder, held in entry.holders.items():
+                    if holder != txid and not held.compatible(mode):
+                        edges.add(holder)
+                for earlier, emode in entry.waiters[:position]:
+                    if earlier != txid and not (
+                        emode.compatible(mode) and mode.compatible(emode)
+                    ):
+                        edges.add(earlier)
 
     def _find_cycle(self, start: int) -> tuple[int, ...]:
         """DFS from *start* in the waits-for graph; returns a cycle or ()."""

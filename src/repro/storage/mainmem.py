@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 from collections.abc import Iterator
 
 from repro.errors import (
@@ -59,6 +60,11 @@ class MainMemoryStorageManager(StorageManager):
         self.durable = durable
         self._store: dict[int, bytes] = {}
         self._next_rid = 1
+        # Engine-wide mutex for threaded sessions: guards the store, the
+        # rid counter, per-txn undo lists, and the op log.  Record locks
+        # are always taken *outside* it — a blocking lock wait must never
+        # hold the engine mutex.
+        self._mutex = threading.RLock()
         self._root = self.NO_ROOT
         self._locks = LockManager()
         self._active: dict[int, list[LogRecord]] = {}
@@ -154,46 +160,55 @@ class MainMemoryStorageManager(StorageManager):
 
     def begin_transaction(self, txid: int) -> None:
         self._check_open()
-        if txid in self._active:
-            raise StorageError(f"transaction {txid} already active")
-        self._active[txid] = []
-        if self._wal is not None and not self.degraded:
-            try:
-                self._wal.append(txid, LogRecordKind.BEGIN)
-            except UnrecoverableMediaError as exc:
-                self._degrade()
-                raise ReadOnlyStorageError(
-                    f"{self.path}: log append failed permanently; "
-                    "database degraded to read-only"
-                ) from exc
+        with self._mutex:
+            if txid in self._active:
+                raise StorageError(f"transaction {txid} already active")
+            self._active[txid] = []
+            if self._wal is not None and not self.degraded:
+                try:
+                    self._wal.append(txid, LogRecordKind.BEGIN)
+                except UnrecoverableMediaError as exc:
+                    self._degrade()
+                    raise ReadOnlyStorageError(
+                        f"{self.path}: log append failed permanently; "
+                        "database degraded to read-only"
+                    ) from exc
 
     def commit_transaction(self, txid: int) -> None:
         self._check_open()
-        records = self._require_active(txid)
-        if self.degraded:
-            if records:
-                raise ReadOnlyStorageError(
-                    f"cannot commit transaction {txid}: "
-                    "database degraded to read-only with logged mutations"
-                )
-        elif self._wal is not None:
-            self.injector.fire("txn.commit.begin", txid=txid)
-            try:
-                self._wal.append(txid, LogRecordKind.COMMIT)
-                self._wal.force()
-            except UnrecoverableMediaError as exc:
-                self._degrade()
-                raise ReadOnlyStorageError(
-                    f"commit of transaction {txid} failed permanently; "
-                    "database degraded to read-only"
-                ) from exc
-            self.injector.fire("txn.commit.durable", txid=txid)
-        del self._active[txid]
+        with self._mutex:
+            records = self._require_active(txid)
+            if self.degraded:
+                if records:
+                    raise ReadOnlyStorageError(
+                        f"cannot commit transaction {txid}: "
+                        "database degraded to read-only with logged mutations"
+                    )
+            elif self._wal is not None:
+                self.injector.fire("txn.commit.begin", txid=txid)
+                try:
+                    self._wal.append(txid, LogRecordKind.COMMIT)
+                    self._wal.force()
+                except UnrecoverableMediaError as exc:
+                    self._degrade()
+                    raise ReadOnlyStorageError(
+                        f"commit of transaction {txid} failed permanently; "
+                        "database degraded to read-only"
+                    ) from exc
+                self.injector.fire("txn.commit.durable", txid=txid)
+            del self._active[txid]
+            self.stats.commits += 1
+        # Outside the mutex: releasing grants queued requests FIFO and
+        # wakes the blocked sessions that now hold their locks.
         self._locks.release_all(txid)
-        self.stats.commits += 1
 
     def abort_transaction(self, txid: int) -> None:
         self._check_open()
+        with self._mutex:
+            self._abort_locked(txid)
+        self._locks.release_all(txid)
+
+    def _abort_locked(self, txid: int) -> None:
         records = self._require_active(txid)
         for record in reversed(records):
             compensation = record.inverse()
@@ -215,7 +230,6 @@ class MainMemoryStorageManager(StorageManager):
             except UnrecoverableMediaError:
                 self._degrade()
         del self._active[txid]
-        self._locks.release_all(txid)
         self.stats.aborts += 1
 
     def _require_active(self, txid: int) -> list[LogRecord]:
@@ -246,50 +260,57 @@ class MainMemoryStorageManager(StorageManager):
         self._check_open()
         self._check_writable()
         self._require_active(txid)
-        rid = self._next_rid
-        self._next_rid += 1
-        self._locks.acquire_or_raise(txid, rid, LockMode.X)
-        self._log(txid, LogRecordKind.INSERT, rid, b"", data)
-        self._store[rid] = bytes(data)
-        self.stats.inserts += 1
+        with self._mutex:
+            rid = self._next_rid
+            self._next_rid += 1
+        # A fresh rid is invisible to other transactions: the X lock is
+        # granted immediately, it just records the holding for 2PL.
+        self._locks.lock(txid, rid, LockMode.X)
+        with self._mutex:
+            self._log(txid, LogRecordKind.INSERT, rid, b"", data)
+            self._store[rid] = bytes(data)
+            self.stats.inserts += 1
         return rid
 
     def read(self, txid: int, rid: int) -> bytes:
         self._check_open()
         self._require_active(txid)
-        self._locks.acquire_or_raise(txid, rid, LockMode.S)
-        try:
-            data = self._store[rid]
-        except KeyError:
-            raise RecordNotFoundError(f"rid {rid} not found") from None
-        self.stats.reads += 1
+        self._locks.lock(txid, rid, LockMode.S)
+        with self._mutex:
+            try:
+                data = self._store[rid]
+            except KeyError:
+                raise RecordNotFoundError(f"rid {rid} not found") from None
+            self.stats.reads += 1
         return data
 
     def write(self, txid: int, rid: int, data: bytes) -> None:
         self._check_open()
         self._check_writable()
         self._require_active(txid)
-        self._locks.acquire_or_raise(txid, rid, LockMode.X)
-        try:
-            before = self._store[rid]
-        except KeyError:
-            raise RecordNotFoundError(f"rid {rid} not found") from None
-        self._log(txid, LogRecordKind.UPDATE, rid, before, data)
-        self._store[rid] = bytes(data)
-        self.stats.writes += 1
+        self._locks.lock(txid, rid, LockMode.X)
+        with self._mutex:
+            try:
+                before = self._store[rid]
+            except KeyError:
+                raise RecordNotFoundError(f"rid {rid} not found") from None
+            self._log(txid, LogRecordKind.UPDATE, rid, before, data)
+            self._store[rid] = bytes(data)
+            self.stats.writes += 1
 
     def delete(self, txid: int, rid: int) -> None:
         self._check_open()
         self._check_writable()
         self._require_active(txid)
-        self._locks.acquire_or_raise(txid, rid, LockMode.X)
-        try:
-            before = self._store[rid]
-        except KeyError:
-            raise RecordNotFoundError(f"rid {rid} not found") from None
-        self._log(txid, LogRecordKind.DELETE, rid, before, b"")
-        del self._store[rid]
-        self.stats.deletes += 1
+        self._locks.lock(txid, rid, LockMode.X)
+        with self._mutex:
+            try:
+                before = self._store[rid]
+            except KeyError:
+                raise RecordNotFoundError(f"rid {rid} not found") from None
+            self._log(txid, LogRecordKind.DELETE, rid, before, b"")
+            del self._store[rid]
+            self.stats.deletes += 1
 
     def exists(self, txid: int, rid: int) -> bool:
         self._check_open()
@@ -299,9 +320,12 @@ class MainMemoryStorageManager(StorageManager):
     def scan(self, txid: int) -> Iterator[tuple[int, bytes]]:
         self._check_open()
         self._require_active(txid)
-        for rid in sorted(self._store):
-            self._locks.acquire_or_raise(txid, rid, LockMode.S)
-            data = self._store.get(rid)
+        with self._mutex:
+            rids = sorted(self._store)
+        for rid in rids:
+            self._locks.lock(txid, rid, LockMode.S)
+            with self._mutex:
+                data = self._store.get(rid)
             if data is not None:
                 yield rid, data
 
@@ -315,7 +339,11 @@ class MainMemoryStorageManager(StorageManager):
         self._check_open()
         self._check_writable()
         self._require_active(txid)
-        self._locks.acquire_or_raise(txid, _ROOT_RESOURCE, LockMode.X)
+        self._locks.lock(txid, _ROOT_RESOURCE, LockMode.X)
+        with self._mutex:
+            self._log_set_root(txid, rid)
+
+    def _log_set_root(self, txid: int, rid: int) -> None:
         self._log(
             txid,
             LogRecordKind.SET_ROOT,

@@ -29,6 +29,7 @@ import dataclasses
 import enum
 import os
 import struct
+import threading
 import zlib
 from collections.abc import Iterator
 
@@ -129,6 +130,10 @@ class WriteAheadLog:
         self._size = os.fstat(self._fd).st_size
         self._synced_size = self._size
         self._closed = False
+        # Serializes append/force/truncate: concurrent sessions share one
+        # log (the engine mutex already covers the common paths; this keeps
+        # the WAL safe even when driven directly, e.g. by tests).
+        self._mutex = threading.RLock()
         try:
             self._next_lsn = self._scan_next_lsn()
         except WALError:
@@ -159,25 +164,28 @@ class WriteAheadLog:
         """Append a record, returning it (with its assigned LSN)."""
         if self._closed:
             raise WALError("log is closed")
-        record = LogRecord(self._next_lsn, txid, kind, rid, bytes(before), bytes(after))
-        self._next_lsn += 1
-        frame = record.encode()
-
-        def op():
-            data, crash_after = self.injector.fire_write(
-                "wal.append", frame, lsn=record.lsn, kind=kind.name
+        with self._mutex:
+            record = LogRecord(
+                self._next_lsn, txid, kind, rid, bytes(before), bytes(after)
             )
-            os.write(self._fd, data)
-            self._size += len(data)
-            if crash_after:
-                # A torn append the power cut made durable: fsync the
-                # partial frame so the simulated crash keeps it and
-                # recovery has a real torn tail to truncate.
-                os.fsync(self._fd)
-                self._synced_size = self._size
-                self.injector.crash_pending("wal.append")
+            self._next_lsn += 1
+            frame = record.encode()
 
-        with_retry(op, on_retry=self._count_retry)
+            def op():
+                data, crash_after = self.injector.fire_write(
+                    "wal.append", frame, lsn=record.lsn, kind=kind.name
+                )
+                os.write(self._fd, data)
+                self._size += len(data)
+                if crash_after:
+                    # A torn append the power cut made durable: fsync the
+                    # partial frame so the simulated crash keeps it and
+                    # recovery has a real torn tail to truncate.
+                    os.fsync(self._fd)
+                    self._synced_size = self._size
+                    self.injector.crash_pending("wal.append")
+
+            with_retry(op, on_retry=self._count_retry)
         if self._stats is not None:
             self._stats.log_records += 1
         if obs.ENABLED:
@@ -198,8 +206,9 @@ class WriteAheadLog:
             self.injector.fire("wal.force")  # crash here: nothing durable
             os.fsync(self._fd)
 
-        with_retry(op, on_retry=self._count_retry)
-        self._synced_size = self._size
+        with self._mutex:
+            with_retry(op, on_retry=self._count_retry)
+            self._synced_size = self._size
         self.injector.fire("wal.force.after")  # crash here: tail is durable
         if self._stats is not None:
             self._stats.log_forces += 1
@@ -284,10 +293,11 @@ class WriteAheadLog:
             os.ftruncate(self._fd, 0)
             os.fsync(self._fd)
 
-        with_retry(op, on_retry=self._count_retry)
-        self._size = 0
-        self._synced_size = 0
-        self._next_lsn = 1
+        with self._mutex:
+            with_retry(op, on_retry=self._count_retry)
+            self._size = 0
+            self._synced_size = 0
+            self._next_lsn = 1
 
     def size_bytes(self) -> int:
         return os.fstat(self._fd).st_size

@@ -1,28 +1,46 @@
-"""Begin/commit/abort orchestration.
+"""Begin/commit/abort orchestration across concurrent sessions.
 
-One top-level transaction is active per database at a time (Ode programs
-execute transaction blocks serially within an application); *system*
-transactions — those "not explicitly requested by the user, but required
-for trigger processing" (paper Section 5.5) — run between user transactions
-to execute dependent/!dependent trigger actions and phoenix intentions.
+Each :class:`~repro.sessions.session.Session` runs one transaction at a
+time (Ode programs execute transaction blocks serially *within* an
+application), but the manager now keeps a **table of active transactions**
+— one per session — instead of a single current one.  Conflicts between
+them are mediated by the storage engine's lock manager: an incompatible
+request blocks the session (cooperative yield or condition-variable wait)
+until commit/abort of the holder releases its locks and grants waiters in
+FIFO order.
+
+``current()`` resolves through the *ambient session* (a thread-local set
+by session entry points), so every existing call site —
+``db.txn_manager.current()`` in posting, storage, handles — became
+session-aware without signature changes.  The serial API uses the
+database's default session and behaves exactly as before.
+
+*System* transactions — those "not explicitly requested by the user, but
+required for trigger processing" (paper Section 5.5) — used to run "between
+user transactions"; with concurrent sessions they are **scheduled onto a
+shared queue** (:meth:`TransactionManager.schedule_system`) that is drained
+after every commit/abort by whichever session finished, each entry in its
+own fresh system transaction.
 
 The commit path is ordered exactly as the paper describes: deferred (*end*)
 actions and ``before tcomplete`` events run first (still inside the
 transaction, able to ``tabort`` it), then dirty objects are written back,
 the storage manager makes the transaction durable, and only then do the
-detached-mode hooks spawn their system transactions.
+detached-mode hooks schedule their system transactions.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable
 
 from repro import obs
 from repro.errors import (
+    CommitDependencyError,
     DatabaseClosedError,
     NestedTransactionError,
-    NoActiveTransactionError,
     TransactionAbort,
     TransactionError,
 )
@@ -31,6 +49,7 @@ from repro.transactions.txn import Transaction, TxnState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.objects.database import Database
+    from repro.sessions.session import Session
 
 
 class TransactionManager:
@@ -39,10 +58,16 @@ class TransactionManager:
     def __init__(self, db: "Database"):
         self.db = db
         self._next_txid = 1
-        self._current: Transaction | None = None
+        self._txid_lock = threading.Lock()
+        #: txid -> transaction, for every ACTIVE/COMMITTING transaction.
+        self._active: dict[int, Transaction] = {}
         self.outcomes: dict[int, TxnState] = {}
         self.dependencies = CommitDependencyGraph()
         self._begin_listeners: list[Callable[[Transaction], None]] = []
+        # Detached trigger actions wait here until some session is between
+        # transactions; (body, depends_on) pairs, drained FIFO.
+        self._system_queue: deque = deque()
+        self._draining = threading.local()
 
     # -- listeners ------------------------------------------------------------
 
@@ -53,22 +78,39 @@ class TransactionManager:
         """
         self._begin_listeners.append(listener)
 
+    # -- session resolution ----------------------------------------------------
+
+    def _resolve_session(self, session: "Session | None") -> "Session":
+        return session if session is not None else self.db.current_session()
+
+    def active_transactions(self) -> list[Transaction]:
+        """The transactions currently in flight, across all sessions."""
+        return list(self._active.values())
+
     # -- lifecycle --------------------------------------------------------------
 
-    def begin(self, *, system: bool = False) -> Transaction:
+    def begin(
+        self, *, system: bool = False, session: "Session | None" = None
+    ) -> Transaction:
         if self.db.closed:
             raise DatabaseClosedError(f"database {self.db.name!r} is closed")
-        if self._current is not None and self._current.is_active:
+        sess = self._resolve_session(session)
+        held = sess.current_txn
+        if held is not None and held.state in (TxnState.ACTIVE, TxnState.COMMITTING):
             raise NestedTransactionError(
-                f"transaction {self._current.txid} is still active; Ode does "
-                "not support nested transactions (paper Section 5.4.5)"
+                f"transaction {held.txid} is still active in session "
+                f"{sess.name!r}; Ode does not support nested transactions "
+                "(paper Section 5.4.5)"
             )
-        txn = Transaction(self._next_txid, self.db, system=system)
-        self._next_txid += 1
+        with self._txid_lock:
+            txid = self._next_txid
+            self._next_txid += 1
+        txn = Transaction(txid, self.db, system=system, session=sess)
         self.db.storage.begin_transaction(txn.txid)
-        self._current = txn
+        self._active[txn.txid] = txn
+        sess.current_txn = txn
         if obs.ENABLED:
-            obs.emit("txn.begin", txid=txn.txid, system=system)
+            obs.emit("txn.begin", txid=txn.txid, system=system, session=sess.name)
             # Per-transaction metrics delta: snapshot the registry now so
             # obs.transaction_delta(txn) can report what this txn cost.
             metrics = getattr(self.db, "metrics", None)
@@ -79,19 +121,12 @@ class TransactionManager:
         return txn
 
     def current(self) -> Transaction:
-        # COMMITTING counts as current: before-commit hooks (deferred
-        # trigger actions, `before tcomplete` posting) still run inside
-        # the transaction and perform data operations.
-        if self._current is None or self._current.state not in (
-            TxnState.ACTIVE,
-            TxnState.COMMITTING,
-        ):
-            raise NoActiveTransactionError(
-                "no active transaction; use `with db.transaction():`"
-            )
-        return self._current
+        """The calling session's active (or committing) transaction."""
+        return self.db.current_session().current_txn_or_raise()
 
     def current_or_none(self) -> Transaction | None:
+        from repro.errors import NoActiveTransactionError
+
         try:
             return self.current()
         except NoActiveTransactionError:
@@ -105,6 +140,9 @@ class TransactionManager:
         A :class:`TransactionAbort` raised by a before-commit hook (an *end*
         trigger action or a ``before tcomplete`` trigger) turns the commit
         into an abort, as `tabort` semantics require.
+
+        Committing releases the transaction's locks, which grants queued
+        requests FIFO and wakes the blocked sessions holding them.
         """
         self._require_current(txn)
         txn.state = TxnState.COMMITTING
@@ -126,9 +164,15 @@ class TransactionManager:
         txn.state = TxnState.COMMITTED
         self._finish(txn)
         if obs.ENABLED:
-            obs.emit("txn.commit", txid=txn.txid, system=txn.system)
+            obs.emit(
+                "txn.commit",
+                txid=txn.txid,
+                system=txn.system,
+                session=txn.session_name,
+            )
         for hook in list(txn.after_commit):
             hook(txn)
+        self.drain_system_queue(txn.session)
         return txn.state
 
     # -- abort --------------------------------------------------------------------
@@ -150,32 +194,48 @@ class TransactionManager:
         txn.state = TxnState.ABORTED
         self._finish(txn)
         if obs.ENABLED:
-            obs.emit("txn.abort", txid=txn.txid, explicit=explicit, system=txn.system)
+            obs.emit(
+                "txn.abort",
+                txid=txn.txid,
+                explicit=explicit,
+                system=txn.system,
+                session=txn.session_name,
+            )
         for hook in list(txn.after_abort):
             hook(txn)
+        self.drain_system_queue(txn.session)
         return txn.state
 
     def _finish(self, txn: Transaction) -> None:
         self.outcomes[txn.txid] = txn.state
         self.dependencies.forget(txn.txid)
-        if self._current is txn:
-            self._current = None
+        self._active.pop(txn.txid, None)
+        sess = txn.session
+        if sess is not None and sess.current_txn is txn:
+            sess.current_txn = None
 
     def _require_current(self, txn: Transaction) -> None:
-        if self._current is not txn:
-            raise TransactionError(f"{txn!r} is not the current transaction")
+        if self._active.get(txn.txid) is not txn:
+            raise TransactionError(f"{txn!r} is not an active transaction")
+        sess = txn.session
+        if sess is not None and sess.current_txn is not txn:
+            raise TransactionError(
+                f"{txn!r} is not session {sess.name!r}'s current transaction"
+            )
 
     # -- conveniences -----------------------------------------------------------------
 
     @contextmanager
-    def transaction(self, *, system: bool = False):
+    def transaction(
+        self, *, system: bool = False, session: "Session | None" = None
+    ):
         """``with`` block with O++ transaction-block semantics.
 
         ``tabort`` (a :class:`TransactionAbort` escaping the block) aborts
         and is swallowed — execution continues after the block, as in O++.
         Any other exception aborts and propagates.
         """
-        txn = self.begin(system=system)
+        txn = self.begin(system=system, session=session)
         try:
             yield txn
         except TransactionAbort:
@@ -194,6 +254,7 @@ class TransactionManager:
         body: Callable[[Transaction], None],
         *,
         depends_on: int | None = None,
+        session: "Session | None" = None,
     ) -> Transaction:
         """Run *body* in a fresh system transaction and commit it.
 
@@ -202,7 +263,11 @@ class TransactionManager:
         commit raises :class:`~repro.errors.CommitDependencyError` if the
         parent did not commit, and the action is rolled back.
         """
-        txn = self.begin(system=True)
+        sess = self._resolve_session(session)
+        stats = getattr(self.db, "session_stats", None)
+        if stats is not None:
+            stats.system_txns += 1
+        txn = self.begin(system=True, session=sess)
         if depends_on is not None:
             self.dependencies.add(txn.txid, depends_on)
         try:
@@ -216,3 +281,52 @@ class TransactionManager:
             raise
         self.commit(txn)  # aborts internally (and raises) on dependency failure
         return txn
+
+    # -- the shared system-transaction queue -------------------------------------
+
+    def schedule_system(
+        self,
+        body: Callable[[Transaction], None],
+        *,
+        depends_on: int | None = None,
+    ) -> None:
+        """Queue *body* to run in its own system transaction.
+
+        Detached trigger actions (dependent / !dependent coupling) land
+        here from after-commit/after-abort hooks; the queue is drained by
+        whichever session just finished a transaction — i.e. "between
+        transactions" generalized to many sessions.
+        """
+        self._system_queue.append((body, depends_on))
+
+    def drain_system_queue(self, session: "Session | None" = None) -> int:
+        """Run every queued system transaction; returns the number run.
+
+        Re-entrancy guarded per thread: a system transaction finishing
+        *during* the drain does not drain recursively — its own enqueues
+        are picked up by the outer loop.  A scheduled body whose commit
+        dependency failed is discarded (the *dependent* contract).
+        """
+        if getattr(self._draining, "active", False):
+            return 0
+        if self.db.closed:
+            return 0
+        sess = self._resolve_session(session)
+        ran = 0
+        self._draining.active = True
+        try:
+            while True:
+                try:
+                    body, depends_on = self._system_queue.popleft()
+                except IndexError:
+                    break
+                try:
+                    self.run_system_transaction(
+                        body, depends_on=depends_on, session=sess
+                    )
+                except CommitDependencyError:
+                    pass  # parent did not commit: the dependent action dies
+                ran += 1
+        finally:
+            self._draining.active = False
+        return ran

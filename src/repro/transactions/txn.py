@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable
 if TYPE_CHECKING:  # pragma: no cover
     from repro.objects.database import Database
     from repro.objects.persistent import Persistent
+    from repro.sessions.session import Session
 
 
 class TxnState(enum.Enum):
@@ -38,10 +39,20 @@ Hook = Callable[["Transaction"], None]
 class Transaction:
     """One transaction against one database."""
 
-    def __init__(self, txid: int, db: "Database", *, system: bool = False):
+    def __init__(
+        self,
+        txid: int,
+        db: "Database",
+        *,
+        system: bool = False,
+        session: "Session | None" = None,
+    ):
         self.txid = txid
         self.db = db
         self.system = system
+        #: The session this transaction runs in (the default session for the
+        #: serial API).  Handles, posting, and obs spans use it for scoping.
+        self.session = session
         self.state = TxnState.ACTIVE
         # Object cache: rid -> live instance; dirty rids await write-back.
         self.cache: dict[int, "Persistent"] = {}
@@ -59,6 +70,10 @@ class Transaction:
     @property
     def is_active(self) -> bool:
         return self.state is TxnState.ACTIVE
+
+    @property
+    def session_name(self) -> str:
+        return self.session.name if self.session is not None else "?"
 
     @property
     def committed(self) -> bool:

@@ -1,214 +1,201 @@
-"""Interleaved-transaction lock simulator for the E6 study.
+"""Multi-session lock-contention workload for the E6 study.
 
 Section 6: "triggers turn read access into write access, increasing both
 the amount of time the transactions spend waiting for locks and the
-likelihood of deadlock."  The single-session database never has two
-transactions in flight, so contention is studied here: logical clients
-replay lock-request traces against one :class:`~repro.storage.locks.
-LockManager` under round-robin scheduling with strict 2PL (all locks
-released at end of transaction), blocked-client queuing, and
-deadlock-victim abort/retry.
+likelihood of deadlock."
 
-The traces are the exact request sequences the real system issues:
-``trace_for_read`` mirrors a read of an object without triggers (one S
-lock); ``trace_for_read_with_triggers`` mirrors the same read when the
-posting path advances N trigger FSMs (S on the object, then X on each
-trigger-state record and on the shared index bucket — the write locks the
-paper warns about).
+Earlier revisions replayed synthetic lock *traces* against a bare
+:class:`~repro.storage.locks.LockManager`.  Now that the engine supports
+concurrent sessions, the workload drives the real system end to end: N
+sessions over one shared database, interleaved deterministically by a
+:class:`~repro.sessions.scheduler.CooperativeScheduler`, each running
+read-only transactions over a small hot set of :class:`HotObject`\\ s.
+
+The client code is *identical* in both configurations — dereference an
+object, read a field, post its observation events.  The only difference is
+whether ``Watch`` triggers were activated on the hot set:
+
+* no triggers: each posting short-circuits on the control-information flag
+  (footnote 3), so a transaction acquires only S locks — share-everything,
+  zero waits, zero deadlocks;
+* with triggers: ``Watch`` detects ``relative(Ping, Pong)``, whose FSM
+  changes state on **every** posting, so every posting writes the
+  persistent TriggerState back — the read-only transaction now takes X
+  locks (one per active trigger per posting), and waiting and deadlock
+  follow.  Deadlock victims abort and retry through
+  :meth:`~repro.sessions.session.Session.run`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
+import os
 import random
-from collections.abc import Sequence
+import shutil
+import tempfile
+from typing import TYPE_CHECKING
 
-from repro.errors import DeadlockError
-from repro.storage.locks import LockManager, LockMode, LockRequestStatus
+from repro.core.declarations import trigger
+from repro.objects.database import Database
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+from repro.sessions.scheduler import CooperativeScheduler
 
-
-@dataclasses.dataclass(frozen=True)
-class LockStep:
-    """One lock request in a transaction's trace."""
-
-    resource: object
-    mode: LockMode
-
-
-def trace_for_read(obj_id: int) -> list[LockStep]:
-    """Lock trace of reading a trigger-free object."""
-    return [LockStep(("obj", obj_id), LockMode.S)]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.oid import PersistentPtr
 
 
-def trace_for_read_with_triggers(
-    obj_id: int, trigger_states: Sequence[int], index_bucket: int
-) -> list[LockStep]:
-    """Lock trace of reading an object whose access posts events.
+def _observe(self, ctx) -> None:
+    """Watch's action: pure observation — the amplification under study is
+    the TriggerState writes, so the action itself must not write."""
 
-    The read itself is shared; advancing each trigger's FSM updates its
-    persistent TriggerState (exclusive), after an index-bucket read.
+
+class HotObject(Persistent):
+    """One member of the hot set.
+
+    ``Watch`` detects ``relative(Ping, Pong)``: its two-state FSM flips on
+    every posting (armed by ``Ping``, fired and re-armed by ``Pong``), so a
+    transaction that posts the ``Ping``/``Pong`` pair writes each active
+    TriggerState twice — deterministic per-posting write amplification
+    regardless of how sessions interleave.
     """
-    steps = [
-        LockStep(("obj", obj_id), LockMode.S),
-        LockStep(("idx", index_bucket), LockMode.S),
+
+    value = field(int, default=0)
+
+    __events__ = ["Ping", "Pong"]
+    __triggers__ = [
+        trigger("Watch", "relative(Ping, Pong)", action=_observe, perpetual=True),
     ]
-    for state_id in trigger_states:
-        steps.append(LockStep(("tstate", state_id), LockMode.X))
-    return steps
+
+
+def setup_hot_set(
+    db: "Database", n_objects: int, triggers_per_object: int
+) -> list["PersistentPtr"]:
+    """Create the hot set and activate *triggers_per_object* Watches each."""
+    with db.transaction():
+        ptrs = []
+        for _ in range(n_objects):
+            handle = db.pnew(HotObject)
+            for _ in range(triggers_per_object):
+                handle.Watch()
+            ptrs.append(handle.ptr)
+    return ptrs
 
 
 @dataclasses.dataclass
-class SimulationResult:
-    """Aggregate outcome of one simulation run."""
+class WorkloadResult:
+    """Aggregate outcome of one multi-session run (all figures are deltas
+    measured across the run, excluding setup)."""
 
-    completed: int = 0
-    aborted_deadlock: int = 0
-    wait_steps: int = 0
-    total_steps: int = 0
+    committed: int = 0
+    deadlock_aborts: int = 0
     s_locks: int = 0
     x_locks: int = 0
+    upgrades: int = 0
+    lock_waits: int = 0
+    state_writes: int = 0
+    switches: int = 0
 
     @property
     def wait_fraction(self) -> float:
-        return self.wait_steps / self.total_steps if self.total_steps else 0.0
+        total = self.s_locks + self.x_locks
+        return self.lock_waits / total if total else 0.0
+
+    def key(self) -> tuple:
+        """Everything, as a tuple — for determinism assertions."""
+        return dataclasses.astuple(self)
 
 
-class _Client:
-    def __init__(self, client_id: int, rng: random.Random):
-        self.client_id = client_id
-        self.rng = rng
-        self.txid = client_id * 1_000_000
-        self.trace: list[LockStep] = []
-        self.position = 0
-        self.blocked = False
-
-    def new_transaction(self, trace: list[LockStep]) -> None:
-        self.txid += 1
-        self.trace = trace
-        self.position = 0
-        self.blocked = False
-
-    @property
-    def done(self) -> bool:
-        return self.position >= len(self.trace)
+_run_ids = itertools.count(1)
 
 
-class LockTraceSimulator:
-    """Round-robin interleaving of lock-trace transactions."""
-
-    def __init__(
-        self,
-        make_trace,
-        n_clients: int,
-        seed: int = 1996,
-    ):
-        """*make_trace(rng)* returns the lock trace for a fresh transaction."""
-        self.make_trace = make_trace
-        self.rng = random.Random(seed)
-        self.locks = LockManager()
-        self.clients = [
-            _Client(i + 1, random.Random(seed * 31 + i)) for i in range(n_clients)
-        ]
-        for client in self.clients:
-            client.new_transaction(self.make_trace(client.rng))
-        self.result = SimulationResult()
-
-    def run(self, total_transactions: int, max_rounds: int = 1_000_000) -> SimulationResult:
-        """Run until *total_transactions* have committed (or aborted)."""
-        finished = 0
-        rounds = 0
-        while finished < total_transactions and rounds < max_rounds:
-            rounds += 1
-            progressed = False
-            for client in self.clients:
-                if finished >= total_transactions:
-                    break
-                step_result = self._step(client)
-                if step_result == "committed":
-                    finished += 1
-                    self.result.completed += 1
-                    client.new_transaction(self.make_trace(client.rng))
-                    progressed = True
-                elif step_result == "aborted":
-                    finished += 1
-                    self.result.aborted_deadlock += 1
-                    client.new_transaction(self.make_trace(client.rng))
-                    progressed = True
-                elif step_result == "advanced":
-                    progressed = True
-            if not progressed:
-                # Everyone blocked with no cycle would be a scheduler bug:
-                # retry the queues once; if still stuck, report loudly.
-                if not self.locks.retry_waiters():
-                    raise RuntimeError("lock simulation wedged with no deadlock")
-        return self.result
-
-    def _step(self, client: _Client) -> str:
-        if client.done:
-            self.locks.release_all(client.txid)  # strict 2PL release point
-            return "committed"
-        step = client.trace[client.position]
-        self.result.total_steps += 1
-        if client.blocked:
-            # Re-attempt the queued request.
-            granted = self.locks.retry_waiters()
-            if client.txid not in granted and self.locks.mode_held(
-                client.txid, step.resource
-            ) is None:
-                self.result.wait_steps += 1
-                return "waiting"
-            client.blocked = False
-            client.position += 1
-            self._count(step.mode)
-            return "advanced"
-        try:
-            status = self.locks.acquire(client.txid, step.resource, step.mode)
-        except DeadlockError:
-            self.locks.release_all(client.txid)
-            return "aborted"
-        if status is LockRequestStatus.GRANTED:
-            client.position += 1
-            self._count(step.mode)
-            return "advanced"
-        client.blocked = True
-        self.result.wait_steps += 1
-        return "waiting"
-
-    def _count(self, mode: LockMode) -> None:
-        if mode is LockMode.S:
-            self.result.s_locks += 1
-        else:
-            self.result.x_locks += 1
-
-
-def hot_set_workload(
+def run_hot_set(
     n_objects: int,
     triggers_per_object: int,
+    *,
+    n_sessions: int,
+    transactions: int,
     ops_per_txn: int = 4,
-    index_buckets: int = 8,
-):
-    """Build a ``make_trace`` over a hot set of objects.
+    seed: int = 1996,
+    retries: int = 50,
+    engine: str = "mm",
+    path: str | None = None,
+) -> WorkloadResult:
+    """Run the hot-set workload on a fresh database; returns the result.
 
-    With ``triggers_per_object == 0`` the workload is read-only (pure S
-    locks); otherwise every read drags in X locks on the object's trigger
-    states — the amplification under study.
+    *transactions* are divided round-robin over *n_sessions* session tasks
+    under a cooperative scheduler, so a given parameter set always produces
+    the same interleaving, the same lock schedule, and the same result.
     """
+    workdir = None
+    if path is None:
+        # The engines persist durability files beside the database path, so
+        # an anonymous run gets a temporary directory of its own.
+        workdir = tempfile.mkdtemp(prefix="locksim-")
+        path = os.path.join(workdir, f"hotset-{next(_run_ids)}")
+    db = Database.open(path, engine=engine)
+    try:
+        ptrs = setup_hot_set(db, n_objects, triggers_per_object)
 
-    def make_trace(rng: random.Random) -> list[LockStep]:
-        steps: list[LockStep] = []
-        for _ in range(ops_per_txn):
-            obj_id = rng.randrange(n_objects)
-            if triggers_per_object == 0:
-                steps.extend(trace_for_read(obj_id))
-            else:
-                states = [
-                    obj_id * 100 + t for t in range(triggers_per_object)
-                ]
-                steps.extend(
-                    trace_for_read_with_triggers(
-                        obj_id, states, obj_id % index_buckets
-                    )
-                )
-        return steps
+        lock_stats = db.storage.lock_manager.stats
+        post_stats = db.trigger_system.stats
+        locks_before = dataclasses.asdict(lock_stats)
+        posts_before = post_stats.snapshot()
+        retries_before = db.session_stats.deadlock_retries
 
-    return make_trace
+        scheduler = CooperativeScheduler()
+        result = WorkloadResult()
+
+        def make_program(session, task_index: int, n_txns: int):
+            rng = random.Random(seed * 31 + task_index)
+
+            def program():
+                for _ in range(n_txns):
+                    picks = [rng.randrange(n_objects) for _ in range(ops_per_txn)]
+
+                    def body(txn, picks=picks):
+                        for obj_index in picks:
+                            handle = session.deref(ptrs[obj_index])
+                            _ = handle.value  # the ostensibly read-only access
+                            handle.post_event("Ping")
+                            handle.post_event("Pong")
+                            scheduler.yield_now()
+
+                    session.run(body, retries=retries)
+                    result.committed += 1
+                    scheduler.yield_now()
+                session.close()
+
+            return program
+
+        base = transactions // n_sessions
+        extra = transactions % n_sessions
+        for i in range(n_sessions):
+            n_txns = base + (1 if i < extra else 0)
+            session = db.session(f"client-{i}")
+            scheduler.spawn(
+                make_program(session, i, n_txns),
+                name=f"client-{i}",
+                session=session,
+            )
+        scheduler.run()
+
+        result.deadlock_aborts = lock_stats.deadlocks - locks_before["deadlocks"]
+        result.s_locks = lock_stats.s_acquired - locks_before["s_acquired"]
+        result.x_locks = lock_stats.x_acquired - locks_before["x_acquired"]
+        result.upgrades = lock_stats.upgrades - locks_before["upgrades"]
+        result.lock_waits = lock_stats.waits - locks_before["waits"]
+        result.state_writes = post_stats.snapshot()["state_writes"] - posts_before[
+            "state_writes"
+        ]
+        result.switches = scheduler.switches
+        assert (
+            db.session_stats.deadlock_retries - retries_before
+            == result.deadlock_aborts
+        ), "every deadlock abort must be retried (none exhausted its budget)"
+        return result
+    finally:
+        db.close()
+        if workdir is not None:
+            shutil.rmtree(workdir, ignore_errors=True)

@@ -1,6 +1,8 @@
 """Lock-manager tests: grants, conflicts, upgrades, deadlocks."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import DeadlockError, LockError
 from repro.storage.locks import LockManager, LockMode, LockRequestStatus
@@ -72,12 +74,12 @@ class TestRelease:
         assert lm.acquire(2, "a", LockMode.X) is GRANTED
         assert lm.locks_held(1) == frozenset()
 
-    def test_retry_waiters_grants_after_release(self, lm):
+    def test_release_grants_waiters(self, lm):
         lm.acquire(1, "r", LockMode.X)
         assert lm.acquire(2, "r", LockMode.S) is WAIT
-        lm.release_all(1)
-        assert lm.retry_waiters() == [2]
+        lm.release_all(1)  # grants queued requests eagerly
         assert lm.mode_held(2, "r") is LockMode.S
+        assert lm.retry_waiters() == []  # nothing left queued
 
     def test_release_clears_waits_for_edges(self, lm):
         lm.acquire(1, "r", LockMode.X)
@@ -110,8 +112,7 @@ class TestDeadlock:
         lm.acquire(1, "b", LockMode.X)
         with pytest.raises(DeadlockError):
             lm.acquire(2, "a", LockMode.X)
-        lm.release_all(2)  # victim aborts
-        assert lm.retry_waiters() == [1]
+        lm.release_all(2)  # victim aborts; its release grants the survivor
         assert lm.mode_held(1, "b") is LockMode.X
 
     def test_no_false_deadlock_on_simple_wait(self, lm):
@@ -146,3 +147,84 @@ class TestStats:
         lm.acquire(1, "a", LockMode.S)
         lm.stats.reset()
         assert lm.stats.s_acquired == 0
+
+
+class TestMultiResourceWaits:
+    """Regression: a grant on one resource must not drop a transaction's
+    waits-for edges on the *other* resources it is still queued for."""
+
+    def test_edges_survive_partial_grant(self, lm):
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(3, "b", LockMode.X)
+        # T2 queues behind both holders.
+        assert lm.acquire(2, "a", LockMode.S) is WAIT
+        assert lm.acquire(2, "b", LockMode.S) is WAIT
+        assert lm.waits_for_edges()[2] == {1, 3}
+        # T1's release grants T2 on "a" — but T2 still waits on "b".
+        lm.release_all(1)
+        assert lm.mode_held(2, "a") is LockMode.S
+        assert lm.waits_for_edges()[2] == {3}
+
+    def test_deadlock_detected_through_surviving_edge(self, lm):
+        """With the surviving edge, a cycle closed later is still caught."""
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(3, "b", LockMode.X)
+        lm.acquire(2, "a", LockMode.S)
+        lm.acquire(2, "b", LockMode.S)
+        lm.release_all(1)  # T2 now holds "a", still waits on T3 for "b"
+        # T3 requesting "a" (X) waits on T2 -> T2 -> T3 closes the cycle.
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, "a", LockMode.X)
+        assert lm.stats.deadlocks == 1
+
+
+class TestFIFOProperty:
+    """Hypothesis: grants per resource respect arrival order — no waiter is
+    overtaken by an incompatible later arrival, and nobody starves."""
+
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=6),  # txid
+                st.sampled_from(["a", "b", "c"]),  # resource
+                st.sampled_from([LockMode.S, LockMode.X]),  # mode
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_fifo_grants_and_no_starvation(self, schedule):
+        lm = LockManager()
+        arrival: dict[str, list[int]] = {}
+        active: set[int] = set()
+        blocked: set[int] = set()
+
+        for txid, resource, mode in schedule:
+            if txid in blocked:
+                continue  # a blocked transaction cannot issue more requests
+            try:
+                status = lm.acquire(txid, resource, mode)
+            except DeadlockError:
+                lm.release_all(txid)
+                active.discard(txid)
+                arrival = {
+                    r: [t for t in q if t != txid] for r, q in arrival.items()
+                }
+                continue
+            active.add(txid)
+            if status is WAIT:
+                blocked.add(txid)
+                arrival.setdefault(resource, []).append(txid)
+            # Invariant: immediately after any acquire, nothing grantable
+            # is left queued (grants happen eagerly, in FIFO order).
+            assert lm.retry_waiters() == []
+
+        # Drain: release transactions in txid order; every release must
+        # grant strictly per-queue-FIFO, and the table must fully empty —
+        # no waiter starves once its blockers are gone.
+        for txid in sorted(active):
+            lm.release_all(txid)
+            blocked.clear()  # grants may have unblocked anyone
+        for txid in sorted(set(t for q in arrival.values() for t in q)):
+            lm.release_all(txid)
+        assert lm.waits_for_edges() == {}

@@ -1,0 +1,118 @@
+"""Threaded multi-session stress (run with ``pytest -m concurrency``).
+
+Real ``threading`` sessions — no cooperative scheduler — so interleavings
+are nondeterministic: blocked sessions sleep on the lock manager's
+condition variable, deadlock victims back off with randomized sleeps, and
+the assertions are invariants (conservation, durability) rather than exact
+schedules.  Tier-1 covers the deterministic equivalents in
+``test_sessions.py``.
+"""
+
+import threading
+
+import pytest
+
+from repro.objects.database import Database
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+
+pytestmark = pytest.mark.concurrency
+
+
+class Tally(Persistent):
+    value = field(int, default=0)
+
+
+def run_threads(db, n_sessions, txns_each, make_body, retries=100):
+    """Drive *n_sessions* threads, each committing *txns_each* retried txns."""
+    errors = []
+
+    def worker(index):
+        session = db.session(f"worker-{index}")
+        try:
+            for txn_index in range(txns_each):
+                session.run(make_body(session, index, txn_index), retries=retries)
+        except Exception as exc:  # pragma: no cover - surfaced by assert
+            errors.append(exc)
+        finally:
+            session.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"worker-{i}")
+        for i in range(n_sessions)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+
+
+class TestThreadedMM:
+    def test_increments_conserved_under_contention(self, mm_db):
+        db = mm_db
+        sessions, txns = 4, 50
+        with db.transaction():
+            ptrs = [db.pnew(Tally).ptr for _ in range(3)]
+
+        def make_body(session, index, txn_index):
+            def body(txn):
+                ptr = ptrs[(index + txn_index) % len(ptrs)]
+                handle = session.deref(ptr)
+                handle.value = handle.value + 1
+
+            return body
+
+        run_threads(db, sessions, txns, make_body)
+        with db.transaction():
+            total = sum(db.deref(p).value for p in ptrs)
+        # Strict 2PL + retry: every increment committed exactly once.
+        assert total == sessions * txns
+        assert db.session_stats.retry_exhausted == 0
+
+    def test_conflicting_hot_record(self, mm_db):
+        """Every transaction hammers one record: max contention, max
+        upgrade deadlocks — the total must still be conserved."""
+        db = mm_db
+        sessions, txns = 6, 25
+        with db.transaction():
+            ptr = db.pnew(Tally).ptr
+
+        def make_body(session, index, txn_index):
+            def body(txn):
+                handle = session.deref(ptr)
+                handle.value = handle.value + 1
+
+            return body
+
+        run_threads(db, sessions, txns, make_body, retries=500)
+        with db.transaction():
+            assert db.deref(ptr).value == sessions * txns
+        assert db.session_stats.retry_exhausted == 0
+
+
+class TestThreadedDisk:
+    def test_disk_increments_durable_across_reopen(self, db_path):
+        db = Database.open(db_path, engine="disk")
+        sessions, txns = 3, 20
+        with db.transaction():
+            ptrs = [db.pnew(Tally).ptr for _ in range(2)]
+
+        def make_body(session, index, txn_index):
+            def body(txn):
+                ptr = ptrs[txn_index % len(ptrs)]
+                handle = session.deref(ptr)
+                handle.value = handle.value + 1
+
+            return body
+
+        run_threads(db, sessions, txns, make_body)
+        db.close()
+
+        reopened = Database.open(db_path, engine="disk")
+        try:
+            with reopened.transaction():
+                total = sum(reopened.deref(p).value for p in ptrs)
+            assert total == sessions * txns
+        finally:
+            reopened.close()

@@ -66,6 +66,14 @@ class MonitoredCard(Persistent):
     # events appear in each card's event stream (paper Section 5.1) — so a
     # cross-transaction purchase run must explicitly skip them with
     # `*(before tcomplete)`.  A payment still breaks the run.
+    # Every trigger below also acknowledges the `lint --concurrency`
+    # trio: commit events (`before tcomplete`) are posted by read-only
+    # transactions too, yet any FSM advance writes the TriggerState back
+    # (ODE300, the paper's Section 6 amplification), and that S->X
+    # write-back under the object/index locks is the standard upgrade and
+    # lock-order deadlock exposure (ODE301/ODE302).  Fraud monitoring
+    # wants per-card state on the hot path; the cost is the feature.
+    _CONCURRENCY_OK = ("ODE300", "ODE301", "ODE302")
     _BUY_GAP = ", *(before tcomplete), "
     __triggers__ = [
         trigger(
@@ -73,6 +81,7 @@ class MonitoredCard(Persistent):
             _BUY_GAP.join(["after buy"] * 3),
             action=_velocity,
             perpetual=True,
+            suppress=_CONCURRENCY_OK,
         ),
         trigger(
             "BigSpender",
@@ -80,6 +89,7 @@ class MonitoredCard(Persistent):
             action=_big_spender,
             coupling="end",
             perpetual=True,
+            suppress=_CONCURRENCY_OK,
         ),
         trigger(
             "CaseFile",
@@ -89,13 +99,14 @@ class MonitoredCard(Persistent):
             # The linter correctly notes every CaseFile detection also
             # fires VelocityAlert (4 buys ⊇ 3 buys) — that escalation is
             # the point, so the ODE020 overlap is acknowledged.
-            suppress=("ODE020",),
+            suppress=("ODE020",) + _CONCURRENCY_OK,
         ),
         trigger(
             "ConsistencyStamp",
             "before tcomplete",
             action=_stamp,
             perpetual=True,
+            suppress=_CONCURRENCY_OK,
         ),
     ]
 

@@ -35,6 +35,13 @@ class SignalStock(Stock):
             "(after set_price & rising)",
             action=lambda self, ctx: self.record_signal(),
             perpetual=True,
+            # Acknowledged Section 6 amplification: posting the (read-only)
+            # Halted user event still rewinds this scan machine, so even a
+            # reader takes X on the TriggerState (ODE300) — and the state
+            # write-back carries the usual upgrade/order deadlock exposure
+            # (ODE301/ODE302).  A momentum signal is inherently stateful;
+            # the cost is accepted.
+            suppress=("ODE300", "ODE301", "ODE302"),
         )
     ]
 
@@ -53,6 +60,13 @@ class AuditLog(Persistent):
             action=lambda self, ctx: self.append_entry(),
             coupling="!dependent",  # separate txn, survives aborts
             perpetual=True,
+            # Acknowledged: posting TradeDone is read-only for the caller,
+            # yet the perpetual machine's state write-back still happens in
+            # the *posting* transaction — only the action is detached — so
+            # Section 6 amplification (ODE300) and the S->X upgrade with
+            # its deadlock exposure (ODE301/ODE302) remain.  An audit log
+            # is contended by design.
+            suppress=("ODE300", "ODE301", "ODE302"),
         )
     ]
 

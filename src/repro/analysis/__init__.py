@@ -30,12 +30,20 @@ ODE203     warning  stale posts=: the action never posts the declared event
 ODE204     info     action posts a user event posts= does not declare
 ODE205     info     stale suppress=: nothing to acknowledge at this trigger
 ODE206     info     action source unavailable — effects degrade to unknown
+ODE300     warning  trigger turns read access into write access (§6)
+ODE301     warning  predicted lock-order deadlock cycle (CONFIRMED/POSSIBLE)
+ODE302     warning  S→X lock upgrade while other locks are held
+ODE310     warning  observed lock trace contradicts the static footprints
 =========  =======  ==========================================================
 
 The ``ODE2xx`` passes rest on :mod:`repro.analysis.effects`, an
 ``ast``-based may-analysis of what each action *does* (attributes
 read/written, members called, events posted, aborts), with a sound
-``unknown`` widening for anything dynamic — see DESIGN.md §9.
+``unknown`` widening for anything dynamic — see DESIGN.md §9.  The
+opt-in ``ODE3xx`` concurrency passes (``analyze_classes(...,
+concurrency=True)``, ``lint --concurrency``) lift those effect sets to
+ordered lock footprints and predict Section 6 lock amplification and
+deadlocks — see DESIGN.md §12 and :mod:`repro.analysis.concurrency`.
 
 Entry points: :func:`analyze_class` / :func:`analyze_classes` for compiled
 declarations, :func:`analyze_machine` for bare machines,
@@ -47,6 +55,14 @@ class-level ``__strict_triggers__ = True``) makes declaration processing
 itself reject findings.
 """
 
+from repro.analysis.concurrency import (
+    LockFootprint,
+    LockStep,
+    check_lock_trace,
+    infer_lock_footprint,
+    observed_lock_profile,
+    static_lock_profile,
+)
 from repro.analysis.confluence import non_confluent_pairs
 from repro.analysis.diagnostics import (
     CODES,
@@ -70,6 +86,12 @@ from repro.analysis.runner import (
 __all__ = [
     "CODES",
     "EffectSet",
+    "LockFootprint",
+    "LockStep",
+    "check_lock_trace",
+    "infer_lock_footprint",
+    "observed_lock_profile",
+    "static_lock_profile",
     "infer_callable_effects",
     "infer_trigger_effects",
     "non_confluent_pairs",

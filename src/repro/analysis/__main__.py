@@ -16,6 +16,21 @@ compiler could never produce).
 
 ``--self-check DIR`` is the CI gate: import everything in DIR and demand
 *zero* findings of any severity (exit 1 otherwise).
+
+``--concurrency`` adds the opt-in ODE3xx lock-footprint pass (Section 6
+amplification, predicted deadlock cycles with cooperative-scheduler
+witness confirmation — disable replays with ``--no-confirm``).
+
+Exit-code contract (stable, for CI and external tooling):
+
+* ``0`` — analysis ran; no finding at or above ``--fail-on`` (and, under
+  ``--self-check``, no finding at all);
+* ``1`` — analysis ran and findings crossed the threshold;
+* ``2`` — a target could not be loaded (import error, missing path) —
+  nothing was analyzed, so 2 must never be treated as "dirty but parsed".
+
+Machine consumers should pass ``--format json`` and read the finding
+array from stdout; diagnostics about the run itself go to stderr.
 """
 
 from __future__ import annotations
@@ -125,7 +140,30 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="import DIR and fail on ANY finding (the CI gate)",
     )
-    parser.add_argument("--json", action="store_true", help="JSON output")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="JSON output (alias for --format json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default=None,
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the ODE3xx lock-footprint / deadlock-prediction pass "
+        "(predicted cycles are confirmed on the cooperative scheduler "
+        "unless --no-confirm)",
+    )
+    parser.add_argument(
+        "--no-confirm",
+        action="store_true",
+        help="with --concurrency: skip witness replays, report every "
+        "predicted deadlock as POSSIBLE",
+    )
     parser.add_argument(
         "--fail-on",
         default="error",
@@ -162,7 +200,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    report.extend(analyze_registry().diagnostics)
+    report.extend(
+        analyze_registry(
+            concurrency=args.concurrency,
+            confirm_witnesses=args.concurrency and not args.no_confirm,
+        ).diagnostics
+    )
     report.extend(_machine_findings(modules))
 
     if args.strict:
@@ -173,7 +216,8 @@ def main(argv: list[str] | None = None) -> int:
             for diag in report.diagnostics
         ]
 
-    print(report.render_json() if args.json else report.render_text())
+    as_json = args.json or args.format == "json"
+    print(report.render_json() if as_json else report.render_text())
 
     if args.self_check:
         return 1 if report.diagnostics else 0

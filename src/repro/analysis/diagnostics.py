@@ -42,7 +42,8 @@ class Severity(enum.IntEnum):
 #: The stable diagnostic catalogue: code -> (default severity, title).
 #: Codes are grouped by pass: 00x reachability/liveness, 01x masks,
 #: 02x subsumption, 03x cascades, 04x coupling modes, 05x database state,
-#: 20x effect-inference termination/confluence/metadata.
+#: 20x effect-inference termination/confluence/metadata, 30x/31x static and
+#: dynamic concurrency (lock footprints, Section 6 amplification).
 CODES: dict[str, tuple[Severity, str]] = {
     "ODE001": (Severity.WARNING, "unreachable FSM state"),
     "ODE002": (Severity.WARNING, "FSM state cannot reach an accept state"),
@@ -65,6 +66,10 @@ CODES: dict[str, tuple[Severity, str]] = {
     "ODE204": (Severity.INFO, "action posts an undeclared user event"),
     "ODE205": (Severity.INFO, "stale suppress= declaration"),
     "ODE206": (Severity.INFO, "action effects unknown (source unavailable)"),
+    "ODE300": (Severity.WARNING, "trigger turns read access into write access"),
+    "ODE301": (Severity.WARNING, "predicted lock-order deadlock cycle"),
+    "ODE302": (Severity.WARNING, "S->X lock upgrade under held locks"),
+    "ODE310": (Severity.WARNING, "observed lock trace contradicts static footprint"),
 }
 
 

@@ -87,6 +87,7 @@ def check_metadata(
 def check_stale_suppressions(
     triggers: list[tuple[str, "TriggerInfo"]],
     produced: set[tuple[str, str, str]],
+    unchecked_prefixes: tuple[str, ...] = (),
 ) -> list[Diagnostic]:
     """ODE205: ``suppress=`` entries that acknowledge nothing.
 
@@ -94,10 +95,16 @@ def check_stale_suppressions(
     diagnostic the passes emitted (pre-suppression).  A suppression for
     a code that never fires here — or that is not a known code at all —
     is stale and should be deleted so it cannot mask a future finding.
+
+    *unchecked_prefixes* names code families whose passes did not run in
+    this invocation (e.g. ``("ODE3",)`` when the opt-in concurrency pass
+    is off): their suppressions cannot be judged, so they are skipped.
     """
     diagnostics: list[Diagnostic] = []
     for type_name, info in triggers:
         for code in info.suppress:
+            if unchecked_prefixes and code in CODES and code.startswith(unchecked_prefixes):
+                continue
             if code in CODES and (
                 (type_name, info.name, code) in produced
                 or (info.defining_type, info.name, code) in produced

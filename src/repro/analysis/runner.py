@@ -14,6 +14,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Iterable
 
 from repro.analysis.cascade import check_cascades
+from repro.analysis.concurrency import check_concurrency
 from repro.analysis.confluence import check_confluence
 from repro.analysis.coupling import check_coupling
 from repro.analysis.diagnostics import (
@@ -91,7 +92,12 @@ def _metatype_of(target) -> "Metatype":
     return metatype
 
 
-def analyze_classes(targets: Iterable) -> AnalysisReport:
+def analyze_classes(
+    targets: Iterable,
+    *,
+    concurrency: bool = False,
+    confirm_witnesses: bool = False,
+) -> AnalysisReport:
     """Analyze a set of classes (or metatypes) together.
 
     Per-trigger passes run over each class's *own* triggers (so a base
@@ -99,6 +105,12 @@ def analyze_classes(targets: Iterable) -> AnalysisReport:
     each of them); subsumption runs over each class's full trigger set —
     inherited against own — with pairs deduplicated; cascade detection
     runs over the union, since posted user events cross class boundaries.
+
+    ``concurrency=True`` adds the opt-in ODE3xx lock-footprint pass;
+    ``confirm_witnesses=True`` additionally replays synthesized
+    interleavings on the cooperative scheduler to tag predicted
+    ODE301/ODE302 deadlocks CONFIRMED vs POSSIBLE (slower: each witness
+    spins up a scratch in-memory database).
     """
     report = AnalysisReport()
     metatypes = [_metatype_of(t) for t in targets]
@@ -171,14 +183,30 @@ def analyze_classes(targets: Iterable) -> AnalysisReport:
     report.extend(
         check_metadata(all_triggers, known_user_events, trigger_effects)
     )
+    if concurrency:
+        report.extend(
+            check_concurrency(
+                metatypes,
+                effect_of,
+                confirm=confirm_witnesses,
+                suppressed=suppressed,
+            )
+        )
 
     # ODE205 must see the *pre-suppression* report: a suppression is live
-    # exactly when the code it names was produced at its trigger.
+    # exactly when the code it names was produced at its trigger.  ODE3xx
+    # suppressions are only judged when the (opt-in) concurrency pass ran.
     produced = {
         (diag.location.type_name, diag.location.trigger, diag.code)
         for diag in report.diagnostics
     }
-    report.extend(check_stale_suppressions(all_triggers, produced))
+    report.extend(
+        check_stale_suppressions(
+            all_triggers,
+            produced,
+            unchecked_prefixes=() if concurrency else ("ODE3",),
+        )
+    )
 
     if suppressed:
         report.diagnostics = [
@@ -192,12 +220,21 @@ def analyze_classes(targets: Iterable) -> AnalysisReport:
     return report
 
 
-def analyze_class(target) -> AnalysisReport:
+def analyze_class(
+    target, *, concurrency: bool = False, confirm_witnesses: bool = False
+) -> AnalysisReport:
     """Analyze one persistent class (or metatype) in isolation."""
-    return analyze_classes([target])
+    return analyze_classes(
+        [target], concurrency=concurrency, confirm_witnesses=confirm_witnesses
+    )
 
 
-def analyze_registry(registry: "TypeRegistry | None" = None) -> AnalysisReport:
+def analyze_registry(
+    registry: "TypeRegistry | None" = None,
+    *,
+    concurrency: bool = False,
+    confirm_witnesses: bool = False,
+) -> AnalysisReport:
     """Analyze every registered class that declares events or triggers."""
     from repro.objects.metatype import Metatype, global_type_registry
 
@@ -208,7 +245,9 @@ def analyze_registry(registry: "TypeRegistry | None" = None) -> AnalysisReport:
         if isinstance(metatype := registry.find(name), Metatype)
         and metatype.has_active_facilities()
     ]
-    return analyze_classes(actives)
+    return analyze_classes(
+        actives, concurrency=concurrency, confirm_witnesses=confirm_witnesses
+    )
 
 
 def analyze_database(db: "Database") -> AnalysisReport:

@@ -59,6 +59,11 @@ def make_constraint_decl(name: str, predicate: Callable[..., bool]) -> TriggerDe
         perpetual=True,
         coupling=CouplingMode.IMMEDIATE,
         masks={mask_name: violated},
+        # Every constraint machine advances (start -> masked state), so the
+        # concurrency pass would report the TriggerState write-back on
+        # every constrained class; that cost is inherent to constraint
+        # checking, not a per-declaration defect worth a warning each.
+        suppress=("ODE301", "ODE302"),
     )
 
 

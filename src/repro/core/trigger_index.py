@@ -24,6 +24,26 @@ class TriggerIndex:
     def __init__(self, db: "Database", bucket_count: int = 32):
         self._map = PersistentMap(db, "trigger_index", bucket_count=bucket_count)
 
+    @classmethod
+    def lock_footprint(cls) -> tuple[tuple[str, str], ...]:
+        """The symbolic lock steps one :meth:`lookup` performs, as
+        ``(resource-class, mode)`` pairs — the static analyzer's source of
+        truth for the index leg of a posting's footprint, kept next to the
+        implementation so a storage-layout change updates both."""
+        # Header read (to find the bucket) then the bucket record itself;
+        # both shared — lookups never write the map.
+        return (("meta:index", "S"),)
+
+    def meta_rids(self, txn: "Transaction") -> set[int]:
+        """The concrete rids backing this index (header + buckets) — lets
+        trace tooling classify lock records on index plumbing as ``meta``
+        rather than user data."""
+        loaded = self._map._load_header(txn, create=False)
+        if loaded is None:
+            return set()
+        header_rid, buckets = loaded
+        return {header_rid} | {rid for rid in buckets if rid >= 0}
+
     def lookup(self, txn: "Transaction", obj_rid: int) -> list[int]:
         """The TriggerState rids active on *obj_rid* (activation order)."""
         return list(self._map.get(txn, str(obj_rid), ()))

@@ -429,7 +429,14 @@ class Database:
 
     # -- static analysis ----------------------------------------------------------------------
 
-    def check_triggers(self, targets=None, *, strict: bool = False):
+    def check_triggers(
+        self,
+        targets=None,
+        *,
+        strict: bool = False,
+        concurrency: bool = False,
+        confirm_witnesses: bool = False,
+    ):
         """Run the static trigger analyzer against this database.
 
         *targets* restricts the declaration-level passes to an iterable of
@@ -443,6 +450,12 @@ class Database:
         prove terminating) raises :class:`TriggerDeclarationError` instead
         of being returned, turning non-termination into a declaration-time
         error for deployments that want the guarantee.
+
+        ``concurrency=True`` adds the ODE3xx lock-footprint pass (Section
+        6 read→write amplification, predicted deadlock cycles);
+        ``confirm_witnesses=True`` additionally replays synthesized
+        interleavings on a scratch database to tag predictions
+        CONFIRMED/POSSIBLE.
         """
         from repro.analysis import analyze_classes, analyze_database, analyze_registry
         from repro.analysis.cascade import TERMINATION_CODES
@@ -450,9 +463,17 @@ class Database:
 
         self._check_open()
         if targets is None:
-            report = analyze_registry(self.registry)
+            report = analyze_registry(
+                self.registry,
+                concurrency=concurrency,
+                confirm_witnesses=confirm_witnesses,
+            )
         else:
-            report = analyze_classes(targets)
+            report = analyze_classes(
+                targets,
+                concurrency=concurrency,
+                confirm_witnesses=confirm_witnesses,
+            )
         report.extend(analyze_database(self).diagnostics)
         if strict:
             unresolved = [

@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, fields as dataclass_fields, asdict
 from typing import TYPE_CHECKING, Any, Callable, Iterator
@@ -98,7 +99,11 @@ class Session:
         #: Set by a CooperativeScheduler when this session runs under it;
         #: used to make deadlock backoff a deterministic yield.
         self.scheduler = None
-        self._rng = random.Random(hash((db.name, name)) & 0xFFFFFFFF)
+        # Seeded from a *stable* digest, not hash() — str hashing is salted
+        # per process, and a per-run seed would make threaded backoff (and
+        # therefore any schedule it perturbs) unreplayable across runs.
+        # Cooperative mode never consults this rng at all (see _backoff).
+        self._rng = random.Random(zlib.crc32(f"{db.name}/{name}".encode("utf-8")))
 
     # -- transactions ---------------------------------------------------------
 

@@ -127,6 +127,27 @@ class LockManager:
         #: Safety net for the threaded mode — a wait longer than this
         #: raises :class:`LockTimeoutError` instead of hanging the suite.
         self.wait_timeout = 30.0
+        #: Acquisition-order trace (see :meth:`start_order_trace`): when
+        #: not ``None``, every grant appends ``(txid, resource, mode name,
+        #: upgrading)`` — including grants made after a wait, which the
+        #: obs layer does not re-announce.  The static analyzer's dynamic
+        #: lockset checker consumes this to validate footprint order.
+        self.order_log: list[tuple[int, object, str, bool]] | None = None
+
+    # -- order tracing -------------------------------------------------------
+
+    def start_order_trace(self) -> list[tuple[int, object, str, bool]]:
+        """Begin recording every grant in acquisition order; returns the
+        live log list (cleared on each start)."""
+        with self._mutex:
+            self.order_log = []
+            return self.order_log
+
+    def stop_order_trace(self) -> list[tuple[int, object, str, bool]]:
+        """Stop recording and return the captured grant sequence."""
+        with self._mutex:
+            log, self.order_log = self.order_log, None
+            return log if log is not None else []
 
     # -- acquisition ---------------------------------------------------------
 
@@ -290,6 +311,8 @@ class LockManager:
         upgrading = current is not None and mode > current
         entry.holders[txid] = mode if current is None else max(current, mode)
         self._held[txid].add(resource)
+        if self.order_log is not None:
+            self.order_log.append((txid, resource, mode.name, upgrading))
         if upgrading:
             self.stats.upgrades += 1
         if mode is LockMode.S:

@@ -82,13 +82,15 @@ def describe_catalog(db: "Database") -> list[str]:
 def describe_analysis(db: "Database") -> list[str]:
     """Static-analyzer findings: registered classes + persistent states.
 
-    Runs the declaration-level passes over every registered active class
-    and the database pass (dead/trap trigger states) over *db*; one line
-    per finding, ``["ok"]`` when clean.
+    Runs the declaration-level passes (including the ODE3xx concurrency
+    pass, predictions unconfirmed — a dump should not spin up witness
+    databases) over every registered active class and the database pass
+    (dead/trap trigger states) over *db*; one line per finding, ``["ok"]``
+    when clean.
     """
     from repro.analysis import analyze_database, analyze_registry
 
-    report = analyze_registry(db.registry)
+    report = analyze_registry(db.registry, concurrency=True)
     report.extend(analyze_database(db).diagnostics)
     return [diag.render() for diag in report.diagnostics] or ["ok"]
 

@@ -68,18 +68,29 @@ class CredCard(Persistent):
         "over_limit": lambda self: self.curr_bal > self.cred_lim,
         "MoreCred": lambda self: self.more_cred(),
     }
+    # All three triggers acknowledge the `lint --concurrency` findings:
+    # posting the read-only BigBuy user event still rewinds/advances these
+    # machines, so readers take X on TriggerStates (ODE300 — exactly the
+    # Section 6 amplification experiment E6 measures on this workload),
+    # and the state write-back plus the actions' balance writes carry the
+    # upgrade and lock-order deadlock exposure (ODE301/ODE302).  This
+    # workload exists to *exhibit* that cost, so the findings are
+    # intended, not defects.
+    _CONCURRENCY_OK = ("ODE300", "ODE301", "ODE302")
     __triggers__ = [
         trigger(
             "DenyCredit",
             "after buy & over_limit",
             action=_deny_credit,
             perpetual=True,
+            suppress=_CONCURRENCY_OK,
         ),
         trigger(
             "AutoRaiseLimit",
             "relative((after buy & MoreCred), after pay_bill)",
             action="raise_limit",
             params=("amount",),
+            suppress=_CONCURRENCY_OK,
         ),
         # The intentional cascade: paying down an over-limit balance posts
         # `after pay_bill`, which re-arms this very trigger.  The cycle is
@@ -93,7 +104,7 @@ class CredCard(Persistent):
             action="pay_bill",
             params=("amount",),
             perpetual=True,
-            suppress=("ODE201",),
+            suppress=("ODE201",) + _CONCURRENCY_OK,
         ),
     ]
 

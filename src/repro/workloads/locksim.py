@@ -36,6 +36,7 @@ import shutil
 import tempfile
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.core.declarations import trigger
 from repro.objects.database import Database
 from repro.objects.persistent import Persistent
@@ -121,12 +122,19 @@ def run_hot_set(
     retries: int = 50,
     engine: str = "mm",
     path: str | None = None,
+    trace_out: list | None = None,
 ) -> WorkloadResult:
     """Run the hot-set workload on a fresh database; returns the result.
 
     *transactions* are divided round-robin over *n_sessions* session tasks
     under a cooperative scheduler, so a given parameter set always produces
     the same interleaving, the same lock schedule, and the same result.
+
+    When *trace_out* is a list, :mod:`repro.obs` tracing is enabled for the
+    measured phase only (setup transactions predict nothing the per-posting
+    footprints model) and the captured records are appended to it — the
+    input of the ODE310 dynamic lockset checker
+    (:func:`repro.analysis.check_lock_trace`).
     """
     workdir = None
     if path is None:
@@ -135,8 +143,12 @@ def run_hot_set(
         workdir = tempfile.mkdtemp(prefix="locksim-")
         path = os.path.join(workdir, f"hotset-{next(_run_ids)}")
     db = Database.open(path, engine=engine)
+    tracing = False
     try:
         ptrs = setup_hot_set(db, n_objects, triggers_per_object)
+        if trace_out is not None:
+            obs.enable()
+            tracing = True
 
         lock_stats = db.storage.lock_manager.stats
         post_stats = db.trigger_system.stats
@@ -194,8 +206,15 @@ def run_hot_set(
             db.session_stats.deadlock_retries - retries_before
             == result.deadlock_aborts
         ), "every deadlock abort must be retried (none exhausted its budget)"
+        if tracing:
+            recorder = obs.disable()
+            tracing = False
+            if recorder is not None:
+                trace_out.extend(recorder.records())
         return result
     finally:
+        if tracing:
+            obs.disable()
         db.close()
         if workdir is not None:
             shutil.rmtree(workdir, ignore_errors=True)

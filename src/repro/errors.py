@@ -116,6 +116,16 @@ class LockTimeoutError(LockError):
     """A lock could not be granted within the configured wait budget."""
 
 
+class WaitPoisonedError(LockError):
+    """A blocked lock wait was cancelled because the lock manager was
+    poisoned (database crashed or closed while sessions were waiting).
+
+    Raised in the *waiter*, never in the poisoner: the transaction that
+    observed the failure gets the original error, while everyone parked
+    behind its locks is woken with this instead of hanging forever.
+    """
+
+
 class LockUpgradeError(LockError):
     """An illegal lock conversion was requested."""
 
@@ -165,6 +175,23 @@ class SessionError(DatabaseError):
     """Session-level misuse (duplicate live name, use after close, ...)."""
 
 
+class SchedulerHangError(SessionError):
+    """A cooperative-scheduler task thread failed to exit at shutdown.
+
+    Carries the stuck task's name plus, when its session is known, the
+    locks its transaction still holds and the transactions it waits for —
+    the information needed to diagnose the hang instead of a silent
+    ``join(timeout=...)`` that proceeds as if nothing happened.
+    """
+
+    def __init__(self, task: str, detail: str = ""):
+        self.task = task
+        message = f"scheduler task {task!r} did not exit"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
 # ---------------------------------------------------------------------------
 # Transactions
 # ---------------------------------------------------------------------------
@@ -180,6 +207,16 @@ class NoActiveTransactionError(TransactionError):
 
 class NestedTransactionError(TransactionError):
     """A top-level transaction was started while one is already active."""
+
+
+class TransactionDeadlineError(TransactionError):
+    """The transaction's deadline expired before it could finish.
+
+    Enforced at the points where a transaction can stall indefinitely —
+    lock waits and retry-loop boundaries — so a deadline bounds *waiting*,
+    not CPU time.  Deliberately not retryable: the budget covered every
+    attempt, so the unified retry classifier re-raises it.
+    """
 
 
 class TransactionAbort(Exception):  # noqa: N818 - control-flow, paper's `tabort`

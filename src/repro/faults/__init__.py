@@ -9,10 +9,17 @@
 * :mod:`repro.faults.harness` — the crash-matrix explorer: run a workload
   in recording mode to discover every failpoint hit, then re-run it once
   per hit with a crash armed there, reopen, recover, and check invariants.
+* :mod:`repro.faults.concurrent` — the same discipline against the
+  multi-session engine: N interleaved sessions, lock-manager poisoning on
+  crash (waiters wake, never hang), a per-session oracle.
+* :mod:`repro.faults.retry` — the unified retry classifier: deadlocks,
+  lock timeouts, and transient I/O share one jittered-backoff policy with
+  per-class budgets (consumed by :meth:`repro.sessions.session.Session.run`).
 
-The injector is dependency-free (it imports only :mod:`repro.errors`), so
-the storage layer can import it without cycles.  The harness imports the
-full database stack and must only be imported by tests/tools.
+The injector and retry classifier are dependency-light (they import only
+:mod:`repro.errors`), so the storage and session layers can import them
+without cycles.  The harnesses import the full database stack and must
+only be imported by tests/tools.
 """
 
 from repro.faults.injector import (
@@ -23,12 +30,22 @@ from repro.faults.injector import (
     RetryPolicy,
     with_retry,
 )
+from repro.faults.retry import (
+    DEFAULT_UNIFIED_RETRY,
+    RetryClass,
+    UnifiedRetryPolicy,
+    classify,
+)
 
 __all__ = [
+    "DEFAULT_UNIFIED_RETRY",
     "Fault",
     "FaultInjector",
     "FaultKind",
     "NULL_INJECTOR",
+    "RetryClass",
     "RetryPolicy",
+    "UnifiedRetryPolicy",
+    "classify",
     "with_retry",
 ]

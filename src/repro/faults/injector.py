@@ -36,12 +36,25 @@ Fault kinds
     Raise :class:`~repro.errors.UnrecoverableMediaError`, *sticky*: every
     later hit of the same point fails too.  The engine degrades the store
     to read-only instead of corrupting it.
+``STALL``
+    Sleep for ``delay`` seconds, then carry on — a slow disk, not a dead
+    one.  The one kind that consults the clock, so it is reserved for the
+    threaded chaos scenarios (E18, bounded-wait tests); deterministic
+    matrices never arm it.
+
+Thread safety: all the injector's mutable state — the global hit counter,
+the recording trace, per-fault ``_seen``/``_fired`` progress, and the
+poisoned-after-crash flag — is guarded by one internal mutex, because a
+database shared by threaded sessions funnels every failpoint through one
+injector.  Without the lock two racing ``hits += 1`` can observe the same
+index and a fault armed ``after=k`` can silently never fire.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import threading
 import time
 from collections.abc import Callable
 
@@ -58,6 +71,7 @@ class FaultKind(enum.Enum):
     BIT_FLIP = "bit_flip"
     IO_ERROR = "io_error"
     MEDIA_ERROR = "media_error"
+    STALL = "stall"
 
 
 @dataclasses.dataclass
@@ -66,7 +80,8 @@ class Fault:
 
     ``after`` skips that many matching hits first; ``count`` limits how
     many times the fault fires (ignored for sticky media errors, which
-    never heal).  ``fraction`` is the kept prefix for torn writes.
+    never heal).  ``fraction`` is the kept prefix for torn writes;
+    ``delay`` is the stall duration for :attr:`FaultKind.STALL`.
     """
 
     point: str
@@ -74,6 +89,7 @@ class Fault:
     after: int = 0
     count: int = 1
     fraction: float = 0.5
+    delay: float = 0.01
 
     # runtime state
     _seen: int = dataclasses.field(default=0, repr=False)
@@ -123,12 +139,22 @@ class FaultInjector:
         self.trace: list[HitRecord] = []
         self.hits = 0
         self.crashed = False
+        #: Where the *first* crash fired.  Once poisoned, every later
+        #: failpoint raises too (often from inside the abort path the
+        #: original crash triggered), and that re-raise can shadow the
+        #: original exception — so harnesses read the true point here.
+        self.crash_point: str | None = None
+        self.crash_index: int | None = None
         self._faults: dict[str, list[Fault]] = {}
+        # One mutex for all mutable injector state; every failpoint of a
+        # threaded multi-session database dispatches through here.
+        self._lock = threading.Lock()
         for fault in faults or []:
             self.add(fault)
 
     def add(self, fault: Fault) -> "FaultInjector":
-        self._faults.setdefault(fault.point, []).append(fault)
+        with self._lock:
+            self._faults.setdefault(fault.point, []).append(fault)
         return self
 
     def crash_on(self, point: str, after: int = 0) -> "FaultInjector":
@@ -137,9 +163,12 @@ class FaultInjector:
     # -- firing ----------------------------------------------------------------
 
     def fire(self, point: str, **context) -> None:
-        """A control failpoint: may raise, never alters data."""
+        """A control failpoint: may raise or stall, never alters data."""
         fault = self._dispatch(point, writes=False)
         if fault is None:
+            return
+        if fault.kind is FaultKind.STALL:
+            time.sleep(fault.delay)  # outside the mutex: a slow disk, not a held lock
             return
         self._raise_for(fault, point)
 
@@ -157,9 +186,13 @@ class FaultInjector:
         fault = self._dispatch(point, writes=True)
         if fault is None:
             return data, False
+        if fault.kind is FaultKind.STALL:
+            time.sleep(fault.delay)
+            return data, False
         if fault.kind is FaultKind.TORN_WRITE:
             keep = max(1, min(len(data) - 1, int(len(data) * fault.fraction)))
-            self.crashed = True
+            with self._lock:
+                self._mark_crashed_locked(point, self.hits - 1)
             return data[:keep], True
         if fault.kind is FaultKind.BIT_FLIP:
             if not data:
@@ -178,26 +211,34 @@ class FaultInjector:
 
     def _dispatch(self, point: str, writes: bool) -> Fault | None:
         """Count the hit; return the fault to apply, if any."""
-        if self.crashed:
-            # A dead process cannot reach another failpoint: every guarded
-            # operation after the crash must fail before touching the disk.
-            raise InjectedCrashError(point, self.hits)
-        index = self.hits
-        self.hits += 1
-        if self.recording:
-            self.trace.append(HitRecord(index, point, writes))
+        with self._lock:
+            if self.crashed:
+                # A dead process cannot reach another failpoint: every guarded
+                # operation after the crash must fail before touching the disk.
+                raise InjectedCrashError(point, self.hits)
+            index = self.hits
+            self.hits += 1
+            if self.recording:
+                self.trace.append(HitRecord(index, point, writes))
+                return None
+            if self.crash_at is not None and index == self.crash_at:
+                self._mark_crashed_locked(point, index)
+                raise InjectedCrashError(point, index)
+            for fault in self._faults.get(point, ()):
+                if fault.should_fire():
+                    return fault
             return None
-        if self.crash_at is not None and index == self.crash_at:
-            self.crashed = True
-            raise InjectedCrashError(point, index)
-        for fault in self._faults.get(point, ()):
-            if fault.should_fire():
-                return fault
-        return None
+
+    def _mark_crashed_locked(self, point: str, index: int) -> None:
+        self.crashed = True
+        if self.crash_point is None:
+            self.crash_point = point
+            self.crash_index = index
 
     def _raise_for(self, fault: Fault, point: str) -> None:
         if fault.kind is FaultKind.CRASH:
-            self.crashed = True
+            with self._lock:
+                self._mark_crashed_locked(point, self.hits - 1)
             raise InjectedCrashError(point, self.hits - 1)
         if fault.kind is FaultKind.IO_ERROR:
             raise TransientIOError(5, f"injected transient I/O error at {point}")

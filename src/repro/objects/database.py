@@ -20,6 +20,7 @@ from collections.abc import Iterator
 from contextlib import contextmanager
 from typing import Any
 
+from repro import obs
 from repro.errors import (
     DanglingPointerError,
     DatabaseClosedError,
@@ -80,6 +81,7 @@ class Database:
             self.metrics = MetricsRegistry()
             self.metrics.register_source("storage", self.storage.stats)
             self.metrics.register_source("locks", self.storage.lock_manager.stats)
+            self.storage.degrade_listener = self._on_degraded
             self.txn_manager = TransactionManager(self)
             self.phoenix = PhoenixQueue(self)
             self._catalog_rid: int | None = None
@@ -510,6 +512,27 @@ class Database:
         """Kill the process's view of this database without flushing."""
         if self._closed:
             return
+        # A dead process never releases its locks: wake every parked
+        # session with an error instead of leaving it to hang.
+        self.storage.lock_manager.poison(f"database {self.name!r} crashed")
         self.storage.simulate_crash()
         self._closed = True
         Database._open_databases.pop(self.name, None)
+
+    # -- degradation (active → read-only; DESIGN §13) ---------------------------
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the database has degraded to read-only after media death."""
+        return self.storage.degraded
+
+    def _on_degraded(self) -> None:
+        """Storage's active → read-only transition: count it and tell obs.
+
+        In-flight writers abort with :class:`ReadOnlyStorageError` on their
+        next mutation or commit (their aborts release locks, which wakes
+        their waiters); readers keep working against committed state.
+        """
+        self.metrics.counter("faults.degraded").inc()
+        if obs.ENABLED:
+            obs.emit("storage.degraded", db=self.name, engine=self.engine)

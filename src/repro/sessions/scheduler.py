@@ -26,6 +26,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+from repro.errors import SchedulerHangError
 from repro.storage.locks import set_wait_hooks
 
 _NEW = "new"
@@ -49,6 +50,9 @@ class SchedulerTask:
         self.result: Any = None
         self.error: BaseException | None = None
         self.thread: threading.Thread | None = None
+        #: The session this task drives, when spawn() was told — used to
+        #: name held/waited locks if the task's thread hangs at shutdown.
+        self.session = None
 
     @property
     def finished(self) -> bool:
@@ -83,16 +87,26 @@ class CooperativeScheduler:
         self._tasks.append(task)
         if session is not None:
             session.scheduler = self
+            task.session = session
         return task
 
     # -- the processor ---------------------------------------------------------
 
-    def run(self, *, max_switches: int = 1_000_000, raise_errors: bool = True):
+    def run(
+        self,
+        *,
+        max_switches: int = 1_000_000,
+        raise_errors: bool = True,
+        join_timeout: float = 10.0,
+    ):
         """Drive every task to completion; returns the list of results.
 
         With *raise_errors* (default), the first task exception is
         re-raised after all tasks have stopped; otherwise inspect
-        ``task.error`` per task.
+        ``task.error`` per task.  A task thread that fails to exit within
+        *join_timeout* raises :class:`~repro.errors.SchedulerHangError`
+        naming the stuck task and (when its session is known) the locks it
+        holds and the transactions it waits for.
         """
         for task in self._tasks:
             thread = threading.Thread(
@@ -114,14 +128,36 @@ class CooperativeScheduler:
                     "grant pending (lock released without waking waiters?)"
                 )
             self._dispatch(task)
-        for task in self._tasks:
-            if task.thread is not None:
-                task.thread.join(timeout=10)
+        self._join_tasks(join_timeout)
         if raise_errors:
             for task in self._tasks:
                 if task.error is not None:
                     raise task.error
         return [task.result for task in self._tasks]
+
+    def _join_tasks(self, join_timeout: float) -> None:
+        """Join every task thread; surface a hang instead of shrugging it off."""
+        for task in self._tasks:
+            if task.thread is None:
+                continue
+            task.thread.join(timeout=join_timeout)
+            if task.thread.is_alive():
+                raise SchedulerHangError(task.name, self._describe_hang(task))
+
+    def _describe_hang(self, task: SchedulerTask) -> str:
+        session = task.session
+        if session is None:
+            return f"state {task.state!r}, no session attached"
+        parts = [f"state {task.state!r}", f"session {session.name!r}"]
+        txn = session.current_txn
+        if txn is not None:
+            manager = session.db.storage.lock_manager
+            held = sorted(map(repr, manager.locks_held(txn.txid)))
+            waits = sorted(manager.waits_for_edges().get(txn.txid, ()))
+            parts.append(f"txn {txn.txid} holds {held or 'nothing'}")
+            if waits:
+                parts.append(f"waits for txns {waits}")
+        return ", ".join(parts)
 
     def _promote_woken(self) -> None:
         # Spawn order here too: grants already happened inside the lock

@@ -31,7 +31,17 @@ from dataclasses import dataclass, fields as dataclass_fields, asdict
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro import obs
-from repro.errors import DatabaseClosedError, DeadlockError, TransactionError
+from repro.errors import (
+    DatabaseClosedError,
+    TransactionDeadlineError,
+    TransactionError,
+)
+from repro.faults.retry import (
+    DEFAULT_UNIFIED_RETRY,
+    RetryClass,
+    RetryState,
+    UnifiedRetryPolicy,
+)
 from repro.storage.locks import current_wait_hooks
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -130,36 +140,75 @@ class Session:
         self,
         body: Callable[["Transaction"], Any],
         *,
-        retries: int = 5,
+        retries: int | None = None,
+        deadline: float | None = None,
+        policy: "UnifiedRetryPolicy | None" = None,
     ) -> Any:
-        """Run *body* in a transaction, retrying on deadlock with backoff.
+        """Run *body* in a transaction, retrying recoverable failures.
 
-        The deadlock victim's transaction is aborted (strict 2PL releases
-        all its locks, unblocking the survivors), the session backs off —
-        a deterministic yield under a cooperative scheduler, a randomized
-        sleep in threaded mode — and the body runs again from the top.
-        Exhausting *retries* re-raises the last :class:`DeadlockError`.
+        Each failed attempt is classified (:mod:`repro.faults.retry`):
+        deadlock victims, lock timeouts, and transient I/O errors that
+        escaped the storage layer are retried from the top of the body —
+        strict 2PL released all the aborted attempt's locks, so the unit
+        of retry is the whole transaction — against per-class budgets from
+        *policy* (default :data:`DEFAULT_UNIFIED_RETRY`); everything else
+        re-raises immediately.  *retries* overrides just the deadlock
+        budget (the historical signature).  Backoff is a deterministic
+        yield under a cooperative scheduler and a crc32-seeded jittered
+        sleep in threaded mode.
+
+        *deadline*, in seconds, bounds the **waiting** across all
+        attempts: each attempt's transaction registers an absolute
+        deadline with the lock manager (a lock wait past it raises
+        :class:`TransactionDeadlineError`), and the same check guards the
+        retry loop itself, so a session cannot spin past its budget.
+        CPU-bound bodies are not interrupted — the guarantee is "no
+        unbounded waits", not preemption.
         """
-        attempt = 0
+        chosen = policy if policy is not None else DEFAULT_UNIFIED_RETRY
+        if retries is not None:
+            chosen = chosen.with_budget(RetryClass.DEADLOCK, retries)
+        deadline_at = None if deadline is None else time.monotonic() + deadline
+        state = RetryState(chosen)
+        lock_manager = self.db.storage.lock_manager
         while True:
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                raise TransactionDeadlineError(
+                    f"session {self.name!r}: deadline expired after "
+                    f"{state.total_attempts} failed attempt(s)"
+                )
             try:
                 with self.transaction() as txn:
+                    if deadline_at is not None:
+                        lock_manager.set_deadline(txn.txid, deadline_at)
                     return body(txn)
-            except DeadlockError:
-                attempt += 1
-                self.db.session_stats.deadlock_retries += 1
-                if obs.ENABLED:
+            except Exception as exc:
+                klass, may_retry = state.consume(exc)
+                if klass is RetryClass.DEADLOCK:
+                    self.db.session_stats.deadlock_retries += 1
+                    if obs.ENABLED:
+                        obs.emit(
+                            "session.deadlock_retry",
+                            session=self.name,
+                            attempt=state.attempts[klass],
+                        )
+                elif klass.retryable and obs.ENABLED:
                     obs.emit(
-                        "session.deadlock_retry",
+                        "session.retry",
                         session=self.name,
-                        attempt=attempt,
+                        klass=klass.value,
+                        attempt=state.attempts[klass],
                     )
-                if attempt > retries:
-                    self.db.session_stats.retry_exhausted += 1
+                if not may_retry:
+                    if klass.retryable:
+                        self.db.session_stats.retry_exhausted += 1
                     raise
-                self._backoff(attempt)
+                self.db.metrics.counter(f"retries.{klass.value}").inc()
+                self._backoff(state.total_attempts, chosen)
 
-    def _backoff(self, attempt: int) -> None:
+    def _backoff(
+        self, attempt: int, policy: "UnifiedRetryPolicy" = DEFAULT_UNIFIED_RETRY
+    ) -> None:
         scheduler = self.scheduler
         if scheduler is None:
             # Running inside a scheduler task without an explicit binding:
@@ -176,7 +225,7 @@ class Session:
             for _ in range(attempt):
                 scheduler.yield_now()
         else:
-            time.sleep(self._rng.uniform(0, 0.002 * (2**min(attempt, 6))))
+            time.sleep(policy.delay(attempt, self._rng))
 
     # -- data plane (delegates to the database with this session ambient) ------
 

@@ -226,8 +226,11 @@ class DiskStorageManager(StorageManager):
 
     def _degrade(self) -> None:
         """The medium failed permanently: stop writing, keep reading."""
+        if self.degraded:
+            return
         self.degraded = True
         self._pool.read_only = True
+        self._notify_degraded()
 
     def _check_writable(self) -> None:
         if self.degraded:

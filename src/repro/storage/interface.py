@@ -67,6 +67,16 @@ class StorageManager(ABC):
     #: media error; mutations raise ``ReadOnlyStorageError`` from then on.
     degraded: bool = False
 
+    #: Callback invoked exactly once, at the active → read-only
+    #: transition (the database wires metrics/obs through it; see
+    #: DESIGN §13 on the degradation state machine).
+    degrade_listener = None
+
+    def _notify_degraded(self) -> None:
+        listener = self.degrade_listener
+        if listener is not None:
+            listener()
+
     def __init__(self) -> None:
         self.stats = StorageStats()
 

@@ -43,7 +43,13 @@ import time
 from collections import defaultdict
 
 from repro import obs
-from repro.errors import DeadlockError, LockError, LockTimeoutError
+from repro.errors import (
+    DeadlockError,
+    LockError,
+    LockTimeoutError,
+    TransactionDeadlineError,
+    WaitPoisonedError,
+)
 
 
 class LockMode(enum.IntEnum):
@@ -71,6 +77,10 @@ class LockStats:
     waits: int = 0
     deadlocks: int = 0
     timeouts: int = 0
+    #: lock waits cancelled because the transaction's deadline expired
+    deadline_aborts: int = 0
+    #: waiters woken with :class:`WaitPoisonedError` (crash/close wake-all)
+    poisoned_waits: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -127,6 +137,14 @@ class LockManager:
         #: Safety net for the threaded mode — a wait longer than this
         #: raises :class:`LockTimeoutError` instead of hanging the suite.
         self.wait_timeout = 30.0
+        #: Per-transaction absolute deadlines (``time.monotonic()`` values)
+        #: set through :meth:`set_deadline`; a lock wait past its deadline
+        #: raises :class:`TransactionDeadlineError`.  Cleared by
+        #: :meth:`release_all`, so the registry cannot leak across txids.
+        self._deadlines: dict[int, float] = {}
+        #: When set (see :meth:`poison`), every present and future blocked
+        #: wait raises instead of sleeping — crash/close wake-all.
+        self._poison: str | None = None
         #: Acquisition-order trace (see :meth:`start_order_trace`): when
         #: not ``None``, every grant appends ``(txid, resource, mode name,
         #: upgrading)`` — including grants made after a wait, which the
@@ -240,38 +258,136 @@ class LockManager:
         """Acquire, blocking the calling session until the lock is granted.
 
         Raises :class:`DeadlockError` when this request closes a waits-for
-        cycle (the requester is the victim) and :class:`LockTimeoutError`
+        cycle (the requester is the victim), :class:`LockTimeoutError`
         when the threaded wait exceeds *timeout* (default
-        :attr:`wait_timeout`).
+        :attr:`wait_timeout`), :class:`TransactionDeadlineError` when the
+        transaction's deadline (:meth:`set_deadline`) expires mid-wait,
+        and :class:`WaitPoisonedError` when the manager is poisoned while
+        the caller is parked.  An already-satisfiable request is granted
+        even past a deadline or poison — only *waiting* is cancelled.
         """
         hooks = current_wait_hooks()
-        deadline = None
+        wait_deadline = None
         while True:
             with self._mutex:
                 status = self._acquire_locked(txid, resource, mode)
                 if status is LockRequestStatus.GRANTED:
                     return
+                if self._poison is not None:
+                    self._abandon_poisoned_locked(txid, resource)
+                txn_deadline = self._deadlines.get(txid)
+                if txn_deadline is not None and time.monotonic() >= txn_deadline:
+                    self._abandon_deadline_locked(txid, resource, mode)
                 if hooks is None:
                     # Threaded mode: sleep on the condition until a release
-                    # grants us (or the safety-net timeout trips).
-                    if deadline is None:
+                    # grants us (or a timeout/deadline/poison wakes us).
+                    if wait_deadline is None:
                         budget = self.wait_timeout if timeout is None else timeout
-                        deadline = time.monotonic() + budget
+                        wait_deadline = time.monotonic() + budget
                     while not self._is_granted_locked(txid, resource, mode):
-                        remaining = deadline - time.monotonic()
+                        if self._poison is not None:
+                            self._abandon_poisoned_locked(txid, resource)
+                        txn_deadline = self._deadlines.get(txid)
+                        limit = (
+                            wait_deadline
+                            if txn_deadline is None
+                            else min(wait_deadline, txn_deadline)
+                        )
+                        remaining = limit - time.monotonic()
                         if remaining <= 0 or not self._cond.wait(remaining):
                             if self._is_granted_locked(txid, resource, mode):
                                 break
-                            self.stats.timeouts += 1
-                            self._drop_request(txid, resource)
-                            raise LockTimeoutError(
-                                f"transaction {txid} timed out waiting for "
-                                f"{resource!r} ({mode.name})"
-                            )
+                            if self._poison is not None:
+                                self._abandon_poisoned_locked(txid, resource)
+                            now = time.monotonic()
+                            if txn_deadline is not None and now >= txn_deadline:
+                                self._abandon_deadline_locked(txid, resource, mode)
+                            if now >= wait_deadline:
+                                self.stats.timeouts += 1
+                                self._drop_request(txid, resource)
+                                if obs.ENABLED:
+                                    obs.emit(
+                                        "lock.timeout",
+                                        txid=txid,
+                                        resource=resource,
+                                        mode=mode.name,
+                                    )
+                                raise LockTimeoutError(
+                                    f"transaction {txid} timed out waiting for "
+                                    f"{resource!r} ({mode.name})"
+                                )
+                            # Notified without a grant: re-check and re-wait.
                     return
             # Cooperative mode: the scheduler parks this session and runs
-            # others until the predicate reports the grant happened.
-            hooks.lock_wait(lambda: self.is_granted(txid, resource, mode))
+            # others until the grant happened — or the wait must be
+            # abandoned (poison, deadline), which the next loop iteration
+            # turns into the matching raise.
+            hooks.lock_wait(
+                lambda: self.is_granted(txid, resource, mode)
+                or self._wait_abandoned(txid)
+            )
+
+    def _abandon_poisoned_locked(self, txid: int, resource: object) -> None:
+        self.stats.poisoned_waits += 1
+        self._drop_request(txid, resource)
+        raise WaitPoisonedError(
+            f"transaction {txid}'s lock wait on {resource!r} was cancelled: "
+            f"{self._poison}"
+        )
+
+    def _abandon_deadline_locked(
+        self, txid: int, resource: object, mode: LockMode
+    ) -> None:
+        self.stats.deadline_aborts += 1
+        self._drop_request(txid, resource)
+        if obs.ENABLED:
+            obs.emit("lock.deadline", txid=txid, resource=resource, mode=mode.name)
+        raise TransactionDeadlineError(
+            f"transaction {txid}'s deadline expired waiting for "
+            f"{resource!r} ({mode.name})"
+        )
+
+    def _wait_abandoned(self, txid: int) -> bool:
+        """Cooperative wake predicate arm: should this parked wait give up?"""
+        with self._mutex:
+            if self._poison is not None:
+                return True
+            deadline = self._deadlines.get(txid)
+            return deadline is not None and time.monotonic() >= deadline
+
+    # -- deadlines and poisoning ------------------------------------------------
+
+    def set_deadline(self, txid: int, deadline: float | None) -> None:
+        """Bound *txid*'s lock waits by an absolute ``time.monotonic()``
+        instant (``None`` clears).  :meth:`release_all` clears it too, so
+        commit/abort cannot leak a deadline onto a recycled txid."""
+        with self._mutex:
+            if deadline is None:
+                self._deadlines.pop(txid, None)
+            else:
+                self._deadlines[txid] = deadline
+                self._cond.notify_all()
+
+    def poison(self, reason: str) -> None:
+        """Cancel every present and future blocked wait with
+        :class:`WaitPoisonedError`.
+
+        The crash/close path: when the process modelled by this database
+        dies, sessions parked behind its locks must be *woken with an
+        error*, not left to hang — a dead holder will never release.  The
+        grant tables are left intact for post-mortem inspection; a reopen
+        builds a fresh manager.
+        """
+        with self._mutex:
+            self._poison = reason
+            self._cond.notify_all()
+        if obs.ENABLED:
+            obs.emit("lock.poison", reason=reason)
+
+    @property
+    def poisoned(self) -> bool:
+        with self._mutex:
+            return self._poison is not None
 
     def lock(self, txid: int, resource: object, mode: LockMode) -> None:
         """The engines' acquisition entry point; behaviour per :attr:`blocking`."""
@@ -370,6 +486,7 @@ class LockManager:
         """Release every lock *txid* holds, drop its queued requests, and
         grant-and-wake whoever its release unblocks (FIFO per resource)."""
         with self._mutex:
+            self._deadlines.pop(txid, None)
             for resource in self._held.pop(txid, set()):
                 entry = self._table.get(resource)
                 if entry is not None:

@@ -148,7 +148,10 @@ class MainMemoryStorageManager(StorageManager):
     # -- media degrade ---------------------------------------------------------
 
     def _degrade(self) -> None:
+        if self.degraded:
+            return
         self.degraded = True
+        self._notify_degraded()
 
     def _check_writable(self) -> None:
         if self.degraded:

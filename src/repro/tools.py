@@ -219,6 +219,74 @@ def trace_main(argv: list[str]) -> int:
     return 0
 
 
+def chaos_main(argv: list[str]) -> int:
+    """``python -m repro.tools chaos [--engine ...] [--limit N] [--out report.json]``.
+
+    Runs the concurrent crash matrix (cooperative mode: record the
+    failpoint trace at N sessions, then crash-recover-verify at the
+    selected hits) and writes a JSON survival report.  Exits non-zero if
+    any crash fails to recover cleanly — the CI chaos job runs the capped
+    subset and archives the report.
+    """
+    import tempfile
+
+    from repro.faults.concurrent import explore_concurrent, write_survival_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro.tools chaos",
+        description="Concurrent crash matrix with a JSON survival report",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["disk", "mm", "both"],
+        default="both",
+        help="storage engine(s) to explore (default: both)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap on crash points per engine (default: the whole trace)",
+    )
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--txns", type=int, default=3)
+    parser.add_argument("--out", default=None, help="survival report JSON path")
+    parser.add_argument("--workdir", default=None, help="scratch dir (default: temp)")
+    args = parser.parse_args(argv)
+
+    engines = ["disk", "mm"] if args.engine == "both" else [args.engine]
+    tmp = None
+    workdir = args.workdir
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        workdir = tmp.name
+    try:
+        results = []
+        for engine in engines:
+            result = explore_concurrent(
+                f"{workdir}/chaos-{engine}",
+                engine=engine,
+                limit=args.limit,
+                n_sessions=args.sessions,
+                txns_per_session=args.txns,
+            )
+            results.append(result)
+            print(
+                f"{engine}: {len(result.explored)} crash(es) explored over "
+                f"{len(result.points_explored)} failpoint(s) "
+                f"({len(result.trace)} hits traced), all recovered"
+            )
+        union = sorted(set().union(*(r.points_explored for r in results)))
+        print(f"failpoints covered: {len(union)}: {', '.join(union)}")
+        if args.out:
+            write_survival_report(results, args.out)
+            print(f"survival report -> {args.out}")
+        return 0
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
 def fsck_main(argv: list[str]) -> int:
     """``python -m repro.tools fsck <path> [--engine disk|mm] [--json]``."""
     from repro.fsck import fsck
@@ -268,6 +336,8 @@ def main(argv: list[str] | None = None) -> int:
         return fsck_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(description="Dump an Ode-repro database")
     parser.add_argument("path", help="database path")

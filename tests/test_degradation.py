@@ -1,0 +1,229 @@
+"""Graceful degradation: media death → read-only, typed aborts, no hangs.
+
+Tier-1 covers the state machine (DESIGN.md §13) on the serial and
+cooperative paths; the 8-threaded-session bounded-wait regression — the
+ISSUE's "no unbounded waits under write-stall / media death" acceptance
+criterion — runs under ``-m concurrency``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    LockTimeoutError,
+    ReadOnlyStorageError,
+    TransactionDeadlineError,
+    WaitPoisonedError,
+)
+from repro.faults import Fault, FaultInjector, FaultKind
+from repro.objects.database import Database
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+from repro.sessions import CooperativeScheduler
+
+
+class DegradeGauge(Persistent):
+    value = field(int, default=0)
+
+
+def open_with_injector(db_path, engine, *faults):
+    inj = FaultInjector(list(faults))
+    return Database.open(db_path, engine=engine, injector=inj), inj
+
+
+class TestDegradationStateMachine:
+    @pytest.mark.parametrize("engine", ["disk", "mm"])
+    def test_degrade_fires_listener_metric_and_read_only_flag(
+        self, db_path, engine
+    ):
+        db, inj = open_with_injector(db_path, engine)
+        with db.transaction():
+            ptr = db.pnew(DegradeGauge).ptr
+        assert not db.read_only
+
+        inj.add(Fault("wal.append", FaultKind.MEDIA_ERROR))
+        with pytest.raises(ReadOnlyStorageError):
+            with db.transaction():
+                db.deref(ptr).value = 1
+        assert db.read_only
+        assert db.metrics.counter("faults.degraded").value == 1
+
+        # The transition is once-only: further refused writes do not
+        # re-announce the degradation.
+        with pytest.raises(ReadOnlyStorageError):
+            with db.transaction():
+                db.deref(ptr).value = 2
+        assert db.metrics.counter("faults.degraded").value == 1
+        db.close()
+
+    def test_readers_keep_working_while_writers_abort_typed(self, db_path):
+        db, inj = open_with_injector(db_path, "disk")
+        with db.transaction():
+            ptr = db.pnew(DegradeGauge, value=7).ptr
+        inj.add(Fault("wal.append", FaultKind.MEDIA_ERROR))
+        with pytest.raises(ReadOnlyStorageError):
+            with db.transaction():
+                db.deref(ptr).value = 8
+        for _ in range(3):  # reads stay up on the degraded store
+            with db.transaction():
+                assert db.deref(ptr).value == 7
+        db.close()
+
+    def test_degraded_writer_releases_locks_and_wakes_waiter(self, db_path):
+        """Cooperative: the writer that hits the dead medium aborts typed;
+        its abort releases the X lock, so the parked session is *granted*
+        (woken normally, not poisoned) and then fails typed itself."""
+        db, inj = open_with_injector(db_path, "mm")
+        with db.transaction():
+            ptr = db.pnew(DegradeGauge).ptr
+
+        scheduler = CooperativeScheduler()
+        writer = db.session("writer")
+        waiter = db.session("waiter")
+        outcomes = {}
+
+        def writing(session, label):
+            def run():
+                try:
+                    with session.transaction():
+                        handle = session.deref(ptr)
+                        handle.value = handle.value + 1
+                        scheduler.yield_now()  # let the other session block
+                except ReadOnlyStorageError as exc:
+                    outcomes[label] = exc
+                else:
+                    outcomes[label] = "committed"
+                session.close()
+
+            return run
+
+        scheduler.spawn(writing(writer, "writer"), name="writer", session=writer)
+        scheduler.spawn(writing(waiter, "waiter"), name="waiter", session=waiter)
+        inj.add(Fault("wal.append", FaultKind.MEDIA_ERROR))
+        scheduler.run()  # raises SchedulerHangError / wedges if anyone hangs
+
+        assert isinstance(outcomes["writer"], ReadOnlyStorageError)
+        assert isinstance(outcomes["waiter"], ReadOnlyStorageError)
+        assert db.storage.lock_manager.stats.poisoned_waits == 0
+        assert db.read_only
+
+    def test_crash_poisons_but_degrade_does_not(self, db_path):
+        db, inj = open_with_injector(db_path, "disk")
+        inj.add(Fault("wal.append", FaultKind.MEDIA_ERROR))
+        with pytest.raises(ReadOnlyStorageError):
+            with db.transaction():
+                db.pnew(DegradeGauge)
+        assert not db.storage.lock_manager.poisoned  # degrade: orderly aborts
+        db.simulate_crash()
+        assert db.storage.lock_manager.poisoned  # crash: wake-all
+
+    def test_reopen_after_degrade_is_writable(self, db_path):
+        db, inj = open_with_injector(db_path, "disk")
+        with db.transaction():
+            ptr = db.pnew(DegradeGauge, value=3).ptr
+        inj.add(Fault("wal.append", FaultKind.MEDIA_ERROR))
+        with pytest.raises(ReadOnlyStorageError):
+            with db.transaction():
+                db.deref(ptr).value = 4
+        db.close()
+
+        db2 = Database.open(db_path, engine="disk")  # healthy medium again
+        assert not db2.read_only
+        with db2.transaction():
+            assert db2.deref(ptr).value == 3
+            db2.deref(ptr).value = 4
+        db2.close()
+
+
+@pytest.mark.concurrency
+class TestBoundedWaitsUnderMediaDeath:
+    """The acceptance criterion: 8 threaded sessions, media death plus a
+    write stall mid-run — every session returns (commit or typed error)
+    within its deadline; nobody hangs."""
+
+    def test_eight_sessions_all_return_typed_within_deadline(self, db_path):
+        inj = FaultInjector(
+            [
+                # A slow disk first (stalls on the WAL force path), then
+                # the medium dies outright.
+                Fault("wal.force", FaultKind.STALL, delay=0.02, count=5),
+                Fault("wal.append", FaultKind.MEDIA_ERROR, after=60),
+            ]
+        )
+        db = Database.open(db_path, engine="disk", injector=inj)
+        with db.transaction():
+            ptrs = [db.pnew(DegradeGauge).ptr for _ in range(2)]
+
+        n_sessions, txns_each, deadline = 8, 6, 5.0
+        outcomes: dict[str, list] = {}
+        outcomes_lock = threading.Lock()
+
+        def worker(index):
+            session = db.session(f"w{index}")
+            mine: list = []
+            try:
+                for k in range(txns_each):
+
+                    def body(txn, k=k):
+                        handle = session.deref(ptrs[(index + k) % len(ptrs)])
+                        handle.value = handle.value + 1
+
+                    t0 = time.monotonic()
+                    try:
+                        session.run(body, retries=200, deadline=deadline)
+                        mine.append("committed")
+                    except (
+                        ReadOnlyStorageError,
+                        TransactionDeadlineError,
+                        LockTimeoutError,
+                        WaitPoisonedError,
+                    ) as exc:
+                        mine.append(type(exc).__name__)
+                    # The bound: a failed attempt consumed at most the
+                    # deadline plus scheduling slack, never an unbounded wait.
+                    assert time.monotonic() - t0 < deadline + 10.0
+            finally:
+                with outcomes_lock:
+                    outcomes[f"w{index}"] = mine
+                session.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"w{i}", daemon=True)
+            for i in range(n_sessions)
+        ]
+        start = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), f"{thread.name} never returned"
+        elapsed = time.monotonic() - start
+
+        assert len(outcomes) == n_sessions
+        flat = [o for results in outcomes.values() for o in results]
+        assert len(flat) == n_sessions * txns_each
+        # The medium died mid-run: someone committed before, someone was
+        # refused after, and every refusal was *typed*.
+        assert "committed" in flat
+        assert "ReadOnlyStorageError" in flat
+        assert db.read_only
+        assert db.metrics.counter("faults.degraded").value == 1
+        # Survival accounting: the committed increments are all durable…
+        with db.transaction():
+            total = sum(db.deref(p).value for p in ptrs)
+        assert total == flat.count("committed")
+        # …and the whole run stayed bounded (no 30s wait_timeout convoy).
+        assert elapsed < 110.0
+
+        db.close()
+        # Recovery time: a reopen on a healthy medium is writable again.
+        t0 = time.monotonic()
+        db2 = Database.open(db_path, engine="disk")
+        recovery = time.monotonic() - t0
+        assert recovery < 30.0
+        with db2.transaction():
+            assert sum(db2.deref(p).value for p in ptrs) == total
+            db2.deref(ptrs[0]).value = total + 1  # writable
+        db2.close()

@@ -216,3 +216,98 @@ class TestEngineUnderFaults:
         assert not recovered.storage.exists(probe.txid, rid)
         recovered.txn_manager.commit(probe)
         recovered.close()
+
+
+class TestInjectorThreadSafety:
+    """A threaded multi-session database funnels every failpoint through
+    one injector; the mutex must make hit counting and fault arming exact
+    (the pre-lock code could double-count `hits` and skip an `after=k`
+    fault entirely)."""
+
+    def test_threaded_recording_assigns_each_index_exactly_once(self):
+        import threading
+
+        inj = FaultInjector(recording=True)
+        n_threads, fires_each = 8, 200
+        start = threading.Barrier(n_threads)
+
+        def hammer(i):
+            start.wait()
+            for _ in range(fires_each):
+                inj.fire(f"point.{i}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        total = n_threads * fires_each
+        assert inj.hits == total
+        # Interleaving order is arbitrary, but the global indices must be
+        # a permutation-free sequence: 0..total-1, each exactly once.
+        assert sorted(r.index for r in inj.trace) == list(range(total))
+        for i in range(n_threads):
+            assert sum(1 for r in inj.trace if r.point == f"point.{i}") == fires_each
+
+    def test_threaded_after_count_fault_fires_exactly_once(self):
+        import threading
+
+        inj = FaultInjector([Fault("p", FaultKind.IO_ERROR, after=50, count=1)])
+        n_threads, fires_each = 8, 40
+        start = threading.Barrier(n_threads)
+        raised = []
+        raised_lock = threading.Lock()
+
+        def hammer():
+            start.wait()
+            for _ in range(fires_each):
+                try:
+                    inj.fire("p")
+                except TransientIOError:
+                    with raised_lock:
+                        raised.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert inj.hits == n_threads * fires_each
+        assert len(raised) == 1  # not 0 (lost update) and not 2 (double fire)
+
+    def test_threaded_crash_at_poisons_for_everyone(self):
+        import threading
+
+        inj = FaultInjector(crash_at=10)
+        crashes = []
+        lock = threading.Lock()
+
+        def hammer():
+            for _ in range(20):
+                try:
+                    inj.fire("x")
+                except InjectedCrashError:
+                    with lock:
+                        crashes.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        # Hit 10 crashes; every fire after it observes the poisoned state.
+        assert len(crashes) == 4 * 20 - 10
+
+    def test_stall_sleeps_then_carries_on(self):
+        import time
+
+        inj = FaultInjector([Fault("slow", FaultKind.STALL, delay=0.02, count=2)])
+        t0 = time.monotonic()
+        inj.fire("slow")
+        data, crash = inj.fire_write("slow", b"payload")
+        elapsed = time.monotonic() - t0
+        assert elapsed >= 0.04  # both stalls actually slept
+        assert data == b"payload" and not crash  # a slow disk, not a dead one
+        inj.fire("slow")  # count exhausted: no further delay, no error

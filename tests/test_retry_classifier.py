@@ -1,0 +1,249 @@
+"""The unified retry classifier and ``Session.run``'s use of it."""
+
+import random
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    InjectedCrashError,
+    LockTimeoutError,
+    ReadOnlyStorageError,
+    TransactionDeadlineError,
+    TransientIOError,
+    WaitPoisonedError,
+)
+from repro.faults.retry import (
+    DEFAULT_UNIFIED_RETRY,
+    RetryClass,
+    RetryState,
+    UnifiedRetryPolicy,
+    classify,
+)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "exc, expected",
+        [
+            (DeadlockError(1, (1, 2, 1)), RetryClass.DEADLOCK),
+            (LockTimeoutError("slow"), RetryClass.LOCK_TIMEOUT),
+            (TransientIOError(5, "hiccup"), RetryClass.TRANSIENT_IO),
+            (OSError(5, "raw"), RetryClass.TRANSIENT_IO),
+            (TransactionDeadlineError("late"), RetryClass.FATAL),
+            (WaitPoisonedError("dead holder"), RetryClass.FATAL),
+            (ReadOnlyStorageError("degraded"), RetryClass.FATAL),
+            (InjectedCrashError("wal.force", 3), RetryClass.FATAL),
+            (ValueError("bug"), RetryClass.FATAL),
+        ],
+    )
+    def test_mapping(self, exc, expected):
+        assert classify(exc) is expected
+
+    def test_fatal_is_the_only_non_retryable_class(self):
+        assert not RetryClass.FATAL.retryable
+        for klass in (
+            RetryClass.DEADLOCK,
+            RetryClass.LOCK_TIMEOUT,
+            RetryClass.TRANSIENT_IO,
+        ):
+            assert klass.retryable
+
+    def test_specific_beats_general(self):
+        """TransactionDeadlineError and WaitPoisonedError subclass
+        retryable families; the classifier must check the leaves first."""
+        from repro.errors import LockError, TransactionError
+
+        assert isinstance(WaitPoisonedError("x"), LockError)
+        assert isinstance(TransactionDeadlineError("x"), TransactionError)
+        assert classify(WaitPoisonedError("x")) is RetryClass.FATAL
+        assert classify(TransactionDeadlineError("x")) is RetryClass.FATAL
+
+
+class TestPolicy:
+    def test_default_budgets(self):
+        assert DEFAULT_UNIFIED_RETRY.budget(RetryClass.DEADLOCK) == 5
+        assert DEFAULT_UNIFIED_RETRY.budget(RetryClass.LOCK_TIMEOUT) == 2
+        assert DEFAULT_UNIFIED_RETRY.budget(RetryClass.TRANSIENT_IO) == 3
+        assert DEFAULT_UNIFIED_RETRY.budget(RetryClass.FATAL) == 0
+
+    def test_with_budget_does_not_mutate_the_default(self):
+        widened = DEFAULT_UNIFIED_RETRY.with_budget(RetryClass.DEADLOCK, 50)
+        assert widened.budget(RetryClass.DEADLOCK) == 50
+        assert DEFAULT_UNIFIED_RETRY.budget(RetryClass.DEADLOCK) == 5
+        # The other budgets carry over.
+        assert widened.budget(RetryClass.TRANSIENT_IO) == 3
+
+    def test_delay_is_jittered_capped_and_replayable(self):
+        policy = UnifiedRetryPolicy()
+        a, b = random.Random(42), random.Random(42)
+        for attempt in range(1, 20):
+            delay = policy.delay(attempt, a)
+            assert 0.0 <= delay <= policy.cap
+            assert delay == policy.delay(attempt, b)  # same seed, same jitter
+
+    def test_delay_grows_until_the_cap(self):
+        policy = UnifiedRetryPolicy(backoff=0.001, multiplier=2.0, cap=0.004)
+
+        class Top:
+            def uniform(self, lo, hi):
+                return hi
+
+        assert policy.delay(1, Top()) == pytest.approx(0.001)
+        assert policy.delay(2, Top()) == pytest.approx(0.002)
+        assert policy.delay(10, Top()) == pytest.approx(0.004)  # capped
+
+
+class TestRetryState:
+    def test_budget_consumed_per_class(self):
+        state = RetryState(UnifiedRetryPolicy(budgets={RetryClass.DEADLOCK: 2}))
+        assert state.consume(DeadlockError(1, (1,))) == (RetryClass.DEADLOCK, True)
+        assert state.consume(DeadlockError(1, (1,))) == (RetryClass.DEADLOCK, True)
+        assert state.consume(DeadlockError(1, (1,))) == (RetryClass.DEADLOCK, False)
+
+    def test_classes_draw_from_separate_budgets(self):
+        state = RetryState(
+            UnifiedRetryPolicy(
+                budgets={RetryClass.DEADLOCK: 1, RetryClass.TRANSIENT_IO: 1}
+            )
+        )
+        assert state.consume(DeadlockError(1, (1,)))[1]
+        assert state.consume(TransientIOError(5, "x"))[1]  # separate budget
+        assert not state.consume(DeadlockError(1, (1,)))[1]
+        assert state.total_attempts == 3
+
+    def test_fatal_never_retries_and_consumes_nothing(self):
+        state = RetryState()
+        assert state.consume(ValueError("bug")) == (RetryClass.FATAL, False)
+        assert state.total_attempts == 0
+
+
+class TestSessionRunClassifier:
+    """``Session.run`` end-to-end against each class (mm engine: fast)."""
+
+    def test_transient_io_is_retried_and_counted(self, mm_db):
+        db = mm_db
+        calls = []
+
+        def body(txn):
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientIOError(5, "hiccup escaping the storage layer")
+            return "done"
+
+        assert db.default_session().run(body) == "done"
+        assert len(calls) == 3
+        assert db.metrics.counter("retries.transient_io").value == 2
+
+    def test_lock_timeout_is_retried_within_its_budget(self, mm_db):
+        db = mm_db
+        calls = []
+
+        def body(txn):
+            calls.append(1)
+            if len(calls) == 1:
+                raise LockTimeoutError("holder was slow")
+            return "done"
+
+        assert db.default_session().run(body) == "done"
+        assert db.metrics.counter("retries.lock_timeout").value == 1
+
+    def test_exhausted_budget_reraises_and_counts(self, mm_db):
+        db = mm_db
+        calls = []
+
+        def body(txn):
+            calls.append(1)
+            raise TransientIOError(5, "always")
+
+        with pytest.raises(TransientIOError):
+            db.default_session().run(body)
+        # 1 initial attempt + the class's budget of retries.
+        assert len(calls) == 1 + DEFAULT_UNIFIED_RETRY.budget(RetryClass.TRANSIENT_IO)
+        assert db.session_stats.retry_exhausted == 1
+
+    def test_fatal_errors_are_not_retried(self, mm_db):
+        db = mm_db
+        calls = []
+
+        def body(txn):
+            calls.append(1)
+            raise ReadOnlyStorageError("the medium died")
+
+        with pytest.raises(ReadOnlyStorageError):
+            db.default_session().run(body)
+        assert len(calls) == 1
+        assert db.session_stats.retry_exhausted == 0  # fatal, not exhausted
+
+    def test_retries_kwarg_still_overrides_the_deadlock_budget(self, mm_db):
+        db = mm_db
+        calls = []
+
+        def body(txn):
+            calls.append(1)
+            raise DeadlockError(1, (1, 2, 1))
+
+        with pytest.raises(DeadlockError):
+            db.default_session().run(body, retries=2)
+        assert len(calls) == 3  # 1 + 2 retries, not the default 5
+        assert db.session_stats.deadlock_retries == 3
+
+    def test_custom_policy_budget(self, mm_db):
+        db = mm_db
+        calls = []
+        policy = UnifiedRetryPolicy(
+            budgets={RetryClass.TRANSIENT_IO: 1}, backoff=0.0
+        )
+
+        def body(txn):
+            calls.append(1)
+            raise TransientIOError(5, "always")
+
+        with pytest.raises(TransientIOError):
+            db.default_session().run(body, policy=policy)
+        assert len(calls) == 2
+
+
+class TestSessionRunDeadline:
+    def test_deadline_bounds_the_retry_loop(self, mm_db):
+        db = mm_db
+        calls = []
+
+        def body(txn):
+            calls.append(1)
+            time.sleep(0.03)
+            raise DeadlockError(1, (1, 2, 1))
+
+        t0 = time.monotonic()
+        with pytest.raises(TransactionDeadlineError) as excinfo:
+            db.default_session().run(body, retries=10_000, deadline=0.05)
+        # The loop stopped on the deadline, not the (huge) retry budget.
+        assert time.monotonic() - t0 < 5.0
+        assert 1 <= len(calls) < 100
+        assert "deadline expired" in str(excinfo.value)
+
+    def test_deadline_registered_with_the_lock_manager(self, mm_db):
+        db = mm_db
+        seen = {}
+
+        def body(txn):
+            seen["deadline"] = db.storage.lock_manager._deadlines.get(txn.txid)
+            return txn.txid
+
+        txid = db.default_session().run(body, deadline=30.0)
+        assert seen["deadline"] is not None
+        # Commit released locks and cleared the registry entry.
+        assert txid not in db.storage.lock_manager._deadlines
+
+    def test_no_deadline_registers_nothing(self, mm_db):
+        db = mm_db
+
+        def body(txn):
+            assert db.storage.lock_manager._deadlines == {}
+
+        db.default_session().run(body)
+
+    def test_successful_body_beats_its_deadline(self, mm_db):
+        db = mm_db
+        assert db.default_session().run(lambda txn: "ok", deadline=30.0) == "ok"

@@ -249,3 +249,69 @@ class TestSharedCompositeEvent:
         after = stats.diff(before)
         assert after["firings"] == 1  # completed across sessions
         assert after["state_writes"] == 2
+
+
+class TestSchedulerHangDetection:
+    """A task thread that fails to exit at shutdown must surface a typed
+    error naming the stuck session and its lock state — not be silently
+    abandoned by a bare `join(timeout=...)`."""
+
+    def test_hung_thread_raises_scheduler_hang_error(self):
+        import threading
+
+        from repro.errors import SchedulerHangError
+        from repro.sessions.scheduler import SchedulerTask
+
+        sched = CooperativeScheduler()
+        never = threading.Event()
+        task = SchedulerTask(0, "stuck", lambda: None)
+        task.state = "done"
+        task.thread = threading.Thread(target=never.wait, daemon=True)
+        task.thread.start()
+        sched._tasks.append(task)
+        try:
+            with pytest.raises(SchedulerHangError) as excinfo:
+                sched._join_tasks(0.05)
+            assert "stuck" in str(excinfo.value)
+            assert "no session attached" in str(excinfo.value)
+        finally:
+            never.set()
+
+    def test_hang_report_names_held_locks_and_waits(self, mm_db):
+        import threading
+
+        from repro.errors import SchedulerHangError
+        from repro.sessions.scheduler import SchedulerTask
+
+        db = mm_db
+        with db.transaction():
+            ptr = db.pnew(Passbook).ptr
+        session = db.session("holder")
+        session.begin()
+        session.deref(ptr).value = 1  # takes the record's X lock
+
+        sched = CooperativeScheduler()
+        never = threading.Event()
+        task = SchedulerTask(0, "holder-task", lambda: None)
+        task.state = "blocked"
+        task.session = session
+        task.thread = threading.Thread(target=never.wait, daemon=True)
+        task.thread.start()
+        sched._tasks.append(task)
+        try:
+            with pytest.raises(SchedulerHangError) as excinfo:
+                sched._join_tasks(0.05)
+            message = str(excinfo.value)
+            assert "holder-task" in message
+            assert "session 'holder'" in message
+            assert f"txn {session.current_txn.txid} holds" in message
+        finally:
+            never.set()
+            session.close()
+
+    def test_clean_runs_do_not_raise(self, mm_db):
+        db = mm_db
+        session = db.session("quick")
+        sched = CooperativeScheduler()
+        sched.spawn(lambda: session.close() or 7, name="quick", session=session)
+        assert sched.run() == [7]  # joins within the timeout, no error

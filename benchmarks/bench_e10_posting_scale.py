@@ -20,7 +20,7 @@ from repro.objects.database import Database
 from repro.objects.persistent import Persistent
 from repro.objects.schema import field
 
-from benchmarks.common import emit_table, us, time_per_op
+from benchmarks.common import emit_table, ratio, us, time_per_op
 
 EVENTS = 300
 
@@ -70,11 +70,24 @@ def test_posting_vs_fanout(benchmark, tmp_path, fanout):
                 for _ in range(EVENTS):
                     h.post_event("Tick")
 
-        per_event = time_per_op(post_all, EVENTS, repeats=2)
+        def measure(compiled_enabled):
+            db.trigger_system.compiled_enabled = compiled_enabled
+            db.trigger_system.stats.reset()
+            return time_per_op(post_all, EVENTS, repeats=2)
+
+        interp = measure(False)
+        compiled = measure(True)
         benchmark.pedantic(post_all, rounds=1, iterations=1)
         stats = db.trigger_system.stats
         _FANOUT.append(
-            [fanout, us(per_event), stats.fsm_advances, stats.firings]
+            [
+                fanout,
+                us(interp),
+                us(compiled),
+                ratio(interp, compiled),
+                stats.fsm_advances,
+                stats.firings,
+            ]
         )
     finally:
         db.close()
@@ -96,13 +109,28 @@ def test_posting_vs_mask_depth(benchmark, tmp_path, depth):
                 for _ in range(EVENTS):
                     h.post_event("Tick")
 
-        db.trigger_system.stats.reset()
-        per_event = time_per_op(post_all, EVENTS, repeats=2)
+        def measure(compiled_enabled):
+            db.trigger_system.compiled_enabled = compiled_enabled
+            db.trigger_system.stats.reset()
+            return time_per_op(post_all, EVENTS, repeats=2)
+
+        interp = measure(False)
+        compiled = measure(True)
         benchmark.pedantic(post_all, rounds=1, iterations=1)
         stats = db.trigger_system.stats
         masks_per_event = stats.masks_evaluated_posting / max(stats.events_posted, 1)
-        _MASKS.append([depth, us(per_event), f"{masks_per_event:.1f}"])
-        # One pseudo-event per chained mask (the Section 5.4.5 cascade).
+        _MASKS.append(
+            [
+                depth,
+                us(interp),
+                us(compiled),
+                ratio(interp, compiled),
+                f"{masks_per_event:.1f}",
+            ]
+        )
+        # One pseudo-event per chained mask (the Section 5.4.5 cascade);
+        # the compiled tier pins constant-outcome masks but still counts
+        # the steps, so the figure is mode-independent.
         assert masks_per_event == pytest.approx(depth, rel=0.01)
     finally:
         db.close()
@@ -112,13 +140,27 @@ def teardown_module(module):
     emit_table(
         "E10a",
         f"posting cost vs active triggers on one object ({EVENTS} events)",
-        ["active triggers", "us/event", "fsm advances", "firings"],
+        [
+            "active triggers",
+            "us/event interp",
+            "us/event compiled",
+            "speedup",
+            "fsm advances",
+            "firings",
+        ],
         _FANOUT,
+        notes="compiled = ODE4xx-gated generated-code tier (DESIGN.md §14).",
     )
     emit_table(
         "E10b",
         "posting cost vs chained-mask cascade depth",
-        ["mask chain", "us/event", "masks evaluated/event"],
+        [
+            "mask chain",
+            "us/event interp",
+            "us/event compiled",
+            "speedup",
+            "masks evaluated/event",
+        ],
         _MASKS,
         notes="Each chained mask adds one pseudo-event before quiescence.",
     )

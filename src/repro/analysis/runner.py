@@ -97,6 +97,7 @@ def analyze_classes(
     *,
     concurrency: bool = False,
     confirm_witnesses: bool = False,
+    compilability: bool = False,
 ) -> AnalysisReport:
     """Analyze a set of classes (or metatypes) together.
 
@@ -110,7 +111,10 @@ def analyze_classes(
     ``confirm_witnesses=True`` additionally replays synthesized
     interleavings on the cooperative scheduler to tag predicted
     ODE301/ODE302 deadlocks CONFIRMED vs POSSIBLE (slower: each witness
-    spins up a scratch in-memory database).
+    spins up a scratch in-memory database).  ``compilability=True`` adds
+    the opt-in ODE4xx pass judging which triggers the generated-code
+    posting tier may specialize (findings are advisory — a flagged
+    trigger simply posts through the interpreter).
     """
     report = AnalysisReport()
     metatypes = [_metatype_of(t) for t in targets]
@@ -192,19 +196,29 @@ def analyze_classes(
                 suppressed=suppressed,
             )
         )
+    if compilability:
+        from repro.analysis.compilable import check_compilability
+
+        report.extend(check_compilability(metatypes, effect_of))
 
     # ODE205 must see the *pre-suppression* report: a suppression is live
-    # exactly when the code it names was produced at its trigger.  ODE3xx
-    # suppressions are only judged when the (opt-in) concurrency pass ran.
+    # exactly when the code it names was produced at its trigger.  The
+    # opt-in passes are judged only when they actually ran — a skipped
+    # pass cannot prove a suppression stale.
     produced = {
         (diag.location.type_name, diag.location.trigger, diag.code)
         for diag in report.diagnostics
     }
+    unchecked = tuple(
+        prefix
+        for prefix, ran in (("ODE3", concurrency), ("ODE4", compilability))
+        if not ran
+    )
     report.extend(
         check_stale_suppressions(
             all_triggers,
             produced,
-            unchecked_prefixes=() if concurrency else ("ODE3",),
+            unchecked_prefixes=unchecked,
         )
     )
 
@@ -221,11 +235,18 @@ def analyze_classes(
 
 
 def analyze_class(
-    target, *, concurrency: bool = False, confirm_witnesses: bool = False
+    target,
+    *,
+    concurrency: bool = False,
+    confirm_witnesses: bool = False,
+    compilability: bool = False,
 ) -> AnalysisReport:
     """Analyze one persistent class (or metatype) in isolation."""
     return analyze_classes(
-        [target], concurrency=concurrency, confirm_witnesses=confirm_witnesses
+        [target],
+        concurrency=concurrency,
+        confirm_witnesses=confirm_witnesses,
+        compilability=compilability,
     )
 
 
@@ -234,6 +255,7 @@ def analyze_registry(
     *,
     concurrency: bool = False,
     confirm_witnesses: bool = False,
+    compilability: bool = False,
 ) -> AnalysisReport:
     """Analyze every registered class that declares events or triggers."""
     from repro.objects.metatype import Metatype, global_type_registry
@@ -246,7 +268,10 @@ def analyze_registry(
         and metatype.has_active_facilities()
     ]
     return analyze_classes(
-        actives, concurrency=concurrency, confirm_witnesses=confirm_witnesses
+        actives,
+        concurrency=concurrency,
+        confirm_witnesses=confirm_witnesses,
+        compilability=compilability,
     )
 
 

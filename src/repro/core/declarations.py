@@ -103,6 +103,12 @@ def set_strict_analysis(enabled: bool) -> bool:
     global _STRICT_ANALYSIS
     previous = _STRICT_ANALYSIS
     _STRICT_ANALYSIS = bool(enabled)
+    if previous != _STRICT_ANALYSIS:
+        # The analysis regime is part of the compile tier's cache key:
+        # flipping it invalidates every generated posting artifact.
+        from repro.core.compiled import bump_schema_version
+
+        bump_schema_version(f"strict_analysis:{_STRICT_ANALYSIS}")
     return previous
 
 
@@ -189,6 +195,7 @@ def process_active_class(cls: type, strict: bool | None = None) -> None:
     # -- merge inherited machinery (nearest base first) ----------------------
     inherited_events: list[EventDecl] = []
     inherited_masks: dict[str, Callable[..., bool]] = {}
+    inherited_mask_specs: dict[str, Callable[..., bool]] = {}
     inherited_wrappers: dict[str, Callable[..., Any]] = {}
     inherited_infos: list[TriggerInfo] = []
     for base in reversed(metatype.base_metatypes(registry)):
@@ -196,6 +203,7 @@ def process_active_class(cls: type, strict: bool | None = None) -> None:
             if decl not in inherited_events:
                 inherited_events.append(decl)
         inherited_masks.update(base.masks)
+        inherited_mask_specs.update(base.mask_specs)
         inherited_wrappers.update(base.method_wrappers)
         for info in base.all_trigger_infos:
             if all(existing.name != info.name for existing in inherited_infos):
@@ -233,9 +241,12 @@ def process_active_class(cls: type, strict: bool | None = None) -> None:
 
     # -- masks --------------------------------------------------------------------
     masks = dict(inherited_masks)
+    mask_specs = dict(inherited_mask_specs)
     for name, fn in cls.__dict__.get("__masks__", {}).items():
         masks[name] = _adapt_mask(name, fn)
+        mask_specs[name] = fn
     metatype.masks = masks
+    metatype.mask_specs = mask_specs
 
     # -- triggers --------------------------------------------------------------------
     from repro.core.constraints import make_constraint_decl
@@ -259,8 +270,10 @@ def process_active_class(cls: type, strict: bool | None = None) -> None:
                 f"got {type(decl).__name__}"
             )
         trigger_masks = dict(masks)
+        trigger_mask_specs = dict(mask_specs)
         for name, fn in decl.masks.items():
             trigger_masks[name] = _adapt_mask(name, fn)
+            trigger_mask_specs[name] = fn
         compiled = compile_expression(
             decl.expression,
             declared,
@@ -288,6 +301,11 @@ def process_active_class(cls: type, strict: bool | None = None) -> None:
             coupling=CouplingMode.parse(decl.coupling),
             params=decl.params,
             masks={name: trigger_masks[name] for name in compiled.masks},
+            mask_specs={
+                name: trigger_mask_specs[name]
+                for name in compiled.masks
+                if name in trigger_mask_specs
+            },
             posts=tuple(decl.posts),
             declared_masks=tuple(sorted(decl.masks)),
             suppress=tuple(decl.suppress),
@@ -315,6 +333,13 @@ def process_active_class(cls: type, strict: bool | None = None) -> None:
             method_name, before_int, after_int
         )
     metatype.method_wrappers = wrappers
+
+    # A class (re)compilation changes the trigger universe — its infos are
+    # fresh objects and event integers may have shifted — so every compiled
+    # posting artifact keyed by the old schema version must be evicted.
+    from repro.core.compiled import bump_schema_version
+
+    bump_schema_version(f"process_active_class:{cls.__name__}")
 
     # -- strict declaration-time analysis ------------------------------------------
     if strict is None:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro import obs
 from repro.core.posting import (
+    COMPILED_STATE_CACHE,
     DEPENDENT_LIST,
     END_LIST,
     INDEPENDENT_LIST,
@@ -64,6 +65,15 @@ class TriggerSystem:
         # Static confluence verdicts, lazily computed per anchor class:
         # metatype id -> frozenset of non-confluent trigger-name pairs.
         self._confluence_cache: dict[int, frozenset[frozenset[str]]] = {}
+        # The generated-code posting fast path (DESIGN.md §14).  The tier
+        # is process-global (trigger infos and their artifacts are); the
+        # flag is per-system so a database can opt out (benchmarks use it
+        # for interpreted baselines).  Correctness never depends on it:
+        # any withheld ODE4xx proof falls back to the interpreter.
+        from repro.core.compiled import global_compiled_tier
+
+        self.compiled = global_compiled_tier()
+        self.compiled_enabled = True
         db.txn_manager.on_begin(self._install_hooks)
 
     # -- transaction hook installation ----------------------------------------
@@ -155,6 +165,11 @@ class TriggerSystem:
         tstate = TriggerState.decode(raw)
         remaining = self.index.remove(txn, tstate.trigobj.rid, trigger_id.rid)
         db.storage.delete(txn.txid, trigger_id.rid)
+        # Storage may reuse the freed rid within this very transaction; a
+        # stale compiled-cache entry would then advance a dead machine.
+        compiled_cache = txn.attachments.get(COMPILED_STATE_CACHE)
+        if compiled_cache:
+            compiled_cache.pop(trigger_id.rid, None)
         if remaining == 0:
             try:
                 handle = db.deref(tstate.trigobj)
@@ -237,11 +252,14 @@ class TriggerSystem:
     def on_pdelete(self, db: "Database", ptr: PersistentPtr) -> None:
         """Deactivate everything anchored at a deleted object."""
         txn = db.txn_manager.current()
+        compiled_cache = txn.attachments.get(COMPILED_STATE_CACHE)
         for state_rid in self.index.drop_all(txn, ptr.rid):
             try:
                 db.storage.delete(txn.txid, state_rid)
             except RecordNotFoundError:
                 pass
+            if compiled_cache:
+                compiled_cache.pop(state_rid, None)
 
     # -- firing-order guard (DESIGN.md §9) ---------------------------------------
 

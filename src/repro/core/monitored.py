@@ -140,6 +140,13 @@ class LocalTriggerSystem:
         self._next_id = 1
         self._end_list: list[tuple[LocalTriggerState, TriggerInfo]] = []
         self.stats = PostingStats()
+        # Local states live in memory, so the compiled tier only saves the
+        # dispatch work — but it is the same artifact cache and the same
+        # ODE4xx gate as the persistent path (DESIGN.md §14).
+        from repro.core.compiled import global_compiled_tier
+
+        self.compiled = global_compiled_tier()
+        self.compiled_enabled = True
         self.db = db
         if db is not None:
             # Local states are deallocated at end-of-transaction.
@@ -228,9 +235,27 @@ class LocalTriggerSystem:
             self.stats.skipped_no_triggers += 1
             return 0
         ready: list[LocalTriggerState] = []
+        tier = self.compiled if self.compiled_enabled else None
         for local_id in list(local_ids):
             state = self._states[local_id]
             info = state.info
+
+            if tier is not None:
+                advance = tier.advancer_for(
+                    info, getattr(type(state.obj), "__metatype__", None)
+                )
+                if advance is not None:
+                    new_state, _consumed, accepted, steps = advance(
+                        state.statenum, eventnum, state.obj, state.params, occurrence
+                    )
+                    self.stats.fsm_advances += 1
+                    self.stats.masks_evaluated_posting += steps
+                    self.stats.compiled_hits += 1
+                    state.statenum = new_state
+                    if accepted:
+                        ready.append(state)
+                    continue
+                self.stats.compiled_fallbacks += 1
 
             def evaluate(mask: str, _info=info, _state=state) -> bool:
                 self.stats.masks_evaluated_posting += 1

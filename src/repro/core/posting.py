@@ -44,6 +44,15 @@ if TYPE_CHECKING:  # pragma: no cover
 END_LIST = "trigger:end_list"
 DEPENDENT_LIST = "trigger:dependent_list"
 INDEPENDENT_LIST = "trigger:independent_list"
+#: Per-transaction cache backing the compiled fast path: state_rid ->
+#: (decoded TriggerState, TriggerInfo, generated advance).  Sound under
+#: two-phase locking — the first ``storage.read`` of a state record takes
+#: a shared lock held to commit, so within one transaction nobody else
+#: can change it, and our own writes go through the cached object.  The
+#: cache dies with the transaction, so aborts need no special handling.
+#: The reserved ``"!v"`` entry (rids are ints, so no collision) pins the
+#: compile-tier schema version the cache was built against.
+COMPILED_STATE_CACHE = "trigger:compiled_states"
 
 
 class FrozenKwargs(Mapping):
@@ -187,6 +196,11 @@ class PostingStats:
     #: postings whose ready set contained a statically non-confluent
     #: trigger pair (the firing-order guard observed a real race)
     nonconfluent_firing_sets: int = 0
+    #: per-trigger advances served by the generated-code fast path
+    compiled_hits: int = 0
+    #: per-trigger advances that wanted the fast path but fell back to the
+    #: interpreter (ODE4xx proof withheld for that trigger)
+    compiled_fallbacks: int = 0
 
     @property
     def masks_evaluated(self) -> int:
@@ -244,11 +258,59 @@ def post_event(
         obs.emit(
             "index.lookup", span, rid=ptr.rid, txid=txn.txid, states=len(state_rids)
         )
+
+    # The compiled fast path: when the tier is enabled and obs is quiet
+    # (tracing wants the interpreter's per-mask events), serve advances
+    # from generated per-trigger code and a per-transaction cache of
+    # decoded states.  Disabled mid-transaction (obs flipped on, tier
+    # turned off), any existing cache is cleared so a later re-enable
+    # cannot resurrect a state the interpreter path has since rewritten.
+    cache = None
+    if system.compiled_enabled and not obs.ENABLED:
+        cache = txn.attachment(COMPILED_STATE_CACHE, dict)
+        version = system.compiled.version
+        if cache.get("!v") != version:
+            cache.clear()
+            cache["!v"] = version
+    else:
+        stale = txn.attachments.get(COMPILED_STATE_CACHE)
+        if stale:
+            stale.clear()
+
     for state_rid in state_rids:
-        raw = db.storage.read(txn.txid, state_rid)
-        tstate = TriggerState.decode(raw)
-        defining = db.registry.find(tstate.trigobjtype)
-        info = defining.trigger_info(tstate.triggernum)
+        entry = cache.get(state_rid) if cache is not None else None
+        if entry is None:
+            raw = db.storage.read(txn.txid, state_rid)
+            tstate = TriggerState.decode(raw)
+            defining = db.registry.find(tstate.trigobjtype)
+            info = defining.trigger_info(tstate.triggernum)
+            if cache is not None:
+                advance = system.compiled.advancer_for(info, defining)
+                if advance is not None:
+                    entry = (tstate, info, advance)
+                    cache[state_rid] = entry
+                else:
+                    stats.compiled_fallbacks += 1
+        else:
+            tstate, info, advance = entry
+
+        if entry is not None:
+            old_state = tstate.statenum
+            new_state, consumed, accepted, steps = advance(
+                old_state, eventnum, obj, tstate.params, occurrence
+            )
+            stats.fsm_advances += 1
+            stats.masks_evaluated_posting += steps
+            stats.compiled_hits += 1
+            if new_state != old_state:
+                tstate.statenum = new_state
+                db.storage.write(txn.txid, state_rid, tstate.encode())
+                stats.state_writes += 1
+            if accepted:
+                ready.append(
+                    FiringRecord(PersistentPtr(db.name, state_rid), tstate, info)
+                )
+            continue
 
         def evaluate(mask_name: str, _info=info, _tstate=tstate) -> bool:
             stats.masks_evaluated_posting += 1

@@ -221,6 +221,13 @@ class TriggerInfo:
     params: tuple[str, ...]
     #: mask name -> normalized (instance, params) predicate
     masks: dict[str, Callable[..., bool]] = dataclasses.field(default_factory=dict)
+    #: mask name -> the predicate exactly as declared (pre-``_adapt_mask``)
+    #: — what the ODE4xx compilability pass runs effect inference on; the
+    #: arity adapter is an opaque indirection that would widen everything
+    #: to unknown.  May be missing entries for run-time bridge triggers.
+    mask_specs: dict[str, Callable[..., bool]] = dataclasses.field(
+        default_factory=dict
+    )
     #: declared user events the action raises (from ``TriggerDecl.posts``)
     posts: tuple[str, ...] = ()
     #: mask names registered per-trigger at declaration (before filtering

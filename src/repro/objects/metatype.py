@@ -39,6 +39,10 @@ class Metatype:
         self.trigger_infos: list["TriggerInfo"] = []  # defined by THIS class
         self.all_trigger_infos: list["TriggerInfo"] = []  # incl. inherited
         self.masks: dict[str, Callable[..., bool]] = {}
+        # The mask callables exactly as declared, before `_adapt_mask`
+        # normalizes arity — the ODE4xx compilability pass analyzes these
+        # (the adapter's indirection would widen every mask to unknown).
+        self.mask_specs: dict[str, Callable[..., bool]] = {}
         self.method_wrappers: dict[str, Callable[..., Any]] = {}
         self.constraints: list[Any] = []
         # Run-time event integers: symbol -> globally-unique eventnum, and
@@ -133,6 +137,11 @@ class TypeRegistry:
         """
         with self._mutex:
             self._by_name[name] = shim
+        # A new trigger-bearing type changes the trigger universe: evict
+        # any compiled posting artifacts keyed by the old schema version.
+        from repro.core.compiled import bump_schema_version
+
+        bump_schema_version(f"register_shim:{name}")
 
     def find(self, name: str) -> Metatype:
         try:

@@ -74,6 +74,19 @@ class TriggerSystem:
 
         self.compiled = global_compiled_tier()
         self.compiled_enabled = True
+        # The trigger-state concurrency-control A/B switch (DESIGN.md §15):
+        # ``None`` means strict 2PL (the baseline — advances X-lock and
+        # rewrite the state record in place); a TriggerVersionManager means
+        # advances buffer against copy-on-write versions and merge at commit.
+        self.versions = None
+        if getattr(db, "trigger_cc", "2pl") == "mvcc":
+            from repro.core.versioned import TriggerVersionManager
+
+            self.versions = TriggerVersionManager(
+                db, conflict_policy=getattr(db, "mvcc_conflict", "replay")
+            )
+            if metrics is not None:
+                metrics.register_source("mvcc", self.versions.stats)
         db.txn_manager.on_begin(self._install_hooks)
 
     # -- transaction hook installation ----------------------------------------
@@ -103,7 +116,8 @@ class TriggerSystem:
                 f"{len(info.params)} argument(s) {info.params}, got {len(args)}"
             )
         handle = db.deref(ptr)
-        defining_cls = db.registry.find(info.defining_type).pyclass
+        defining_meta = db.registry.find(info.defining_type)
+        defining_cls = defining_meta.pyclass
         if not isinstance(handle.obj, defining_cls):
             raise TriggerError(
                 f"trigger {info.name} is defined by {info.defining_type}; "
@@ -138,6 +152,13 @@ class TriggerSystem:
         tstate.statenum, _ = info.fsm.quiesce(tstate.statenum, evaluate)
         state_rid = db.storage.insert(txn.txid, tstate.encode())
         self.index.add(txn, ptr.rid, state_rid)
+        if self.versions is not None:
+            # Same-transaction postings must find this machine in the
+            # advance buffer (its record is uncommitted, so the version
+            # chain cannot be loaded from storage yet).
+            self.versions.register_fresh(
+                txn, state_rid, tstate, info, defining_meta, handle.obj
+            )
         if obs.ENABLED:
             obs.emit(
                 "trigger.activate",
@@ -170,6 +191,8 @@ class TriggerSystem:
         compiled_cache = txn.attachments.get(COMPILED_STATE_CACHE)
         if compiled_cache:
             compiled_cache.pop(trigger_id.rid, None)
+        if self.versions is not None:
+            self.versions.mark_deactivated(txn, trigger_id.rid)
         if remaining == 0:
             try:
                 handle = db.deref(tstate.trigobj)
@@ -185,8 +208,22 @@ class TriggerSystem:
         """The triggers currently active on the object at *ptr*."""
         txn = self.db.txn_manager.current()
         result = []
+        buffer = None
+        if self.versions is not None:
+            from repro.core.versioned import ADVANCE_BUFFER
+
+            buffer = txn.attachments.get(ADVANCE_BUFFER)
         for state_rid in self.index.lookup(txn, ptr.rid):
-            tstate = TriggerState.decode(self.db.storage.read(txn.txid, state_rid))
+            entry = buffer.entries.get(state_rid) if buffer is not None else None
+            if entry is not None:
+                # This transaction's own buffered advances are visible to
+                # it (read-your-writes); clone so callers can't mutate the
+                # working copy.
+                tstate = entry.state.clone()
+            else:
+                tstate = TriggerState.decode(
+                    self.db.storage.read(txn.txid, state_rid)
+                )
             info = self.db.registry.find(tstate.trigobjtype).trigger_info(
                 tstate.triggernum
             )
@@ -260,6 +297,8 @@ class TriggerSystem:
                 pass
             if compiled_cache:
                 compiled_cache.pop(state_rid, None)
+            if self.versions is not None:
+                self.versions.mark_deactivated(txn, state_rid)
 
     # -- firing-order guard (DESIGN.md §9) ---------------------------------------
 

@@ -259,98 +259,111 @@ def post_event(
             "index.lookup", span, rid=ptr.rid, txid=txn.txid, states=len(state_rids)
         )
 
-    # The compiled fast path: when the tier is enabled and obs is quiet
-    # (tracing wants the interpreter's per-mask events), serve advances
-    # from generated per-trigger code and a per-transaction cache of
-    # decoded states.  Disabled mid-transaction (obs flipped on, tier
-    # turned off), any existing cache is cleared so a later re-enable
-    # cannot resurrect a state the interpreter path has since rewritten.
-    cache = None
-    if system.compiled_enabled and not obs.ENABLED:
-        cache = txn.attachment(COMPILED_STATE_CACHE, dict)
-        version = system.compiled.version
-        if cache.get("!v") != version:
-            cache.clear()
-            cache["!v"] = version
-    else:
-        stale = txn.attachments.get(COMPILED_STATE_CACHE)
-        if stale:
-            stale.clear()
-
-    for state_rid in state_rids:
-        entry = cache.get(state_rid) if cache is not None else None
-        if entry is None:
-            raw = db.storage.read(txn.txid, state_rid)
-            tstate = TriggerState.decode(raw)
-            defining = db.registry.find(tstate.trigobjtype)
-            info = defining.trigger_info(tstate.triggernum)
-            if cache is not None:
-                advance = system.compiled.advancer_for(info, defining)
-                if advance is not None:
-                    entry = (tstate, info, advance)
-                    cache[state_rid] = entry
-                else:
-                    stats.compiled_fallbacks += 1
-        else:
-            tstate, info, advance = entry
-
-        if entry is not None:
-            old_state = tstate.statenum
-            new_state, consumed, accepted, steps = advance(
-                old_state, eventnum, obj, tstate.params, occurrence
+    if system.versions is not None:
+        # MVCC (DESIGN.md §15): the advance goes to the per-transaction
+        # buffer over copy-on-write versions — no state record is read
+        # under a lock or written here; the commit-time merge does that.
+        for state_rid in state_rids:
+            record = _advance_buffered(
+                system, db, txn, state_rid, eventnum, obj, occurrence, span
             )
+            if record is not None:
+                ready.append(record)
+    else:
+        # The compiled fast path: when the tier is enabled and obs is quiet
+        # (tracing wants the interpreter's per-mask events), serve advances
+        # from generated per-trigger code and a per-transaction cache of
+        # decoded states.  Disabled mid-transaction (obs flipped on, tier
+        # turned off), any existing cache is cleared so a later re-enable
+        # cannot resurrect a state the interpreter path has since rewritten.
+        cache = None
+        if system.compiled_enabled and not obs.ENABLED:
+            cache = txn.attachment(COMPILED_STATE_CACHE, dict)
+            version = system.compiled.version
+            if cache.get("!v") != version:
+                cache.clear()
+                cache["!v"] = version
+        else:
+            stale = txn.attachments.get(COMPILED_STATE_CACHE)
+            if stale:
+                stale.clear()
+
+        for state_rid in state_rids:
+            entry = cache.get(state_rid) if cache is not None else None
+            if entry is None:
+                raw = db.storage.read(txn.txid, state_rid)
+                tstate = TriggerState.decode(raw)
+                defining = db.registry.find(tstate.trigobjtype)
+                info = defining.trigger_info(tstate.triggernum)
+                if cache is not None:
+                    advance = system.compiled.advancer_for(info, defining)
+                    if advance is not None:
+                        entry = (tstate, info, advance)
+                        cache[state_rid] = entry
+                    else:
+                        stats.compiled_fallbacks += 1
+            else:
+                tstate, info, advance = entry
+
+            if entry is not None:
+                old_state = tstate.statenum
+                new_state, consumed, accepted, steps = advance(
+                    old_state, eventnum, obj, tstate.params, occurrence
+                )
+                stats.fsm_advances += 1
+                stats.masks_evaluated_posting += steps
+                stats.compiled_hits += 1
+                if new_state != old_state:
+                    tstate.statenum = new_state
+                    db.storage.write(txn.txid, state_rid, tstate.encode())
+                    stats.state_writes += 1
+                if accepted:
+                    ready.append(
+                        FiringRecord(PersistentPtr(db.name, state_rid), tstate, info)
+                    )
+                continue
+
+            def evaluate(mask_name: str, _info=info, _tstate=tstate) -> bool:
+                stats.masks_evaluated_posting += 1
+                outcome = bool(_info.masks[mask_name](obj, _tstate.params, occurrence))
+                if obs.ENABLED:
+                    obs.emit(
+                        "mask.eval",
+                        span,
+                        mask=mask_name,
+                        trigger=_info.name,
+                        outcome=outcome,
+                        phase="posting",
+                    )
+                return outcome
+
+            old_state = tstate.statenum
+            result = info.fsm.advance(old_state, eventnum, evaluate)
             stats.fsm_advances += 1
-            stats.masks_evaluated_posting += steps
-            stats.compiled_hits += 1
-            if new_state != old_state:
-                tstate.statenum = new_state
+            if span:
+                obs.emit(
+                    "fsm.advance",
+                    span,
+                    trigger=info.name,
+                    from_state=old_state,
+                    to_state=result.state,
+                    consumed=result.consumed,
+                    accepted=result.accepted,
+                    pseudo_steps=result.pseudo_steps,
+                )
+            if result.state != old_state:
+                tstate.statenum = result.state
+                # The write that turns a read-only access into a write lock.
                 db.storage.write(txn.txid, state_rid, tstate.encode())
                 stats.state_writes += 1
-            if accepted:
+                if span:
+                    obs.emit(
+                        "state.write", span, state_rid=state_rid, trigger=info.name
+                    )
+            if result.accepted:
                 ready.append(
                     FiringRecord(PersistentPtr(db.name, state_rid), tstate, info)
                 )
-            continue
-
-        def evaluate(mask_name: str, _info=info, _tstate=tstate) -> bool:
-            stats.masks_evaluated_posting += 1
-            outcome = bool(_info.masks[mask_name](obj, _tstate.params, occurrence))
-            if obs.ENABLED:
-                obs.emit(
-                    "mask.eval",
-                    span,
-                    mask=mask_name,
-                    trigger=_info.name,
-                    outcome=outcome,
-                    phase="posting",
-                )
-            return outcome
-
-        old_state = tstate.statenum
-        result = info.fsm.advance(old_state, eventnum, evaluate)
-        stats.fsm_advances += 1
-        if span:
-            obs.emit(
-                "fsm.advance",
-                span,
-                trigger=info.name,
-                from_state=old_state,
-                to_state=result.state,
-                consumed=result.consumed,
-                accepted=result.accepted,
-                pseudo_steps=result.pseudo_steps,
-            )
-        if result.state != old_state:
-            tstate.statenum = result.state
-            # The write that turns a read-only access into a write lock.
-            db.storage.write(txn.txid, state_rid, tstate.encode())
-            stats.state_writes += 1
-            if span:
-                obs.emit("state.write", span, state_rid=state_rid, trigger=info.name)
-        if result.accepted:
-            ready.append(
-                FiringRecord(PersistentPtr(db.name, state_rid), tstate, info)
-            )
 
     # Fire only after every trigger has had the basic event posted.  When
     # more than one detection completed on the same posting, consult the
@@ -373,6 +386,105 @@ def post_event(
     if span:
         obs.end_span(span, "post", firings=len(ready))
     return len(ready)
+
+
+def _advance_buffered(
+    system: "TriggerSystem",
+    db: "Database",
+    txn: "Transaction",
+    state_rid: int,
+    eventnum: int,
+    obj: "Persistent",
+    occurrence: EventOccurrence,
+    span: int,
+) -> FiringRecord | None:
+    """Advance one machine against its per-transaction buffer entry.
+
+    First touch clones the latest *committed* version of the TriggerState
+    (no lock, no read of uncommitted data — see
+    :meth:`~repro.core.versioned.TriggerVersionManager.committed_head`);
+    later touches reuse the working copy.  Every posted event is appended
+    to the entry's log — including ones the FSM ignored from the current
+    state, because a commit-time replay from a *different* head may
+    consume them.  Returns a :class:`FiringRecord` when the machine
+    accepted, else ``None``.
+    """
+    from repro.core.versioned import BufferEntry
+
+    stats = system.stats
+    versions = system.versions
+    buffer = versions.buffer_of(txn)
+    entry = buffer.entries.get(state_rid)
+    if entry is None:
+        head = versions.committed_head(state_rid)
+        tstate = head.state.clone()
+        defining = db.registry.find(tstate.trigobjtype)
+        info = defining.trigger_info(tstate.triggernum)
+        entry = BufferEntry(
+            base_vid=head.vid, state=tstate, info=info, defining=defining, obj=obj
+        )
+        buffer.entries[state_rid] = entry
+    tstate, info = entry.state, entry.info
+
+    # The compiled tier composes with MVCC: the generated advance is
+    # cached on the entry and re-resolved when the tier's schema version
+    # moves (same staleness rule as the 2PL per-transaction cache).
+    advance = None
+    if system.compiled_enabled and not obs.ENABLED:
+        version = system.compiled.version
+        if entry.advance_version != version:
+            entry.advance = system.compiled.advancer_for(info, entry.defining)
+            entry.advance_version = version
+            if entry.advance is None:
+                stats.compiled_fallbacks += 1
+        advance = entry.advance
+
+    old_state = tstate.statenum
+    if advance is not None:
+        new_state, consumed, accepted, steps = advance(
+            old_state, eventnum, obj, tstate.params, occurrence
+        )
+        stats.masks_evaluated_posting += steps
+        stats.compiled_hits += 1
+        tstate.statenum = new_state
+    else:
+
+        def evaluate(mask_name: str) -> bool:
+            stats.masks_evaluated_posting += 1
+            outcome = bool(info.masks[mask_name](obj, tstate.params, occurrence))
+            if obs.ENABLED:
+                obs.emit(
+                    "mask.eval",
+                    span,
+                    mask=mask_name,
+                    trigger=info.name,
+                    outcome=outcome,
+                    phase="posting",
+                )
+            return outcome
+
+        result = info.fsm.advance(old_state, eventnum, evaluate)
+        tstate.statenum = result.state
+        accepted = result.accepted
+        if span:
+            obs.emit(
+                "fsm.advance",
+                span,
+                trigger=info.name,
+                from_state=old_state,
+                to_state=result.state,
+                consumed=result.consumed,
+                accepted=result.accepted,
+                pseudo_steps=result.pseudo_steps,
+            )
+    stats.fsm_advances += 1
+    entry.events.append((eventnum, occurrence))
+    versions.stats.buffered_advances += 1
+    if span and tstate.statenum != old_state:
+        obs.emit("state.buffer", span, state_rid=state_rid, trigger=info.name)
+    if accepted:
+        return FiringRecord(PersistentPtr(db.name, state_rid), tstate, info)
+    return None
 
 
 def dispatch_firing(

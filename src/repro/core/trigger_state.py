@@ -54,19 +54,60 @@ class TriggerState:
         encode_value(payload, out)
         return bytes(out)
 
+    #: Field-level validation applied by :meth:`decode`.  ``bool`` is an
+    #: ``int`` subclass, so the integer fields reject it explicitly — a
+    #: ``True`` statenum would otherwise advance the DFA from state 1.
+    _FIELD_TYPES = (
+        ("triggernum", int),
+        ("trigobj", PersistentPtr),
+        ("statenum", int),
+        ("trigobjtype", str),
+        ("params", dict),
+    )
+
     @classmethod
     def decode(cls, raw: bytes) -> "TriggerState":
         payload, _ = decode_value(raw, 0)
-        try:
-            return cls(
-                triggernum=payload["triggernum"],
-                trigobj=payload["trigobj"],
-                statenum=payload["statenum"],
-                trigobjtype=payload["trigobjtype"],
-                params=dict(payload["params"]),
+        if not isinstance(payload, dict):
+            raise TriggerError(
+                "corrupt trigger-state record: payload is "
+                f"{type(payload).__name__}, expected a mapping"
             )
-        except (KeyError, TypeError) as exc:
-            raise TriggerError(f"corrupt trigger-state record: {exc}") from exc
+        for name, expected in cls._FIELD_TYPES:
+            if name not in payload:
+                raise TriggerError(
+                    f"corrupt trigger-state record: missing field {name!r}"
+                )
+            value = payload[name]
+            if not isinstance(value, expected) or (
+                expected is int and isinstance(value, bool)
+            ):
+                # Half-valid records used to pass silently here and blow
+                # up deep in the DFA advance; name the offending field so
+                # fsck/ODE1xx can report instead of crash.
+                raise TriggerError(
+                    f"corrupt trigger-state record: field {name!r} is "
+                    f"{type(value).__name__} ({value!r}), expected "
+                    f"{expected.__name__}"
+                )
+        return cls(
+            triggernum=payload["triggernum"],
+            trigobj=payload["trigobj"],
+            statenum=payload["statenum"],
+            trigobjtype=payload["trigobjtype"],
+            params=dict(payload["params"]),
+        )
+
+    def clone(self) -> "TriggerState":
+        """An independent working copy (the MVCC buffer advances clones,
+        never the immutable committed snapshots)."""
+        return TriggerState(
+            triggernum=self.triggernum,
+            trigobj=self.trigobj,
+            statenum=self.statenum,
+            trigobjtype=self.trigobjtype,
+            params=dict(self.params),
+        )
 
     def arg_tuple(self, param_names: tuple[str, ...]) -> tuple[Any, ...]:
         """The activation arguments in declaration order."""

@@ -152,15 +152,20 @@ def run_workload(
     *,
     engine: str = "disk",
     buffer_capacity: int = 3,
+    trigger_cc: str = "2pl",
 ) -> None:
     """One deterministic pass of the trigger-posting workload.
 
     Raises :class:`~repro.errors.InjectedCrashError` when *injector* is
     armed with a crash; the caller owns cleanup and recovery.
+
+    *trigger_cc* selects the TriggerState concurrency-control scheme; the
+    MVCC merge writes through the same WAL as 2PL, so the whole matrix
+    must hold unchanged under ``"mvcc"``.
     """
     from repro.objects.database import Database
 
-    kwargs: dict[str, Any] = {"injector": injector}
+    kwargs: dict[str, Any] = {"injector": injector, "trigger_cc": trigger_cc}
     if engine == "disk":
         kwargs["buffer_capacity"] = buffer_capacity
     db = Database.open(path, engine=engine, name=f"matrix:{path}", **kwargs)
@@ -259,10 +264,12 @@ def run_workload(
 # ---------------------------------------------------------------------------
 
 
-def record_trace(path: str, *, engine: str = "disk") -> list[HitRecord]:
+def record_trace(
+    path: str, *, engine: str = "disk", trigger_cc: str = "2pl"
+) -> list[HitRecord]:
     """The fault-free run: every failpoint hit, in order."""
     injector = FaultInjector(recording=True)
-    run_workload(path, injector, Oracle(), engine=engine)
+    run_workload(path, injector, Oracle(), engine=engine, trigger_cc=trigger_cc)
     return injector.trace
 
 
@@ -286,7 +293,12 @@ def select_hits(trace: list[HitRecord], limit: int | None) -> list[int]:
 
 
 def crash_and_verify(
-    path: str, crash_at: int, point: str, *, engine: str = "disk"
+    path: str,
+    crash_at: int,
+    point: str,
+    *,
+    engine: str = "disk",
+    trigger_cc: str = "2pl",
 ) -> CrashOutcome:
     """Run the workload crashing at trace index *crash_at*, then recover
     and check every invariant.  Raises AssertionError on violation."""
@@ -298,14 +310,16 @@ def crash_and_verify(
     injector = FaultInjector(crash_at=crash_at)
     oracle = Oracle()
     try:
-        run_workload(path, injector, oracle, engine=engine)
+        run_workload(path, injector, oracle, engine=engine, trigger_cc=trigger_cc)
     except InjectedCrashError:
         pass
     else:
         raise AssertionError(f"crash_at={crash_at} never fired")
 
     # -- recovery (no injector: the next process boots on real I/O) -------
-    kwargs: dict[str, Any] = {}
+    # Recovery deliberately reopens with the same trigger_cc: the merged
+    # TriggerState bytes are plain WAL'd records either way.
+    kwargs: dict[str, Any] = {"trigger_cc": trigger_cc}
     if engine == "disk":
         kwargs["buffer_capacity"] = 8
     recovered = Database.open(
@@ -389,18 +403,23 @@ def explore(
     *,
     engine: str = "disk",
     limit: int | None = None,
+    trigger_cc: str = "2pl",
 ) -> MatrixResult:
     """Record the trace, then crash-and-verify at the selected hits.
 
     *base_path* is a directory-like prefix: each run gets its own file
     set (``<base_path>-trace``, ``<base_path>-h<i>``).
     """
-    trace = record_trace(f"{base_path}-trace", engine=engine)
+    trace = record_trace(f"{base_path}-trace", engine=engine, trigger_cc=trigger_cc)
     outcomes = []
     for i in select_hits(trace, limit):
         outcomes.append(
             crash_and_verify(
-                f"{base_path}-h{i}", i, trace[i].point, engine=engine
+                f"{base_path}-h{i}",
+                i,
+                trace[i].point,
+                engine=engine,
+                trigger_cc=trigger_cc,
             )
         )
     return MatrixResult(trace=trace, explored=outcomes)

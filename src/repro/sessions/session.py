@@ -58,8 +58,13 @@ class SessionStats:
     opened: int = 0
     closed: int = 0
     peak_concurrent: int = 0
+    #: deadlock-victim attempts that were actually retried (an attempt
+    #: whose budget was exhausted re-raises and is *not* counted here —
+    #: it lands in ``retry_exhausted`` instead)
     deadlock_retries: int = 0
-    #: transactions that exhausted their deadlock-retry budget
+    #: MVCC lost-update conflicts (TriggerStateConflictError) retried
+    conflict_retries: int = 0
+    #: transactions that exhausted their retry budget
     retry_exhausted: int = 0
     system_txns: int = 0
 
@@ -184,6 +189,15 @@ class Session:
                     return body(txn)
             except Exception as exc:
                 klass, may_retry = state.consume(exc)
+                if not may_retry:
+                    # An exhausted victim is not a retry: count it only in
+                    # retry_exhausted, so `deadlock_retries` stays equal to
+                    # the number of extra attempts actually made (E16's
+                    # "deadlock retries" column reports retries, not
+                    # victims).
+                    if klass.retryable:
+                        self.db.session_stats.retry_exhausted += 1
+                    raise
                 if klass is RetryClass.DEADLOCK:
                     self.db.session_stats.deadlock_retries += 1
                     if obs.ENABLED:
@@ -192,17 +206,16 @@ class Session:
                             session=self.name,
                             attempt=state.attempts[klass],
                         )
-                elif klass.retryable and obs.ENABLED:
-                    obs.emit(
-                        "session.retry",
-                        session=self.name,
-                        klass=klass.value,
-                        attempt=state.attempts[klass],
-                    )
-                if not may_retry:
-                    if klass.retryable:
-                        self.db.session_stats.retry_exhausted += 1
-                    raise
+                else:
+                    if klass is RetryClass.CC_CONFLICT:
+                        self.db.session_stats.conflict_retries += 1
+                    if obs.ENABLED:
+                        obs.emit(
+                            "session.retry",
+                            session=self.name,
+                            klass=klass.value,
+                            attempt=state.attempts[klass],
+                        )
                 self.db.metrics.counter(f"retries.{klass.value}").inc()
                 self._backoff(state.total_attempts, chosen)
 

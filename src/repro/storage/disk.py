@@ -377,6 +377,26 @@ class DiskStorageManager(StorageManager):
             self._write_raw(rid, bytes(data))
             self.stats.writes += 1
 
+    def write_merged(self, txid: int, rid: int, data: bytes) -> None:
+        # Lock-free by contract: the MVCC version manager's commit mutex
+        # is the only serialization (see StorageManager.write_merged).
+        self._check_open()
+        self._check_writable()
+        self._require_active(txid)
+        with self._mutex:
+            before = self._read_raw(rid)
+            record = self._append_logged(
+                txid, LogRecordKind.UPDATE, rid, before, bytes(data)
+            )
+            self._active[txid].append(record)
+            self._write_raw(rid, bytes(data))
+            self.stats.writes += 1
+
+    def peek(self, rid: int) -> bytes:
+        self._check_open()
+        with self._mutex:
+            return self._read_raw(rid)
+
     def delete(self, txid: int, rid: int) -> None:
         self._check_open()
         self._check_writable()

@@ -109,6 +109,30 @@ class StorageManager(ABC):
         """Replace the record at *rid* with *data*."""
 
     @abstractmethod
+    def write_merged(self, txid: int, rid: int, data: bytes) -> None:
+        """Replace the record at *rid* **without acquiring its lock**.
+
+        The MVCC commit-time merge path (DESIGN.md §15): the caller — the
+        :class:`~repro.core.versioned.TriggerVersionManager` — serializes
+        merges under its own commit mutex, so the record lock would add
+        nothing but the E6 read→write amplification this scheme removes.
+        The mutation is WAL-logged exactly like :meth:`write` (``UPDATE``
+        with a before-image), so abort and crash recovery are unchanged.
+        Never use this outside commit-time merging.
+        """
+
+    @abstractmethod
+    def peek(self, rid: int) -> bytes:
+        """Return *rid*'s current bytes without locking or a transaction.
+
+        Used to load MVCC version chains lazily: sound only for records
+        whose every mutation is serialized elsewhere (trigger states under
+        ``trigger_cc="mvcc"`` — their rids become visible to other
+        transactions only after the activating transaction committed).
+        Raises ``RecordNotFoundError``.
+        """
+
+    @abstractmethod
     def delete(self, txid: int, rid: int) -> None:
         """Remove the record at *rid*."""
 

@@ -69,7 +69,15 @@ class LockRequestStatus(enum.Enum):
 
 @dataclasses.dataclass
 class LockStats:
-    """Counters consumed by experiment E6 (lock amplification)."""
+    """Counters consumed by experiment E6 (lock amplification).
+
+    Every increment happens inside the owning
+    :class:`LockManager`'s mutex (the manager shares that mutex in as
+    :attr:`_mutex`), and :meth:`snapshot`/:meth:`reset` take it too —
+    otherwise a snapshot concurrent with a grant could see
+    ``x_acquired`` without its paired ``upgrades`` (a torn multi-counter
+    view), and a reset racing an increment would lose it.
+    """
 
     s_acquired: int = 0
     x_acquired: int = 0
@@ -82,12 +90,23 @@ class LockStats:
     #: waiters woken with :class:`WaitPoisonedError` (crash/close wake-all)
     poisoned_waits: int = 0
 
+    def __post_init__(self) -> None:
+        # Standalone instances (tests) get their own lock; a LockManager
+        # replaces it with the manager mutex so snapshot/reset serialize
+        # against the increments themselves.
+        self._mutex = threading.Lock()
+
     def snapshot(self) -> dict[str, int]:
-        return dataclasses.asdict(self)
+        with self._mutex:
+            return {
+                field.name: getattr(self, field.name)
+                for field in dataclasses.fields(self)
+            }
 
     def reset(self) -> None:
-        for field in dataclasses.fields(self):
-            setattr(self, field.name, 0)
+        with self._mutex:
+            for field in dataclasses.fields(self):
+                setattr(self, field.name, 0)
 
 
 # -- cooperative wait hooks ----------------------------------------------------
@@ -130,6 +149,7 @@ class LockManager:
         self._waits_for: dict[int, set[int]] = defaultdict(set)
         self.stats = LockStats()
         self._mutex = threading.RLock()
+        self.stats._mutex = self._mutex
         self._cond = threading.Condition(self._mutex)
         #: Conflict behaviour of :meth:`lock`: ``False`` (serial database)
         #: raises LockError, ``True`` (multi-session) blocks until granted.

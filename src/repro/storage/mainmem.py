@@ -301,6 +301,29 @@ class MainMemoryStorageManager(StorageManager):
             self._store[rid] = bytes(data)
             self.stats.writes += 1
 
+    def write_merged(self, txid: int, rid: int, data: bytes) -> None:
+        # Lock-free by contract: the MVCC version manager's commit mutex
+        # is the only serialization (see StorageManager.write_merged).
+        self._check_open()
+        self._check_writable()
+        self._require_active(txid)
+        with self._mutex:
+            try:
+                before = self._store[rid]
+            except KeyError:
+                raise RecordNotFoundError(f"rid {rid} not found") from None
+            self._log(txid, LogRecordKind.UPDATE, rid, before, data)
+            self._store[rid] = bytes(data)
+            self.stats.writes += 1
+
+    def peek(self, rid: int) -> bytes:
+        self._check_open()
+        with self._mutex:
+            try:
+                return self._store[rid]
+            except KeyError:
+                raise RecordNotFoundError(f"rid {rid} not found") from None
+
     def delete(self, txid: int, rid: int) -> None:
         self._check_open()
         self._check_writable()

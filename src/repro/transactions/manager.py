@@ -153,10 +153,26 @@ class TransactionManager:
             txn.state = TxnState.ACTIVE
             self.abort(txn, explicit=True)
             return txn.state
+        trigger_system = getattr(self.db, "trigger_system", None)
+        versions = getattr(trigger_system, "versions", None)
         try:
             self.dependencies.check_commit_allowed(txn.txid, self.outcomes)
             self.db.flush_transaction(txn)
-            self.db.storage.commit_transaction(txn.txid)
+            if versions is not None and versions.pending(txn):
+                # MVCC commit-time merge (DESIGN.md §15): validate and
+                # write the buffered TriggerState advances, make the
+                # transaction durable, then publish the new version heads
+                # — all under the version manager's commit mutex so no
+                # concurrent committer can validate against a head that
+                # is about to move.  A TriggerStateConflictError raised
+                # here (conflict_policy="abort") lands in the except arm:
+                # the abort's WAL undo rolls back any merged writes.
+                with versions.commit_mutex:
+                    publishes = versions.commit_merge(txn)
+                    self.db.storage.commit_transaction(txn.txid)
+                    versions.publish(txn, publishes)
+            else:
+                self.db.storage.commit_transaction(txn.txid)
         except BaseException:
             txn.state = TxnState.ACTIVE
             self.abort(txn, explicit=False)

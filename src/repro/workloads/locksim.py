@@ -97,6 +97,12 @@ class WorkloadResult:
     lock_waits: int = 0
     state_writes: int = 0
     switches: int = 0
+    # MVCC-only figures (zero under the 2PL baseline):
+    buffered_advances: int = 0
+    merges: int = 0
+    conflicts: int = 0
+    replays: int = 0
+    conflict_retries: int = 0
 
     @property
     def wait_fraction(self) -> float:
@@ -123,12 +129,19 @@ def run_hot_set(
     engine: str = "mm",
     path: str | None = None,
     trace_out: list | None = None,
+    trigger_cc: str = "2pl",
 ) -> WorkloadResult:
     """Run the hot-set workload on a fresh database; returns the result.
 
     *transactions* are divided round-robin over *n_sessions* session tasks
     under a cooperative scheduler, so a given parameter set always produces
     the same interleaving, the same lock schedule, and the same result.
+
+    *trigger_cc* selects the TriggerState concurrency-control scheme
+    (DESIGN.md §15): ``"2pl"`` is the paper's baseline — every FSM advance
+    X-locks and rewrites the state record; ``"mvcc"`` buffers advances
+    against copy-on-write versions and merges them at commit, so the same
+    client code takes zero X locks on trigger state.
 
     When *trace_out* is a list, :mod:`repro.obs` tracing is enabled for the
     measured phase only (setup transactions predict nothing the per-posting
@@ -142,7 +155,7 @@ def run_hot_set(
         # an anonymous run gets a temporary directory of its own.
         workdir = tempfile.mkdtemp(prefix="locksim-")
         path = os.path.join(workdir, f"hotset-{next(_run_ids)}")
-    db = Database.open(path, engine=engine)
+    db = Database.open(path, engine=engine, trigger_cc=trigger_cc)
     tracing = False
     try:
         ptrs = setup_hot_set(db, n_objects, triggers_per_object)
@@ -152,9 +165,12 @@ def run_hot_set(
 
         lock_stats = db.storage.lock_manager.stats
         post_stats = db.trigger_system.stats
-        locks_before = dataclasses.asdict(lock_stats)
+        mvcc_stats = getattr(db.trigger_system.versions, "stats", None)
+        locks_before = lock_stats.snapshot()
         posts_before = post_stats.snapshot()
+        mvcc_before = mvcc_stats.snapshot() if mvcc_stats is not None else {}
         retries_before = db.session_stats.deadlock_retries
+        conflict_retries_before = db.session_stats.conflict_retries
 
         scheduler = CooperativeScheduler()
         result = WorkloadResult()
@@ -202,6 +218,17 @@ def run_hot_set(
             "state_writes"
         ]
         result.switches = scheduler.switches
+        if mvcc_stats is not None:
+            after = mvcc_stats.snapshot()
+            result.buffered_advances = (
+                after["buffered_advances"] - mvcc_before["buffered_advances"]
+            )
+            result.merges = after["merges"] - mvcc_before["merges"]
+            result.conflicts = after["conflicts"] - mvcc_before["conflicts"]
+            result.replays = after["replays"] - mvcc_before["replays"]
+            result.conflict_retries = (
+                db.session_stats.conflict_retries - conflict_retries_before
+            )
         assert (
             db.session_stats.deadlock_retries - retries_before
             == result.deadlock_aborts

@@ -91,9 +91,9 @@ _SCRIPT = st.lists(_BATCH, min_size=1, max_size=8)
 COMPILABLE_TRIGGERS = ("Pair", "Hot", "Low", "Deferred")
 
 
-def _replay(base_path, script, compiled_enabled):
+def _replay(base_path, script, compiled_enabled, trigger_cc="2pl"):
     """Run *script* on a fresh database; return (firings, states, stats)."""
-    db = Database.open(base_path, engine="mm")
+    db = Database.open(base_path, engine="mm", trigger_cc=trigger_cc)
     try:
         db.trigger_system.compiled_enabled = compiled_enabled
         with db.transaction():
@@ -144,6 +144,36 @@ def test_compiled_equals_interpreted(tmp_path_factory, script):
     assert compiled[1] == interp[1]  # surviving states + statenums
     assert compiled[2] == interp[2]  # posting.* counters
     assert interp[3] == {"compiled_hits": 0, "compiled_fallbacks": 0}
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(script=_SCRIPT)
+def test_compiled_equals_interpreted_under_mvcc(tmp_path_factory, script):
+    """The tier's contract holds unchanged when advances buffer through
+    the version chain (DESIGN.md §15) instead of writing in place: the
+    BufferEntry caches the generated closure exactly like the 2PL
+    per-transaction cache, so firings, surviving states, and posting
+    counters must match the MVCC interpreter — except `state_writes`,
+    which is 0 by construction under MVCC (merged versions go through
+    `storage.write_merged`, not the posting path)."""
+    root = tmp_path_factory.mktemp("difftier-mvcc")
+    interp = _replay(
+        str(root / "interp"), script, compiled_enabled=False, trigger_cc="mvcc"
+    )
+    compiled = _replay(
+        str(root / "compiled"), script, compiled_enabled=True, trigger_cc="mvcc"
+    )
+    assert compiled[0] == interp[0]  # firing order, incl. deferred drain
+    assert compiled[1] == interp[1]  # surviving states + statenums
+    assert compiled[2] == interp[2]  # posting.* counters
+    assert interp[2]["state_writes"] == 0
+    # And across schemes: MVCC commits the same states 2PL would.
+    baseline = _replay(str(root / "2pl"), script, compiled_enabled=True)
+    assert compiled[1] == baseline[1]
 
 
 def test_fast_path_engages_and_impure_falls_back(tmp_path):

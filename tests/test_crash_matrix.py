@@ -63,3 +63,20 @@ def test_full_matrix_mm(tmp_path):
     trace = record_trace(str(tmp_path / "t"), engine="mm")
     for i in range(len(trace)):
         crash_and_verify(str(tmp_path / f"h{i}"), i, trace[i].point, engine="mm")
+
+
+@pytest.mark.crash_matrix
+@pytest.mark.parametrize("engine", ["disk", "mm"])
+def test_full_matrix_mvcc(tmp_path, engine):
+    """The exhaustive matrix with trigger_cc="mvcc": the merge path's
+    write_merged records are WAL'd like any UPDATE, so every invariant
+    (atomicity, index, phoenix exactly-once, fsck) must hold unchanged."""
+    trace = record_trace(str(tmp_path / "t"), engine=engine, trigger_cc="mvcc")
+    for i in range(len(trace)):
+        crash_and_verify(
+            str(tmp_path / f"h{i}"),
+            i,
+            trace[i].point,
+            engine=engine,
+            trigger_cc="mvcc",
+        )

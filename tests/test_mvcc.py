@@ -1,0 +1,663 @@
+"""The versioned TriggerState scheme (DESIGN.md §15) and its satellites.
+
+Covers:
+
+* the advance buffer: zero X locks / zero in-place state writes for
+  posting transactions, read-your-writes visibility, abort discards;
+* the version chain: lazy load, publish-after-commit, immutability;
+* commit-time merge: first-committer fast path, lost-update detection,
+  both conflict policies (deterministic replay / abort-and-retry);
+* cross-scheme equivalence: under any cooperative interleaving, each
+  scheme's final committed state equals a serial replay of the same
+  transactions in its observed commit order (hypothesis), and with
+  transaction-boundary-only yields MVCC and 2PL agree *directly*;
+* the `TriggerState.decode` field validation satellite;
+* the `LockStats` snapshot/reset synchronization satellite.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    DatabaseError,
+    TriggerError,
+    TriggerStateConflictError,
+)
+from repro.core.trigger_state import TriggerState
+from repro.objects.database import Database
+from repro.objects.oid import PersistentPtr
+from repro.sessions.scheduler import CooperativeScheduler
+from repro.storage.locks import LockManager, LockMode, LockStats
+from repro.workloads.locksim import HotObject
+
+_ids = iter(range(10_000))
+
+
+def _open(engine="mm", path=None, **kwargs):
+    return Database.open(
+        path, engine=engine, name=f"mvcc-{next(_ids)}", **kwargs
+    )
+
+
+def _setup_watched(db, n_triggers=1):
+    with db.transaction():
+        handle = db.pnew(HotObject)
+        for _ in range(n_triggers):
+            handle.Watch()
+        return handle.ptr
+
+
+def _statenums(db, ptr):
+    with db.transaction():
+        return [s.statenum for _, s, _ in db.trigger_system.active_triggers(ptr)]
+
+
+# ---------------------------------------------------------------------------
+# Opening / configuration
+# ---------------------------------------------------------------------------
+
+
+def test_open_rejects_unknown_scheme_and_policy(tmp_path):
+    with pytest.raises(DatabaseError, match="trigger_cc"):
+        Database.open(None, engine="mm", name="bad-cc", trigger_cc="occ")
+    with pytest.raises(DatabaseError, match="mvcc_conflict"):
+        Database.open(
+            None, engine="mm", name="bad-pol",
+            trigger_cc="mvcc", mvcc_conflict="merge",
+        )
+    # Neither failed open may leak its name registration.
+    db = Database.open(None, engine="mm", name="bad-cc", trigger_cc="mvcc")
+    db.close()
+
+
+def test_2pl_baseline_has_no_version_manager():
+    db = _open()
+    try:
+        assert db.trigger_cc == "2pl"
+        assert db.trigger_system.versions is None
+    finally:
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# The advance buffer
+# ---------------------------------------------------------------------------
+
+
+def test_posting_takes_no_x_locks_and_writes_no_state():
+    db = _open(trigger_cc="mvcc")
+    try:
+        ptr = _setup_watched(db)
+        lock_before = db.storage.lock_manager.stats.snapshot()
+        with db.transaction():
+            h = db.deref(ptr)
+            h.post_event("Ping")
+            h.post_event("Pong")
+        lock_after = db.storage.lock_manager.stats.snapshot()
+        assert lock_after["x_acquired"] == lock_before["x_acquired"]
+        assert lock_after["upgrades"] == lock_before["upgrades"]
+        assert db.trigger_system.stats.state_writes == 0
+        mvcc = db.trigger_system.versions.stats
+        assert mvcc.buffered_advances == 2
+        assert mvcc.clean_merges == 1
+        assert mvcc.conflicts == 0
+    finally:
+        db.close()
+
+
+def test_buffered_advance_is_visible_to_own_transaction():
+    db = _open(trigger_cc="mvcc")
+    try:
+        ptr = _setup_watched(db)
+        with db.transaction():
+            h = db.deref(ptr)
+            before = [
+                s.statenum for _, s, _ in db.trigger_system.active_triggers(ptr)
+            ]
+            h.post_event("Ping")
+            during = [
+                s.statenum for _, s, _ in db.trigger_system.active_triggers(ptr)
+            ]
+        assert during != before  # read-your-writes through the buffer
+    finally:
+        db.close()
+
+
+def test_abort_discards_the_buffer():
+    db = _open(trigger_cc="mvcc")
+    try:
+        ptr = _setup_watched(db)
+        committed = _statenums(db, ptr)
+        txn = db.txn_manager.begin()
+        h = db.deref(ptr)
+        h.post_event("Ping")
+        db.txn_manager.abort(txn)
+        assert _statenums(db, ptr) == committed
+        assert db.trigger_system.versions.stats.merges == 0
+    finally:
+        db.close()
+
+
+def test_committed_states_match_2pl_semantics():
+    final = {}
+    for cc in ("2pl", "mvcc"):
+        db = _open(trigger_cc=cc)
+        try:
+            ptr = _setup_watched(db, n_triggers=2)
+            for _ in range(3):
+                with db.transaction():
+                    h = db.deref(ptr)
+                    h.post_event("Ping")
+                    h.post_event("Pong")
+            final[cc] = _statenums(db, ptr)
+        finally:
+            db.close()
+    assert final["mvcc"] == final["2pl"]
+
+
+def test_fresh_activation_and_advance_in_one_transaction():
+    db = _open(trigger_cc="mvcc")
+    try:
+        with db.transaction():
+            h = db.pnew(HotObject)
+            h.Watch()
+            h.post_event("Ping")  # advances the machine it just activated
+            ptr = h.ptr
+        states = _statenums(db, ptr)
+        assert len(states) == 1
+        # The Ping survived the commit of the fresh entry.
+        db2 = _open(trigger_cc="2pl")
+        try:
+            p2 = _setup_watched(db2)
+            with db2.transaction():
+                db2.deref(p2).post_event("Ping")
+            assert states == _statenums(db2, p2)
+        finally:
+            db2.close()
+    finally:
+        db.close()
+
+
+def test_deactivate_with_buffered_advances_drops_entry_and_chain():
+    db = _open(trigger_cc="mvcc")
+    try:
+        ptr = _setup_watched(db)
+        with db.transaction():
+            db.deref(ptr).post_event("Ping")  # materialize the chain
+        versions = db.trigger_system.versions
+        assert versions.chain_lengths()
+        with db.transaction():
+            h = db.deref(ptr)
+            h.post_event("Ping")
+            (tid, _, _), = db.trigger_system.active_triggers(ptr)
+            db.trigger_system.deactivate(tid)
+        assert versions.chain_lengths() == {}
+        assert _statenums(db, ptr) == []
+    finally:
+        db.close()
+
+
+def test_mvcc_durability_across_reopen(tmp_path):
+    path = str(tmp_path / "mvccdisk")
+    db = _open(engine="disk", path=path, trigger_cc="mvcc")
+    ptr = None
+    try:
+        ptr = _setup_watched(db)
+        with db.transaction():
+            db.deref(ptr).post_event("Ping")
+        expected = _statenums(db, ptr)
+    finally:
+        db.close()
+    db = _open(engine="disk", path=path, trigger_cc="mvcc")
+    try:
+        assert _statenums(db, PersistentPtr(db.name, ptr.rid)) == expected
+    finally:
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# Commit-time merge: conflicts
+# ---------------------------------------------------------------------------
+
+
+def _conflicting_pair(db, ptr, scheduler, *, retries=0):
+    """Two cooperative sessions that both buffer against the same base
+    version before either commits — a guaranteed lost update.
+
+    *retries* is the CC_CONFLICT retry budget (``session.run``'s
+    ``retries=`` keyword only overrides the deadlock budget).
+    """
+    from repro.faults.retry import DEFAULT_UNIFIED_RETRY, RetryClass
+
+    policy = DEFAULT_UNIFIED_RETRY.with_budget(RetryClass.CC_CONFLICT, retries)
+    outcomes = []
+
+    def make(idx, session):
+        def program():
+            def body(txn):
+                db_h = session.deref(ptr)
+                db_h.post_event("Ping")
+                scheduler.yield_now()  # both buffer before either commits
+                db_h.post_event("Pong")
+
+            try:
+                session.run(body, policy=policy)
+                outcomes.append((idx, "committed"))
+            except TriggerStateConflictError:
+                outcomes.append((idx, "conflict"))
+            finally:
+                session.close()
+
+        return program
+
+    for i in range(2):
+        session = db.session(f"racer-{i}")
+        scheduler.spawn(make(i, session), name=f"racer-{i}", session=session)
+    scheduler.run()
+    return outcomes
+
+
+def test_conflict_policy_replay_merges_both_transactions():
+    db = _open(trigger_cc="mvcc")
+    try:
+        ptr = _setup_watched(db)
+        scheduler = CooperativeScheduler()
+        outcomes = _conflicting_pair(db, ptr, scheduler)
+        assert sorted(outcomes) == [(0, "committed"), (1, "committed")]
+        mvcc = db.trigger_system.versions.stats
+        assert mvcc.conflicts >= 1
+        assert mvcc.replays == mvcc.conflicts
+        assert mvcc.conflict_aborts == 0
+        # Serial oracle: 4 events in commit order on a fresh 2PL database.
+        db2 = _open()
+        try:
+            p2 = _setup_watched(db2)
+            for _ in range(2):
+                with db2.transaction():
+                    h = db2.deref(p2)
+                    h.post_event("Ping")
+                    h.post_event("Pong")
+            assert _statenums(db, ptr) == _statenums(db2, p2)
+        finally:
+            db2.close()
+    finally:
+        db.close()
+
+
+def test_conflict_policy_abort_raises_and_retry_succeeds():
+    db = _open(trigger_cc="mvcc", mvcc_conflict="abort")
+    try:
+        ptr = _setup_watched(db)
+        scheduler = CooperativeScheduler()
+        outcomes = _conflicting_pair(db, ptr, scheduler, retries=5)
+        # The loser aborted, retried through session.run, and committed.
+        assert sorted(outcomes) == [(0, "committed"), (1, "committed")]
+        mvcc = db.trigger_system.versions.stats
+        assert mvcc.conflict_aborts >= 1
+        assert mvcc.replays == 0
+        assert db.session_stats.conflict_retries >= 1
+    finally:
+        db.close()
+
+
+def test_conflict_abort_without_retry_budget_propagates():
+    db = _open(trigger_cc="mvcc", mvcc_conflict="abort")
+    try:
+        ptr = _setup_watched(db)
+        scheduler = CooperativeScheduler()
+        outcomes = _conflicting_pair(db, ptr, scheduler, retries=0)
+        assert (0, "committed") in outcomes or (1, "committed") in outcomes
+        assert any(kind == "conflict" for _, kind in outcomes)
+        assert db.session_stats.retry_exhausted >= 1
+        # The exhausted victim must not have been counted as a retry.
+        assert db.session_stats.conflict_retries == 0
+    finally:
+        db.close()
+
+
+def test_version_chain_grows_one_head_per_publishing_commit():
+    db = _open(trigger_cc="mvcc")
+    try:
+        ptr = _setup_watched(db)
+        versions = db.trigger_system.versions
+        for expected in (2, 3, 4):  # activation head + one per commit
+            with db.transaction():
+                db.deref(ptr).post_event("Ping")
+            (length,) = versions.chain_lengths().values()
+            assert length == expected
+    finally:
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# E6 in miniature: the §6 pathology and its absence under MVCC
+# ---------------------------------------------------------------------------
+
+
+def test_hot_set_mvcc_zero_deadlocks_zero_x_locks():
+    from repro.workloads.locksim import run_hot_set
+
+    result = run_hot_set(
+        4, 1, n_sessions=8, transactions=40, trigger_cc="mvcc"
+    )
+    assert result.committed == 40
+    assert result.x_locks == 0
+    assert result.lock_waits == 0
+    assert result.deadlock_aborts == 0
+    assert result.state_writes == 0
+    assert result.buffered_advances > 0
+    assert result.merges > 0
+
+    baseline = run_hot_set(4, 1, n_sessions=8, transactions=40)
+    assert baseline.x_locks > 0 and baseline.lock_waits > 0
+
+
+# ---------------------------------------------------------------------------
+# Cross-scheme equivalence (hypothesis)
+# ---------------------------------------------------------------------------
+
+_EVENTS = st.lists(st.sampled_from(["Ping", "Pong"]), min_size=1, max_size=3)
+_SESSION_SCRIPT = st.lists(_EVENTS, min_size=1, max_size=3)
+_SCRIPT = st.lists(_SESSION_SCRIPT, min_size=2, max_size=3)
+
+
+def _run_script(script, trigger_cc):
+    """Run one transaction per event-list per session under a cooperative
+    scheduler; returns (final statenums, transactions in commit order)."""
+    db = _open(trigger_cc=trigger_cc)
+    try:
+        ptr = _setup_watched(db)
+        scheduler = CooperativeScheduler()
+        commit_order = []
+
+        def make(idx, txns):
+            session = db.session(f"s{idx}")
+
+            def program():
+                for t, events in enumerate(txns):
+
+                    def body(txn, events=events):
+                        h = session.deref(ptr)
+                        for ev in events:
+                            h.post_event(ev)
+                            scheduler.yield_now()
+
+                    session.run(body, retries=50)
+                    # No yield between the commit inside run() and this
+                    # append, so the log is the commit completion order.
+                    commit_order.append((idx, t))
+                    scheduler.yield_now()
+                session.close()
+
+            return program
+
+        for idx, txns in enumerate(script):
+            scheduler.spawn(make(idx, txns), name=f"s{idx}")
+        scheduler.run()
+        return _statenums(db, ptr), commit_order
+    finally:
+        db.close()
+
+
+def _serial_oracle(script, commit_order):
+    """The same transactions applied serially, in observed commit order."""
+    db = _open()  # plain 2PL, single session — trivially serial
+    try:
+        ptr = _setup_watched(db)
+        for idx, t in commit_order:
+            with db.transaction():
+                h = db.deref(ptr)
+                for ev in script[idx][t]:
+                    h.post_event(ev)
+        return _statenums(db, ptr)
+    finally:
+        db.close()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(script=_SCRIPT)
+def test_both_schemes_serialize_under_any_interleaving(script):
+    for cc in ("mvcc", "2pl"):
+        final, commit_order = _run_script(script, cc)
+        assert sorted(commit_order) == [
+            (idx, t) for idx in range(len(script))
+            for t in range(len(script[idx]))
+        ]
+        assert final == _serial_oracle(script, commit_order), (
+            f"{cc}: final state diverges from its own commit-order serial "
+            f"replay (order {commit_order})"
+        )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(script=_SCRIPT)
+def test_schemes_agree_directly_with_txn_boundary_yields(script):
+    """With no yields inside transaction bodies both schemes see the same
+    interleaving, so the committed states must be *identical*."""
+
+    def run(trigger_cc):
+        db = _open(trigger_cc=trigger_cc)
+        try:
+            ptr = _setup_watched(db)
+            scheduler = CooperativeScheduler()
+
+            def make(idx, txns):
+                session = db.session(f"s{idx}")
+
+                def program():
+                    for events in txns:
+
+                        def body(txn, events=events):
+                            h = session.deref(ptr)
+                            for ev in events:
+                                h.post_event(ev)
+
+                        session.run(body, retries=50)
+                        scheduler.yield_now()
+                    session.close()
+
+                return program
+
+            for idx, txns in enumerate(script):
+                scheduler.spawn(make(idx, txns), name=f"s{idx}")
+            scheduler.run()
+            return _statenums(db, ptr)
+        finally:
+            db.close()
+
+    assert run("mvcc") == run("2pl")
+
+
+# ---------------------------------------------------------------------------
+# Satellite: TriggerState.decode field validation
+# ---------------------------------------------------------------------------
+
+
+def _encoded_state(**overrides):
+    from repro.objects.serialize import encode_value
+
+    payload = {
+        "triggernum": 0,
+        "trigobj": PersistentPtr("db", 7),
+        "statenum": 1,
+        "trigobjtype": "HotObject",
+        "params": {},
+    }
+    payload.update(overrides)
+    out = bytearray()
+    encode_value(payload, out)
+    return bytes(out)
+
+
+class TestDecodeValidation:
+    def test_roundtrip_still_works(self):
+        decoded = TriggerState.decode(_encoded_state())
+        assert decoded.statenum == 1
+        assert decoded.trigobjtype == "HotObject"
+
+    @pytest.mark.parametrize(
+        "field_name, bad",
+        [
+            ("statenum", "one"),
+            ("statenum", True),  # bool is an int subclass: still corrupt
+            ("triggernum", 1.5),
+            ("trigobjtype", 42),
+            ("trigobj", "not-a-pointer"),
+            ("params", [1, 2]),
+        ],
+    )
+    def test_wrong_field_type_names_the_field(self, field_name, bad):
+        with pytest.raises(TriggerError, match=field_name):
+            TriggerState.decode(_encoded_state(**{field_name: bad}))
+
+    def test_non_mapping_payload_rejected(self):
+        from repro.objects.serialize import encode_value
+
+        out = bytearray()
+        encode_value([1, 2, 3], out)
+        with pytest.raises(TriggerError, match="mapping"):
+            TriggerState.decode(bytes(out))
+
+    def test_verify_integrity_reports_corrupt_record_instead_of_crashing(self):
+        db = _open()
+        try:
+            ptr = _setup_watched(db)
+            with db.transaction() as txn:
+                (state_rid,) = db.trigger_system.index.lookup(txn, ptr.rid)
+                db.storage.write(
+                    txn.txid, state_rid, _encoded_state(statenum="broken")
+                )
+            with db.transaction():
+                problems = db.trigger_system.verify_integrity()
+            assert any("statenum" in p for p in problems)
+        finally:
+            db.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: LockStats snapshot/reset synchronization
+# ---------------------------------------------------------------------------
+
+
+class TestLockStatsSynchronization:
+    N_THREADS = 8
+    ITERATIONS = 50
+
+    def test_exactly_once_counts_under_threads(self):
+        """8 threads do S-then-upgrade-to-X on private resources; every
+        counter must land exactly once per acquisition (the PR-7
+        ``FaultInjector.hits`` discipline applied to LockStats)."""
+        manager = LockManager()
+        manager.blocking = True
+        start = threading.Barrier(self.N_THREADS)
+        torn: list[dict] = []
+        stop = threading.Event()
+
+        def snapshotter():
+            # Concurrent observer: under the shared mutex a snapshot can
+            # never see x_acquired without its paired upgrades increment.
+            while not stop.is_set():
+                snap = manager.stats.snapshot()
+                if snap["upgrades"] != snap["x_acquired"]:
+                    torn.append(snap)
+
+        def worker(tid):
+            start.wait()
+            for i in range(self.ITERATIONS):
+                resource = f"r-{tid}-{i}"
+                txid = tid * 10_000 + i
+                manager.lock(txid, resource, LockMode.S)
+                manager.lock(txid, resource, LockMode.X)  # upgrade
+                manager.release_all(txid)
+
+        observer = threading.Thread(target=snapshotter)
+        observer.start()
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        observer.join()
+
+        total = self.N_THREADS * self.ITERATIONS
+        snap = manager.stats.snapshot()
+        assert snap["s_acquired"] == total
+        assert snap["x_acquired"] == total
+        assert snap["upgrades"] == total
+        assert torn == [], f"torn snapshot(s) observed: {torn[:3]}"
+
+    def test_reset_is_atomic_against_increments(self):
+        manager = LockManager()
+        manager.blocking = True
+        start = threading.Barrier(2)
+        done = threading.Event()
+
+        def worker():
+            start.wait()
+            for i in range(500):
+                txid = 1_000 + i
+                manager.lock(txid, f"rr-{i}", LockMode.S)
+                manager.lock(txid, f"rr-{i}", LockMode.X)
+                manager.release_all(txid)
+            done.set()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        start.wait()
+        while not done.is_set():
+            manager.stats.reset()
+            snap = manager.stats.snapshot()
+            # snapshot and the paired x/upgrade increments share the
+            # manager mutex, so the two counters can never be seen apart.
+            assert snap["x_acquired"] == snap["upgrades"]
+        t.join()
+
+    def test_standalone_stats_have_their_own_lock(self):
+        stats = LockStats()
+        stats.s_acquired = 3
+        assert stats.snapshot()["s_acquired"] == 3
+        stats.reset()
+        assert stats.snapshot()["s_acquired"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Crash matrix under MVCC (quick subsets; full matrices in
+# tests/test_crash_matrix.py behind the crash_matrix marker)
+# ---------------------------------------------------------------------------
+
+
+def test_mvcc_crash_quick_subset_mm(tmp_path):
+    from repro.faults.harness import explore
+
+    result = explore(
+        str(tmp_path / "mvcc-mm"), engine="mm", limit=10, trigger_cc="mvcc"
+    )
+    assert len(result.explored) >= 10
+    assert {"wal", "checkpoint"} <= result.families_explored
+
+
+def test_mvcc_crash_quick_subset_disk(tmp_path):
+    from repro.faults.harness import explore
+
+    result = explore(
+        str(tmp_path / "mvcc-disk"), engine="disk", limit=12, trigger_cc="mvcc"
+    )
+    assert len(result.explored) >= 12
+    assert {"wal", "page", "txn"} <= result.families_explored

@@ -187,7 +187,10 @@ class TestSessionRunClassifier:
         with pytest.raises(DeadlockError):
             db.default_session().run(body, retries=2)
         assert len(calls) == 3  # 1 + 2 retries, not the default 5
-        assert db.session_stats.deadlock_retries == 3
+        # Retries, not victims: the third attempt exhausted its budget and
+        # re-raised, so it lands in retry_exhausted, not deadlock_retries.
+        assert db.session_stats.deadlock_retries == 2
+        assert db.session_stats.retry_exhausted == 1
 
     def test_custom_policy_budget(self, mm_db):
         db = mm_db

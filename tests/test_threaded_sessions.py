@@ -91,6 +91,81 @@ class TestThreadedMM:
         assert db.session_stats.retry_exhausted == 0
 
 
+class TestThreadedMvcc:
+    """Real threads with ``trigger_cc="mvcc"``: trigger posting takes no
+    state X locks, so there are no lock-manager deadlocks to retry — the
+    commit-time merge (replay policy) must still converge to the same
+    committed FSM state as a serial run of the same transactions."""
+
+    @pytest.mark.parametrize("engine", ["mm", "disk"])
+    def test_posting_storm_converges(self, db_path, engine):
+        from repro.workloads.locksim import HotObject
+
+        db = Database.open(
+            db_path, engine=engine, name=f"th-mvcc-{engine}", trigger_cc="mvcc"
+        )
+        try:
+            sessions, txns = 6, 25
+            with db.transaction():
+                handle = db.pnew(HotObject)
+                handle.Watch()
+                ptr = handle.ptr
+
+            def make_body(session, index, txn_index):
+                def body(txn):
+                    h = session.deref(ptr)
+                    h.post_event("Ping")
+                    h.post_event("Pong")
+
+                return body
+
+            lock_before = db.storage.lock_manager.stats.snapshot()
+            run_threads(db, sessions, txns, make_body)
+            lock_after = db.storage.lock_manager.stats.snapshot()
+
+            assert lock_after["x_acquired"] == lock_before["x_acquired"]
+            assert lock_after["deadlocks"] == lock_before["deadlocks"]
+            mvcc = db.trigger_system.versions.stats
+            # Every posted event was buffered; replay preserves them all.
+            assert mvcc.buffered_advances == sessions * txns * 2
+            assert mvcc.replays == mvcc.conflicts
+            assert mvcc.conflict_aborts == 0
+
+            # Transactions are atomic Ping,Pong pairs in *some* order, so
+            # the serial equivalent is one such pair repeated — the final
+            # state must match a single pair on a fresh database.
+            with db.transaction():
+                (final,) = [
+                    s.statenum
+                    for _, s, _ in db.trigger_system.active_triggers(ptr)
+                ]
+            oracle = Database.open(
+                None, engine="mm", name=f"th-oracle-{engine}"
+            )
+            try:
+                with oracle.transaction():
+                    h = oracle.pnew(HotObject)
+                    h.Watch()
+                    optr = h.ptr
+                with oracle.transaction():
+                    h = oracle.deref(optr)
+                    h.post_event("Ping")
+                    h.post_event("Pong")
+                with oracle.transaction():
+                    (expected,) = [
+                        s.statenum
+                        for _, s, _ in oracle.trigger_system.active_triggers(
+                            optr
+                        )
+                    ]
+            finally:
+                oracle.close()
+            assert final == expected
+        finally:
+            if not db.closed:
+                db.close()
+
+
 class TestThreadedDisk:
     def test_disk_increments_durable_across_reopen(self, db_path):
         db = Database.open(db_path, engine="disk")

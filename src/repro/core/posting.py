@@ -439,6 +439,7 @@ def _advance_buffered(
                 stats.compiled_fallbacks += 1
         advance = entry.advance
 
+    mask_outcomes: dict[str, bool] = {}
     old_state = tstate.statenum
     if advance is not None:
         new_state, consumed, accepted, steps = advance(
@@ -452,6 +453,7 @@ def _advance_buffered(
         def evaluate(mask_name: str) -> bool:
             stats.masks_evaluated_posting += 1
             outcome = bool(info.masks[mask_name](obj, tstate.params, occurrence))
+            mask_outcomes[mask_name] = outcome
             if obs.ENABLED:
                 obs.emit(
                     "mask.eval",
@@ -478,8 +480,27 @@ def _advance_buffered(
                 pseudo_steps=result.pseudo_steps,
             )
     stats.fsm_advances += 1
-    entry.events.append((eventnum, occurrence))
-    versions.stats.buffered_advances += 1
+    if info.masks and versions.conflict_policy == "replay" and not entry.fresh:
+        # Capture what every remaining mask says *now*: a commit-time
+        # replay from a different head can walk a different DFA path and
+        # ask for masks this advance never reached, and by then the
+        # transaction may have mutated ``obj`` — replay must see the
+        # posting-time outcomes.  Bookkeeping, not posting semantics, so
+        # it stays out of ``masks_evaluated_posting``; a mask that raises
+        # here is left unrecorded (replay falls back to live evaluation).
+        for mask_name, mask in info.masks.items():
+            if mask_name not in mask_outcomes:
+                try:
+                    mask_outcomes[mask_name] = bool(
+                        mask(obj, tstate.params, occurrence)
+                    )
+                except Exception:
+                    pass
+    entry.events.append((eventnum, occurrence, mask_outcomes))
+    # Shared with the chain mutex (MvccStats discipline): posting runs on
+    # concurrent session threads, so the increment must not tear.
+    with versions.stats._mutex:
+        versions.stats.buffered_advances += 1
     if span and tstate.statenum != old_state:
         obs.emit("state.buffer", span, state_rid=state_rid, trigger=info.name)
     if accepted:

@@ -12,9 +12,11 @@ strict 2PL (``"2pl"``) remaining the baseline:
   first advance of a machine in a transaction clones the latest
   *committed* version of its TriggerState into a per-transaction
   :class:`BufferEntry`; the FSM advances against that private copy, and
-  every ``(eventnum, occurrence)`` it consumes is appended to the entry.
-  Read-only transactions therefore take **zero X locks** on ``state:*``
-  records, and the E6 deadlock cycle cannot form.
+  every ``(eventnum, occurrence, mask outcomes)`` it consumes is appended
+  to the entry — the outcomes are what the masks said *at posting time*,
+  so a commit-time replay cannot be skewed by later mutations of the
+  anchor object.  Read-only transactions therefore take **zero X locks**
+  on ``state:*`` records, and the E6 deadlock cycle cannot form.
 
 * **Version chain.**  :class:`TriggerVersionManager` keeps, per state
   rid, a chain of immutable :class:`StateVersion` snapshots.  The head is
@@ -38,10 +40,14 @@ strict 2PL (``"2pl"``) remaining the baseline:
 
 The merge → storage-commit → publish sequence runs under the manager's
 ``commit_mutex`` so no other transaction can validate against a head that
-is about to change.  Nothing inside that critical section can wait on the
+is about to change.  A merge that *fails* (conflict abort, storage error)
+rolls back under the same mutex — merged writes carry no record locks, so
+their WAL undo must not interleave with another committer's
+``write_merged``.  Nothing inside that critical section can wait on the
 lock manager (fresh-insert writes re-acquire an X lock the inserting
-transaction already holds, which grants immediately), so the cooperative
-scheduler cannot wedge on it.
+transaction already holds, which grants immediately, and the failure
+path defers its system-queue drain until the mutex is released), so the
+cooperative scheduler cannot wedge on it.
 
 Known semantic window: firings are dispatched optimistically at posting
 time from the buffered view.  A ``"replay"`` merge repairs the committed
@@ -91,13 +97,17 @@ class BufferEntry:
     """One machine's private working copy inside a transaction.
 
     ``state`` is a clone the FSM advances against; ``events`` is the
-    ordered ``(eventnum, occurrence)`` log the commit-time merge replays
-    on conflict; ``obj`` anchors mask evaluation during replay (the same
-    per-transaction cached instance posting used, so replay never
-    dereferences — and never locks — anything new at commit time).
-    ``fresh`` marks a machine activated by this very transaction: its
-    record was inserted (under the X lock inserts always grant
-    immediately) and has no committed base version to validate against.
+    ordered ``(eventnum, occurrence, mask outcomes)`` log the commit-time
+    merge replays on conflict — the outcomes dict snapshots what every
+    mask evaluated to *when the event was posted*, so replay is immune to
+    the transaction mutating the anchor object afterwards.  ``obj`` is
+    kept only as a last-resort evaluation anchor for a mask whose
+    posting-time capture raised (the same per-transaction cached instance
+    posting used, so replay never dereferences — and never locks —
+    anything new at commit time).  ``fresh`` marks a machine activated by
+    this very transaction: its record was inserted (under the X lock
+    inserts always grant immediately) and has no committed base version
+    to validate against.
     """
 
     __slots__ = (
@@ -141,7 +151,16 @@ class AdvanceBuffer:
 
 @dataclasses.dataclass
 class MvccStats:
-    """Counters for the versioned scheme (mounted as ``mvcc.*``)."""
+    """Counters for the versioned scheme (mounted as ``mvcc.*``).
+
+    Same discipline as :class:`~repro.storage.locks.LockStats`: every
+    increment happens under :attr:`_mutex` (the owning
+    :class:`TriggerVersionManager` shares its chain mutex in), and
+    :meth:`snapshot`/:meth:`reset` take it too — posting increments
+    ``buffered_advances`` from concurrent session threads, so an
+    unguarded ``+=`` would lose counts and a reset racing an increment
+    would tear.
+    """
 
     #: FSM advances served from the buffer instead of a locked write
     buffered_advances: int = 0
@@ -160,12 +179,23 @@ class MvccStats:
     #: new committed versions published
     versions_published: int = 0
 
+    def __post_init__(self) -> None:
+        # Standalone instances (tests) get their own lock; a version
+        # manager replaces it with its chain mutex so snapshot/reset
+        # serialize against the increments themselves.
+        self._mutex = threading.Lock()
+
     def snapshot(self) -> dict[str, int]:
-        return dataclasses.asdict(self)
+        with self._mutex:
+            return {
+                field.name: getattr(self, field.name)
+                for field in dataclasses.fields(self)
+            }
 
     def reset(self) -> None:
-        for field in dataclasses.fields(self):
-            setattr(self, field.name, 0)
+        with self._mutex:
+            for field in dataclasses.fields(self):
+                setattr(self, field.name, 0)
 
 
 class TriggerVersionManager:
@@ -179,10 +209,14 @@ class TriggerVersionManager:
             )
         self.db = db
         self.conflict_policy = conflict_policy
-        self.stats = MvccStats()
         #: state rid -> committed head version.
         self._chains: dict[int, StateVersion] = {}
         self._chain_mutex = threading.Lock()
+        self.stats = MvccStats()
+        # Counter increments share the chain mutex (LockStats discipline):
+        # sites already inside ``with self._chain_mutex`` increment
+        # directly; everything else takes ``stats._mutex``.
+        self.stats._mutex = self._chain_mutex
         #: Serializes [merge -> storage commit -> publish]; RLock so a
         #: diagnostic inside the section can still read heads.
         self.commit_mutex = threading.RLock()
@@ -286,14 +320,18 @@ class TriggerVersionManager:
             if not storage.exists(txn.txid, state_rid):
                 continue  # deactivated+committed elsewhere; chain already dropped
             head = self.committed_head(state_rid)
-            self.stats.merges += 1
             if head.vid == entry.base_vid:
                 merged = entry.state
-                self.stats.clean_merges += 1
+                with self._chain_mutex:
+                    self.stats.merges += 1
+                    self.stats.clean_merges += 1
             else:
-                self.stats.conflicts += 1
+                with self._chain_mutex:
+                    self.stats.merges += 1
+                    self.stats.conflicts += 1
                 if self.conflict_policy == "abort":
-                    self.stats.conflict_aborts += 1
+                    with self._chain_mutex:
+                        self.stats.conflict_aborts += 1
                     if obs.ENABLED:
                         obs.emit(
                             "mvcc.conflict",
@@ -307,7 +345,8 @@ class TriggerVersionManager:
                         txn.txid, state_rid, entry.base_vid, head.vid
                     )
                 merged = self._replay(entry, head.state)
-                self.stats.replays += 1
+                with self._chain_mutex:
+                    self.stats.replays += 1
                 if obs.ENABLED:
                     obs.emit(
                         "mvcc.conflict",
@@ -349,19 +388,29 @@ class TriggerVersionManager:
     def _replay(self, entry: BufferEntry, base: TriggerState) -> TriggerState:
         """Re-advance *entry*'s buffered event log from *base*.
 
-        Deterministic by construction: the event sequence, the masks, and
-        the anchor object are the ones the losing transaction itself used
-        (2PL on ordinary objects means nobody else changed ``entry.obj``
-        under it), and the interpreter FSM is pure given those inputs.
+        Deterministic by construction: the event sequence and the mask
+        outcomes are the ones recorded when each event was posted —
+        replaying from a *different* head may walk a different DFA path,
+        but every mask it can ask about was captured at posting time, so
+        a transaction that mutated the anchor object *after* posting
+        cannot make the merge disagree with its own observed run.  Only a
+        mask whose capture raised falls back to a live evaluation against
+        ``entry.obj`` (2PL on ordinary objects means nobody else changed
+        it under us).
         """
         info = entry.info
         merged = base.clone()
-        for eventnum, occurrence in entry.events:
+        for eventnum, occurrence, outcomes in entry.events:
 
-            def evaluate(mask_name: str, _occ=occurrence) -> bool:
-                return bool(
-                    info.masks[mask_name](entry.obj, merged.params, _occ)
-                )
+            def evaluate(
+                mask_name: str, _occ=occurrence, _outcomes=outcomes
+            ) -> bool:
+                try:
+                    return _outcomes[mask_name]
+                except KeyError:
+                    return bool(
+                        info.masks[mask_name](entry.obj, merged.params, _occ)
+                    )
 
             result = info.fsm.advance(merged.statenum, eventnum, evaluate)
             merged.statenum = result.state

@@ -164,18 +164,38 @@ class TransactionManager:
                 # transaction durable, then publish the new version heads
                 # — all under the version manager's commit mutex so no
                 # concurrent committer can validate against a head that
-                # is about to move.  A TriggerStateConflictError raised
-                # here (conflict_policy="abort") lands in the except arm:
-                # the abort's WAL undo rolls back any merged writes.
+                # is about to move.
                 with versions.commit_mutex:
-                    publishes = versions.commit_merge(txn)
-                    self.db.storage.commit_transaction(txn.txid)
+                    try:
+                        publishes = versions.commit_merge(txn)
+                        self.db.storage.commit_transaction(txn.txid)
+                    except BaseException:
+                        # A failed merge (TriggerStateConflictError under
+                        # conflict_policy="abort", or a storage error)
+                        # must roll back *before* the mutex is released:
+                        # merged writes are taken without record locks,
+                        # so a concurrent committer's write_merged could
+                        # otherwise slip between them and their WAL undo
+                        # — capturing this transaction's uncommitted
+                        # bytes as its before-image, then losing its own
+                        # committed merge to our rollback.  The
+                        # system-queue drain is deferred out of the
+                        # critical section: a drained body may wait on
+                        # record locks whose holders want this mutex.
+                        txn.state = TxnState.ACTIVE
+                        self.abort(txn, explicit=False, drain=False)
+                        raise
                     versions.publish(txn, publishes)
             else:
                 self.db.storage.commit_transaction(txn.txid)
         except BaseException:
-            txn.state = TxnState.ACTIVE
-            self.abort(txn, explicit=False)
+            if txn.state is TxnState.COMMITTING:
+                txn.state = TxnState.ACTIVE
+                self.abort(txn, explicit=False)
+            else:
+                # Already rolled back under the commit mutex above; run
+                # the deferred system-queue drain now the mutex is free.
+                self.drain_system_queue(txn.session)
             raise
         txn.state = TxnState.COMMITTED
         self._finish(txn)
@@ -193,10 +213,15 @@ class TransactionManager:
 
     # -- abort --------------------------------------------------------------------
 
-    def abort(self, txn: Transaction, *, explicit: bool = True) -> TxnState:
+    def abort(
+        self, txn: Transaction, *, explicit: bool = True, drain: bool = True
+    ) -> TxnState:
         """Roll *txn* back.  *explicit* aborts post ``before tabort`` events
         (via the before-abort hooks); implicit ones — crashes — cannot
-        (paper Section 6)."""
+        (paper Section 6).  ``drain=False`` skips the system-queue drain
+        (after-abort hooks still *schedule*); the MVCC commit path uses it
+        to keep system transactions out of the commit-mutex critical
+        section, draining once the mutex is released."""
         self._require_current(txn)
         if explicit:
             for hook in list(txn.before_abort):
@@ -219,7 +244,8 @@ class TransactionManager:
             )
         for hook in list(txn.after_abort):
             hook(txn)
-        self.drain_system_queue(txn.session)
+        if drain:
+            self.drain_system_queue(txn.session)
         return txn.state
 
     def _finish(self, txn: Transaction) -> None:

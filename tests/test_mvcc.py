@@ -12,28 +12,60 @@ Covers:
   transactions in its observed commit order (hypothesis), and with
   transaction-boundary-only yields MVCC and 2PL agree *directly*;
 * the `TriggerState.decode` field validation satellite;
-* the `LockStats` snapshot/reset synchronization satellite.
+* the `LockStats` snapshot/reset synchronization satellite;
+* the review fixes: failed merges roll back *inside* the commit mutex,
+  replay uses posting-time mask outcomes, and `MvccStats` increments are
+  exactly-once under real threads.
 """
 
 from __future__ import annotations
 
 import threading
+import types
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core.declarations import trigger
+from repro.core.versioned import MvccStats
 from repro.errors import (
     DatabaseError,
+    StorageError,
     TriggerError,
     TriggerStateConflictError,
 )
 from repro.core.trigger_state import TriggerState
 from repro.objects.database import Database
 from repro.objects.oid import PersistentPtr
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
 from repro.sessions.scheduler import CooperativeScheduler
 from repro.storage.locks import LockManager, LockMode, LockStats
 from repro.workloads.locksim import HotObject
+
+
+def _noop_action(self, ctx) -> None:
+    pass
+
+
+class GatedHot(Persistent):
+    """``Guard`` arms on ``Trip & hot`` — the mask outcome decides whether
+    the machine leaves its start state, so posting-time vs commit-time
+    mask evaluation is observable in the committed statenum."""
+
+    temp = field(float, default=0.0)
+
+    __events__ = ["Trip", "Reset"]
+    __masks__ = {"hot": lambda self: self.temp > 100.0}
+    __triggers__ = [
+        trigger(
+            "Guard",
+            "relative((Trip & hot), Reset)",
+            action=_noop_action,
+            perpetual=True,
+        ),
+    ]
 
 _ids = iter(range(10_000))
 
@@ -316,6 +348,154 @@ def test_conflict_abort_without_retry_budget_propagates():
         assert db.session_stats.retry_exhausted >= 1
         # The exhausted victim must not have been counted as a retry.
         assert db.session_stats.conflict_retries == 0
+    finally:
+        db.close()
+
+
+def test_replay_uses_posting_time_mask_outcomes():
+    """A conflict replay must re-advance with the mask outcomes observed
+    when each event was posted — not re-evaluate the masks against the
+    anchor object's commit-time attribute values, which the transaction
+    may have mutated after posting."""
+    db = _open(trigger_cc="mvcc")
+    try:
+        with db.transaction():
+            h = db.pnew(GatedHot)
+            h.Guard()
+            ptr = h.ptr
+        versions = db.trigger_system.versions
+        idle = _statenums(db, ptr)
+
+        txn = db.txn_manager.begin()
+        h = db.deref(ptr)
+        h.temp = 150.0
+        h.post_event("Trip")  # hot == True, captured at posting time
+        armed = [
+            s.statenum for _, s, _ in db.trigger_system.active_triggers(ptr)
+        ]
+        assert armed != idle  # the mask outcome is visible in the statenum
+        h.temp = 0.0  # a commit-time evaluation would now say hot == False
+
+        # Simulate a concurrent committer: republish the head (same state,
+        # new vid) so this transaction's merge takes the replay path.
+        (state_rid,) = versions.chain_lengths()
+        head = versions.head_or_none(state_rid)
+        versions.publish(
+            types.SimpleNamespace(attachments={}),
+            [(state_rid, head.state.clone())],
+        )
+        db.txn_manager.commit(txn)
+
+        assert versions.stats.replays == 1
+        assert _statenums(db, ptr) == armed
+    finally:
+        db.close()
+
+
+def test_failed_merge_rolls_back_under_the_commit_mutex():
+    """When the storage commit fails after write_merged calls succeeded,
+    the WAL undo must run while the commit mutex is still held: merged
+    writes carry no record locks, so a concurrent committer's
+    write_merged could otherwise capture the aborting transaction's
+    uncommitted bytes as its before-image and then lose its own committed
+    merge to the undo."""
+    db = _open(trigger_cc="mvcc")
+    try:
+        ptr = _setup_watched(db)
+        with db.transaction():
+            db.deref(ptr).post_event("Ping")  # materialize the chain
+        versions = db.trigger_system.versions
+        storage = db.storage
+        real_commit = storage.commit_transaction
+        real_abort = storage.abort_transaction
+        owned_at_abort = []
+
+        def failing_commit(txid):
+            raise StorageError("injected commit failure")
+
+        def recording_abort(txid):
+            owned_at_abort.append(versions.commit_mutex._is_owned())
+            return real_abort(txid)
+
+        storage.commit_transaction = failing_commit
+        storage.abort_transaction = recording_abort
+        try:
+            txn = db.txn_manager.begin()
+            db.deref(ptr).post_event("Ping")
+            with pytest.raises(StorageError, match="injected"):
+                db.txn_manager.commit(txn)
+        finally:
+            storage.commit_transaction = real_commit
+            storage.abort_transaction = real_abort
+
+        assert owned_at_abort == [True]
+        # The rollback restored the committed bytes: storage agrees with
+        # the published head, and the failed merge left no trace.
+        (state_rid,) = versions.chain_lengths()
+        head = versions.head_or_none(state_rid)
+        assert (
+            TriggerState.decode(storage.peek(state_rid)).statenum
+            == head.state.statenum
+        )
+        # The engine is healthy: the next transaction merges normally
+        # (Pong fires and re-arms the machine, flipping the statenum).
+        before = _statenums(db, ptr)
+        with db.transaction():
+            db.deref(ptr).post_event("Pong")
+        assert _statenums(db, ptr) != before
+    finally:
+        db.close()
+
+
+def test_conflict_abort_storm_keeps_storage_consistent_with_heads():
+    """Real threads, ``mvcc_conflict="abort"``: every losing transaction
+    rolls its merged writes back under the commit mutex, so storage bytes
+    can never diverge from the published version-chain head (the lost
+    committed update the rollback-outside-the-mutex race allowed)."""
+    db = _open(trigger_cc="mvcc", mvcc_conflict="abort")
+    try:
+        ptr = _setup_watched(db)
+        with db.transaction():
+            db.deref(ptr).post_event("Ping")  # materialize the chain
+        errors: list[Exception] = []
+        start = threading.Barrier(6)
+
+        def worker(index):
+            session = db.session(f"storm-{index}")
+            try:
+                start.wait()
+                for _ in range(15):
+
+                    def body(txn):
+                        h = session.deref(ptr)
+                        h.post_event("Ping")
+                        h.post_event("Pong")
+
+                    try:
+                        session.run(body)
+                    except TriggerStateConflictError:
+                        pass  # retry budget exhausted: already rolled back
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+            finally:
+                session.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+
+        versions = db.trigger_system.versions
+        for state_rid in versions.chain_lengths():
+            head = versions.head_or_none(state_rid)
+            assert (
+                TriggerState.decode(db.storage.peek(state_rid)).statenum
+                == head.state.statenum
+            ), "storage bytes diverged from the published head"
     finally:
         db.close()
 
@@ -635,6 +815,84 @@ class TestLockStatsSynchronization:
         assert stats.snapshot()["s_acquired"] == 3
         stats.reset()
         assert stats.snapshot()["s_acquired"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Satellite: MvccStats synchronization (same discipline as LockStats)
+# ---------------------------------------------------------------------------
+
+
+class TestMvccStatsSynchronization:
+    N_THREADS = 8
+    TXNS_EACH = 15
+
+    def test_buffered_advances_exactly_once_under_threads(self):
+        """8 threaded sessions post concurrently; ``buffered_advances``
+        must land exactly once per advance (posting increments it from
+        session threads, so an unguarded ``+=`` would lose counts), and a
+        concurrent snapshot must never see the merge counters torn apart
+        (``merges`` is incremented in the same critical section as its
+        ``clean_merges``/``conflicts`` breakdown)."""
+        db = _open(trigger_cc="mvcc")
+        try:
+            ptr = _setup_watched(db)
+            mvcc = db.trigger_system.versions.stats
+            errors: list[Exception] = []
+            torn: list[dict] = []
+            stop = threading.Event()
+            start = threading.Barrier(self.N_THREADS)
+
+            def snapshotter():
+                while not stop.is_set():
+                    snap = mvcc.snapshot()
+                    if snap["merges"] != snap["clean_merges"] + snap["conflicts"]:
+                        torn.append(snap)
+
+            def worker(index):
+                session = db.session(f"stats-{index}")
+                try:
+                    start.wait()
+                    for _ in range(self.TXNS_EACH):
+
+                        def body(txn):
+                            h = session.deref(ptr)
+                            h.post_event("Ping")
+                            h.post_event("Pong")
+
+                        session.run(body, retries=500)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                finally:
+                    session.close()
+
+            observer = threading.Thread(target=snapshotter)
+            observer.start()
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(self.N_THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            stop.set()
+            observer.join()
+
+            assert not errors, errors
+            # Replay policy: conflicts merge without re-running the body,
+            # so every transaction posted its two events exactly once.
+            expected = self.N_THREADS * self.TXNS_EACH * 2
+            assert mvcc.buffered_advances == expected
+            assert torn == [], f"torn snapshot(s) observed: {torn[:3]}"
+        finally:
+            db.close()
+
+    def test_standalone_stats_have_their_own_lock(self):
+        stats = MvccStats()
+        stats.buffered_advances = 3
+        assert stats.snapshot()["buffered_advances"] == 3
+        stats.reset()
+        assert stats.snapshot()["buffered_advances"] == 0
 
 
 # ---------------------------------------------------------------------------

@@ -29,8 +29,33 @@ from benchmarks.common import emit_table
 
 POOL = 16
 TXNS_PER_SESSION = 40
+#: Measured repeats per cell; the reported run is the throughput median.
+REPEATS = 3
 
 _RESULTS: list[list[str]] = []
+
+
+def _median_run(make_db, run, n_sessions, repeats=REPEATS):
+    """One discarded warmup run, then *repeats* measured runs, each on a
+    fresh database; returns the run with the median throughput.
+
+    The raw single-shot numbers were bimodal (the first run pays import
+    and code-object warmup, allocator growth, and — on disk — cold page
+    cache; thread start jitter splits the rest into fast/slow modes), so
+    a lone sample routinely moved 2x run to run.  Warmup plus
+    median-of-N makes the E16/E16b/E20 columns comparable across runs.
+    """
+    results = []
+    for attempt in range(repeats + 1):
+        db = make_db(attempt)
+        try:
+            figures = run(db, n_sessions)
+        finally:
+            db.close()
+        if attempt > 0:  # attempt 0 is the warmup, discarded
+            results.append(figures)
+    results.sort(key=lambda figures: figures["throughput"])
+    return results[len(results) // 2]
 
 
 class Slot(Persistent):
@@ -101,13 +126,16 @@ def run_sessions(db, n_sessions):
 @pytest.mark.parametrize("engine", ["mm", "disk"])
 @pytest.mark.parametrize("sessions", [1, 2, 4, 8])
 def test_concurrent_sessions(benchmark, tmp_path, engine, sessions):
-    db = Database.open(str(tmp_path / f"e16-{engine}-{sessions}"), engine=engine)
-    try:
-        figures = benchmark.pedantic(
-            lambda: run_sessions(db, sessions), rounds=1, iterations=1
+    def make_db(attempt):
+        return Database.open(
+            str(tmp_path / f"e16-{engine}-{sessions}-r{attempt}"), engine=engine
         )
-    finally:
-        db.close()
+
+    figures = benchmark.pedantic(
+        lambda: _median_run(make_db, run_sessions, sessions),
+        rounds=1,
+        iterations=1,
+    )
     _RESULTS.append(
         [
             engine,
@@ -198,15 +226,15 @@ def run_trigger_sessions(db, n_sessions):
 def test_trigger_posting_ab(tmp_path, sessions):
     figures = {}
     for cc in ("2pl", "mvcc"):
-        db = Database.open(
-            str(tmp_path / f"e16-ab-{cc}-{sessions}"),
-            engine="mm",
-            trigger_cc=cc,
-        )
-        try:
-            figures[cc] = run_trigger_sessions(db, sessions)
-        finally:
-            db.close()
+
+        def make_db(attempt, cc=cc):
+            return Database.open(
+                str(tmp_path / f"e16-ab-{cc}-{sessions}-r{attempt}"),
+                engine="mm",
+                trigger_cc=cc,
+            )
+
+        figures[cc] = _median_run(make_db, run_trigger_sessions, sessions)
         _AB_THROUGHPUT[(cc, sessions)] = figures[cc]["throughput"]
         _AB_RESULTS.append(
             [
@@ -253,7 +281,9 @@ def teardown_module(module):
                 "and their retries land in their own p99 (retries counted "
                 "as retries, not victims).  Under MVCC postings buffer and "
                 "merge at commit: zero deadlock retries by construction; "
-                "conflict retries appear only under the abort policy."
+                "conflict retries appear only under the abort policy.  "
+                f"Each cell is the median of {REPEATS} runs after one "
+                "discarded warmup run, each on a fresh database."
             ),
         )
     emit_table(
@@ -275,6 +305,8 @@ def teardown_module(module):
             "backoff.  Throughput is committed transactions / wall time; "
             "latencies are measured per transaction inside each session "
             "thread (retries included — a deadlock's cost lands in its "
-            "victim's tail latency)."
+            "victim's tail latency).  Each cell is the median of "
+            f"{REPEATS} runs after one discarded warmup run, each on a "
+            "fresh database."
         ),
     )

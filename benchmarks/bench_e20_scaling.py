@@ -1,0 +1,268 @@
+"""E20 — session-count scaling with the serial points removed.
+
+The PR-10 headline table: commit-heavy tiny transactions over N real
+``threading`` sessions, per engine, in two configurations:
+
+* **baseline** — the pre-refactor shape: a 1-stripe lock manager (one
+  global mutex), per-commit fsync (``group_commit=False``), and
+  per-event posting;
+* **scaled** — striped lock manager (default stripe count), WAL group
+  commit, and :meth:`Session.post_many` batch posting.
+
+Each session owns a private slot and a private watched object, so there
+is **zero lock contention** — what the table isolates is the fixed
+serial costs of the engine itself: the lock-manager mutex, the commit
+mutex, and the one-fsync-per-commit discipline.  Before this PR those
+made N sessions *slower* than one (E16: disk 836 txn/s at 1 session,
+627 at 4); the acceptance bar here is the reverse — the scaled config
+must be **no slower at 8 sessions than at 1** on both engines (the CI
+``scaling`` gate), and at least 1.5x faster on at least one.
+
+Python's GIL still serializes the interpreter work, so the scaling
+comes from what releases the GIL: the WAL write and fsync.  Each
+transaction updates a blob (``PAYLOADS``, sized per engine), so the
+commit's durability cost (append + fsync of the images) is real I/O —
+a lone session pays it *in series* with its interpreter work, while
+with group commit one leader's fsync covers every follower that
+appended meanwhile and the other sessions' interpreter work runs
+during it.  (With empty-payload transactions the experiment cannot
+scale at all: a small-append fsync on this class of hardware is
+~0.1 ms against ~0.5 ms of GIL-bound interpreter work per transaction,
+so there is nothing to overlap — that shape is E16's subject, not
+E20's.)
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.objects.database import Database
+from repro.objects.persistent import Persistent
+from repro.objects.schema import field
+from repro.workloads.locksim import HotObject
+
+from benchmarks.bench_e16_concurrent_sessions import _median_run, _percentile
+from benchmarks.common import emit_table
+
+TXNS_PER_SESSION = 100
+EVENTS_PER_TXN = 2
+#: Per-transaction blob update, per engine.  Sized so the commit's WAL
+#: traffic is real I/O rather than epsilon (a small-append fsync is
+#: ~0.1 ms here, under the ~0.5 ms of GIL-bound work per transaction),
+#: while keeping each engine inside the regime where the *commit path*
+#: is the bottleneck:
+#:
+#: * mm keeps records in a dict, so payload raises the WAL append +
+#:   fsync cost (GIL-released) much faster than interpreter cost — a
+#:   large blob gives the widest overlap window;
+#: * disk pays slotted-page encode and buffer-pool traffic per blob
+#:   page (GIL-held, under the engine mutex), and a large blob's dirty
+#:   working set at 8 sessions evicts — churn that measures page
+#:   replacement, not the commit path.  A page-sized blob keeps the
+#:   working set resident while the fsync still dominates.
+PAYLOADS = {"mm": 64 * 1024, "disk": 4 * 1024}
+SESSION_COUNTS = (1, 2, 4, 8)
+
+#: (engine, config, sessions) -> txn/s, read by the gate + teardown.
+_THROUGHPUT: dict[tuple[str, str, int], float] = {}
+_RESULTS: list[list[str]] = []
+
+
+class PrivateSlot(Persistent):
+    value = field(int, default=0)
+    payload = field(bytes, default=b"")
+
+
+def _open(path, engine, config):
+    kwargs = {}
+    if engine == "disk":
+        # Size the pool to the blob working set (both configs get it, so
+        # the A/B stays fair): E20 measures the commit path's serial
+        # costs, not page-replacement thrash.
+        kwargs["buffer_capacity"] = 4096
+    if config == "baseline":
+        return Database.open(
+            path, engine=engine, lock_stripes=1, group_commit=False, **kwargs
+        )
+    return Database.open(path, engine=engine, group_commit=True, **kwargs)
+
+
+def run_commit_heavy(db, n_sessions, config, payload):
+    """N sessions, each committing TXNS_PER_SESSION transactions against
+    private objects: one slot increment, one *payload*-byte blob update,
+    plus EVENTS_PER_TXN Ping postings to a private watched HotObject
+    (batched via post_many in the scaled config, a per-event loop in the
+    baseline)."""
+    with db.transaction():
+        slots = [db.pnew(PrivateSlot).ptr for _ in range(n_sessions)]
+        watched = []
+        for _ in range(n_sessions):
+            handle = db.pnew(HotObject)
+            handle.Watch()
+            watched.append(handle.ptr)
+
+    latencies_ms = []
+    lat_lock = threading.Lock()
+    errors = []
+
+    def worker(index):
+        session = db.session(f"e20-{index}")
+        slot, hot = slots[index], watched[index]
+        # Two distinct pre-built blobs, alternated so every transaction
+        # really changes the field (a same-value write could be elided).
+        blobs = [os.urandom(payload), os.urandom(payload)]
+        local = []
+        try:
+            for txn_index in range(TXNS_PER_SESSION):
+
+                def body(txn, txn_index=txn_index):
+                    handle = session.deref(slot)
+                    handle.value = handle.value + 1
+                    handle.payload = blobs[txn_index % 2]
+                    if config == "scaled":
+                        session.post_many([(hot, "Ping")] * EVENTS_PER_TXN)
+                    else:
+                        target = session.deref(hot)
+                        for _ in range(EVENTS_PER_TXN):
+                            target.post_event("Ping")
+
+                start = time.perf_counter()
+                session.run(body)
+                local.append((time.perf_counter() - start) * 1e3)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            session.close()
+            with lat_lock:
+                latencies_ms.extend(local)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_sessions)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    wall = time.perf_counter() - wall_start
+    assert not errors, errors
+
+    with db.transaction():
+        total = sum(db.deref(ptr).value for ptr in slots)
+    assert total == n_sessions * TXNS_PER_SESSION  # conservation
+
+    latencies_ms.sort()
+    committed = n_sessions * TXNS_PER_SESSION
+    stats = db.storage.stats
+    return {
+        "throughput": committed / wall,
+        "p50": _percentile(latencies_ms, 0.50),
+        "p99": _percentile(latencies_ms, 0.99),
+        "group_commits": stats.group_commits,
+        "group_piggybacks": stats.group_piggybacks,
+    }
+
+
+@pytest.mark.parametrize("engine", ["mm", "disk"])
+@pytest.mark.parametrize("config", ["baseline", "scaled"])
+def test_scaling(tmp_path, engine, config):
+    payload = PAYLOADS[engine]
+    for sessions in SESSION_COUNTS:
+
+        def make_db(attempt):
+            return _open(
+                str(tmp_path / f"e20-{engine}-{config}-{sessions}-r{attempt}"),
+                engine,
+                config,
+            )
+
+        figures = _median_run(
+            make_db,
+            lambda db, n: run_commit_heavy(db, n, config, payload),
+            sessions,
+        )
+        _THROUGHPUT[(engine, config, sessions)] = figures["throughput"]
+        _RESULTS.append(
+            [
+                engine,
+                config,
+                sessions,
+                f"{figures['throughput']:8.0f}",
+                f"{figures['p50']:7.3f}",
+                f"{figures['p99']:7.3f}",
+                figures["group_commits"],
+                figures["group_piggybacks"],
+            ]
+        )
+
+
+@pytest.mark.parametrize("engine", ["mm", "disk"])
+def test_scaled_config_does_not_regress_with_sessions(engine):
+    """The CI gate: with the serial points removed, adding sessions must
+    not cost throughput — 8 sessions at least match 1, modulo the
+    shared-storage fsync jitter medians cannot fully cancel (observed
+    ±5% on equal cells even at median-of-3)."""
+    one = _THROUGHPUT.get((engine, "scaled", 1))
+    eight = _THROUGHPUT.get((engine, "scaled", 8))
+    if one is None or eight is None:
+        pytest.skip("test_scaling did not run for this engine")
+    assert eight >= 0.95 * one, (
+        f"{engine}: scaled 8-session throughput {eight:.0f} txn/s "
+        f"regressed below the 1-session {one:.0f} txn/s"
+    )
+
+
+def test_scaling_headroom_on_at_least_one_engine():
+    """The PR acceptance bar: >=1.5x at 8 sessions vs 1 somewhere."""
+    ratios = {}
+    for engine in ("mm", "disk"):
+        one = _THROUGHPUT.get((engine, "scaled", 1))
+        eight = _THROUGHPUT.get((engine, "scaled", 8))
+        if one and eight:
+            ratios[engine] = eight / one
+    if not ratios:
+        pytest.skip("test_scaling did not run")
+    assert max(ratios.values()) >= 1.5, (
+        f"no engine reached 1.5x at 8 sessions: {ratios}"
+    )
+
+
+def teardown_module(module):
+    if not _RESULTS:
+        return
+    _RESULTS.sort(key=lambda row: (row[0], row[1], row[2]))
+    payloads = ", ".join(
+        f"{engine} {size // 1024}KB" for engine, size in sorted(PAYLOADS.items())
+    )
+    emit_table(
+        "E20",
+        f"serial-point removal: throughput vs sessions ({TXNS_PER_SESSION} "
+        f"commit-heavy txns per session, {EVENTS_PER_TXN} postings each, "
+        f"blob per txn: {payloads}; private objects, real threads)",
+        [
+            "engine",
+            "config",
+            "sessions",
+            "txn/s",
+            "p50 ms",
+            "p99 ms",
+            "group commits",
+            "piggybacks",
+        ],
+        _RESULTS,
+        notes=(
+            "baseline = 1-stripe lock manager, per-commit fsync, per-event "
+            "posting; scaled = striped locks + WAL group commit + "
+            "post_many.  Sessions touch disjoint objects, so the table "
+            "isolates the engine's fixed serial costs, not lock "
+            "contention.  group commits / piggybacks are the scaled "
+            "config's batching evidence (piggybacks = forces that rode "
+            "a leader's fsync).  Blob sizes are per engine — each engine "
+            "is measured in the regime where its commit path, not page "
+            "replacement, is the bottleneck (see PAYLOADS).  Each cell "
+            "is the median of 3 runs after one discarded warmup run, "
+            "each on a fresh database."
+        ),
+    )

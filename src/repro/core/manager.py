@@ -370,6 +370,38 @@ class TriggerSystem:
             f"{metatype.name} declares no user-defined event {name!r}"
         )
 
+    def post_many(self, db: "Database", items) -> int:
+        """Post a batch of user-defined events by name; returns firings.
+
+        *items* is an iterable of ``(ptr, obj, event_name)``.  Event
+        names resolve to event integers once per metatype for the whole
+        batch; names are validated for every item up front, so an
+        unknown event aborts the call before anything is posted.  The
+        postings themselves go through :func:`repro.core.posting
+        .post_many`, which amortizes the per-posting fixed costs.
+        """
+        from repro.core.posting import post_many
+
+        tables: dict[int, dict[str, int]] = {}
+        batch = []
+        for ptr, obj, name in items:
+            metatype = type(obj).__metatype__
+            table = tables.get(id(metatype))
+            if table is None:
+                table = {
+                    decl.name: metatype.event_ints[decl.symbol]
+                    for decl in metatype.declared_events
+                    if decl.kind == "user"
+                }
+                tables[id(metatype)] = table
+            eventnum = table.get(name)
+            if eventnum is None:
+                raise UnknownEventError(
+                    f"{metatype.name} declares no user-defined event {name!r}"
+                )
+            batch.append((eventnum, ptr, obj, None))
+        return post_many(self, db, batch)
+
     # -- transaction events (Section 5.5) --------------------------------------------
 
     def on_access(

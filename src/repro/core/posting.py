@@ -193,6 +193,8 @@ class PostingStats:
     #: masks evaluated while quiescing a freshly activated machine
     masks_evaluated_activation: int = 0
     firings: int = 0
+    #: events posted through the :func:`post_many` batch API
+    batched: int = 0
     #: postings whose ready set contained a statically non-confluent
     #: trigger pair (the firing-order guard observed a real race)
     nonconfluent_firing_sets: int = 0
@@ -251,13 +253,64 @@ def post_event(
         return 0
 
     txn = db.txn_manager.current()
-    ready: list[FiringRecord] = []
-
     state_rids = system.index.lookup(txn, ptr.rid)
     if span:
         obs.emit(
             "index.lookup", span, rid=ptr.rid, txid=txn.txid, states=len(state_rids)
         )
+    return _post_to_states(
+        system, db, txn, eventnum, ptr, obj, occurrence, state_rids, span
+    )
+
+
+#: "No pre-resolved compiled cache" marker for :func:`_post_to_states` —
+#: ``None`` is a legitimate resolved value (tier disabled).
+_UNSET = object()
+
+
+def _compiled_cache(system: "TriggerSystem", txn: "Transaction"):
+    """Resolve (or clear) the per-transaction compiled-state cache.
+
+    Returns the live cache dict when the compiled tier serves this
+    posting, else ``None`` — and in the latter case drops any stale
+    cache so a later re-enable cannot resurrect a state the interpreter
+    path has since rewritten.
+    """
+    if system.compiled_enabled and not obs.ENABLED:
+        cache = txn.attachment(COMPILED_STATE_CACHE, dict)
+        version = system.compiled.version
+        if cache.get("!v") != version:
+            cache.clear()
+            cache["!v"] = version
+        return cache
+    stale = txn.attachments.get(COMPILED_STATE_CACHE)
+    if stale:
+        stale.clear()
+    return None
+
+
+def _post_to_states(
+    system: "TriggerSystem",
+    db: "Database",
+    txn: "Transaction",
+    eventnum: int,
+    ptr: PersistentPtr,
+    obj: "Persistent",
+    occurrence: EventOccurrence,
+    state_rids: list[int],
+    span: int,
+    cache=_UNSET,
+) -> int:
+    """Advance every machine in *state_rids* on *eventnum*, then fire.
+
+    The tail of one posting, after the control-flag check and the
+    trigger-index lookup: :func:`post_event` calls it with a fresh
+    lookup, :func:`post_many` with batch-cached lookups and a
+    pre-resolved compiled-tier *cache*.  Ends *span* and returns the
+    number of firings queued.
+    """
+    stats = system.stats
+    ready: list[FiringRecord] = []
 
     if system.versions is not None:
         # MVCC (DESIGN.md §15): the advance goes to the per-transaction
@@ -273,20 +326,9 @@ def post_event(
         # The compiled fast path: when the tier is enabled and obs is quiet
         # (tracing wants the interpreter's per-mask events), serve advances
         # from generated per-trigger code and a per-transaction cache of
-        # decoded states.  Disabled mid-transaction (obs flipped on, tier
-        # turned off), any existing cache is cleared so a later re-enable
-        # cannot resurrect a state the interpreter path has since rewritten.
-        cache = None
-        if system.compiled_enabled and not obs.ENABLED:
-            cache = txn.attachment(COMPILED_STATE_CACHE, dict)
-            version = system.compiled.version
-            if cache.get("!v") != version:
-                cache.clear()
-                cache["!v"] = version
-        else:
-            stale = txn.attachments.get(COMPILED_STATE_CACHE)
-            if stale:
-                stale.clear()
+        # decoded states (see _compiled_cache for the staleness rules).
+        if cache is _UNSET:
+            cache = _compiled_cache(system, txn)
 
         for state_rid in state_rids:
             entry = cache.get(state_rid) if cache is not None else None
@@ -386,6 +428,86 @@ def post_event(
     if span:
         obs.end_span(span, "post", firings=len(ready))
     return len(ready)
+
+
+def post_many(
+    system: "TriggerSystem",
+    db: "Database",
+    batch,
+) -> int:
+    """Post a batch of events in order; returns total firings queued.
+
+    *batch* is an iterable of ``(eventnum, ptr, obj, occurrence)``
+    tuples (``occurrence`` may be ``None``).  Semantically identical to
+    calling :func:`post_event` once per tuple — same advance order, same
+    firing points, same stats — but the fixed per-posting costs are paid
+    once per batch instead:
+
+    * one ``txn_manager.current()`` resolution;
+    * one compiled-tier cache probe (2PL) — MVCC advances already cache
+      per machine on their :class:`~repro.core.versioned.BufferEntry`;
+    * one trigger-index lookup per *distinct rid*, via a batch-local
+      ``rid -> state_rids`` cache;
+    * one ``obs.ENABLED`` check for the quiet common case.
+
+    The caches are dropped after any posting that fired: an immediate
+    action can activate or deactivate machines (changing index buckets)
+    and flip obs or the compiled tier, so nothing observed before the
+    firing may be trusted after it.
+    """
+    stats = system.stats
+    total = 0
+    txn = None
+    cache = _UNSET
+    index_cache: dict[int, list[int]] = {}
+    tracing = obs.ENABLED
+    for eventnum, ptr, obj, occurrence in batch:
+        stats.events_posted += 1
+        stats.batched += 1
+        if occurrence is None:
+            occurrence = EventOccurrence(eventnum=eventnum)
+        span = 0
+        if tracing:
+            span = obs.begin_span(
+                "post",
+                eventnum=eventnum,
+                method=occurrence.method,
+                rid=ptr.rid,
+                type=type(obj).__name__,
+                session=db.current_session().name,
+                batched=True,
+            )
+        if not obj.__dict__.get("_p_flags", 0) & FLAG_HAS_TRIGGERS:
+            stats.skipped_no_triggers += 1
+            if span:
+                obs.end_span(span, "post", skipped="no-active-triggers")
+            continue
+        if txn is None:
+            txn = db.txn_manager.current()
+        state_rids = index_cache.get(ptr.rid)
+        if state_rids is None:
+            state_rids = system.index.lookup(txn, ptr.rid)
+            index_cache[ptr.rid] = state_rids
+        if span:
+            obs.emit(
+                "index.lookup",
+                span,
+                rid=ptr.rid,
+                txid=txn.txid,
+                states=len(state_rids),
+            )
+        if cache is _UNSET and system.versions is None:
+            cache = _compiled_cache(system, txn)
+        fired = _post_to_states(
+            system, db, txn, eventnum, ptr, obj, occurrence, state_rids, span,
+            cache=cache,
+        )
+        total += fired
+        if fired:
+            index_cache.clear()
+            cache = _UNSET
+            tracing = obs.ENABLED
+    return total
 
 
 def _advance_buffered(

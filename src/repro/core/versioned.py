@@ -49,6 +49,18 @@ transaction already holds, which grants immediately, and the failure
 path defers its system-queue drain until the mutex is released), so the
 cooperative scheduler cannot wedge on it.
 
+The commit mutex is **sharded by state rid** (:class:`ShardedCommitMutex`,
+``rid % shards``): a committer takes only the shards covering the rids in
+its advance buffer, in ascending shard order (total order, so no ABBA
+deadlock between committers).  Two transactions whose buffered machines
+hash to disjoint shards validate, merge, and publish fully concurrently —
+a second global serial point removed, after the storage engine's own
+commit restructure.  All of the exclusion arguments above are per rid:
+validation of rid *r* against its head, the lock-free ``write_merged`` of
+*r*, *r*'s WAL undo on a failed merge, and the publish of *r*'s new head
+all happen under shard ``r % N``, which is exactly what the single mutex
+guaranteed.
+
 Known semantic window: firings are dispatched optimistically at posting
 time from the buffered view.  A ``"replay"`` merge repairs the committed
 *state*, not actions that already ran — the same anomaly Ode accepts for
@@ -57,6 +69,7 @@ detached coupling modes, documented in DESIGN.md §15.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import itertools
 import threading
@@ -75,6 +88,74 @@ ADVANCE_BUFFER = "trigger:advance_buffer"
 
 #: The selectable lost-update policies.
 CONFLICT_POLICIES = ("replay", "abort")
+
+#: Shards of the commit mutex (rid -> rid % N).  Small relative to the
+#: lock manager's stripe count: commit sections are short, and a txn
+#: acquires every shard its buffer covers, so more shards raises the
+#: per-commit acquisition count faster than it lowers contention.
+DEFAULT_COMMIT_SHARDS = 8
+
+
+class ShardedCommitMutex:
+    """The commit mutex, sharded by state rid (``rid % shards``).
+
+    Each shard is an :class:`threading.RLock`; a committer acquires the
+    shards covering its advance buffer in **ascending index order** via
+    :meth:`TriggerVersionManager.commit_lock`, so two committers can
+    never hold-and-wait in opposite orders.  Used as a plain context
+    manager it takes *every* shard (a stop-the-world section, the exact
+    behavior of the old single RLock — diagnostics and tests that want
+    to freeze all heads still can).
+    """
+
+    def __init__(self, shards: int = DEFAULT_COMMIT_SHARDS) -> None:
+        if shards < 1:
+            raise ValueError(f"commit shards must be >= 1, got {shards}")
+        self._shards = tuple(threading.RLock() for _ in range(shards))
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, rid: int) -> int:
+        return rid % len(self._shards)
+
+    def indices_for(self, rids) -> list[int]:
+        """The sorted shard indices covering *rids* (all shards if empty —
+        a committer with no identifiable footprint must exclude everyone)."""
+        if not rids:
+            return list(range(len(self._shards)))
+        return sorted({self.shard_of(rid) for rid in rids})
+
+    @contextlib.contextmanager
+    def acquire(self, rids):
+        """Hold the shards covering *rids*, ascending; release reversed."""
+        indices = self.indices_for(rids)
+        acquired: list[int] = []
+        try:
+            for index in indices:
+                self._shards[index].acquire()
+                acquired.append(index)
+            yield
+        finally:
+            for index in reversed(acquired):
+                self._shards[index].release()
+
+    # -- single-RLock compatibility surface --------------------------------
+
+    def __enter__(self) -> "ShardedCommitMutex":
+        for shard in self._shards:
+            shard.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for shard in reversed(self._shards):
+            shard.release()
+
+    def _is_owned(self) -> bool:
+        """Whether the calling thread holds at least one shard (the old
+        ``RLock._is_owned`` probe the rollback-under-mutex test uses)."""
+        return any(shard._is_owned() for shard in self._shards)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -201,7 +282,12 @@ class MvccStats:
 class TriggerVersionManager:
     """Copy-on-write TriggerState versions for one database."""
 
-    def __init__(self, db: "Database", conflict_policy: str = "replay"):
+    def __init__(
+        self,
+        db: "Database",
+        conflict_policy: str = "replay",
+        commit_shards: int = DEFAULT_COMMIT_SHARDS,
+    ):
         if conflict_policy not in CONFLICT_POLICIES:
             raise ValueError(
                 f"unknown MVCC conflict policy {conflict_policy!r}: "
@@ -217,9 +303,10 @@ class TriggerVersionManager:
         # sites already inside ``with self._chain_mutex`` increment
         # directly; everything else takes ``stats._mutex``.
         self.stats._mutex = self._chain_mutex
-        #: Serializes [merge -> storage commit -> publish]; RLock so a
-        #: diagnostic inside the section can still read heads.
-        self.commit_mutex = threading.RLock()
+        #: Serializes [merge -> storage commit -> publish] per state-rid
+        #: shard; reentrant shards so a diagnostic inside the section can
+        #: still read heads.
+        self.commit_mutex = ShardedCommitMutex(commit_shards)
         self._vids = itertools.count(1)
 
     # -- buffers ---------------------------------------------------------------
@@ -288,11 +375,29 @@ class TriggerVersionManager:
 
     # -- commit-time merge ------------------------------------------------------
 
+    def commit_lock(self, txn: "Transaction"):
+        """The commit-mutex section covering *txn*'s advance buffer.
+
+        Resolves the buffer's rid footprint (entries + deactivations) to
+        commit-mutex shards and holds them, ascending, for the duration —
+        everything :meth:`commit_merge` and :meth:`publish` touch for a
+        rid happens under that rid's shard.  The footprint is fixed once
+        the merge starts (posting is over; the buffer dies with the
+        transaction), so the shard set computed here covers the whole
+        section.
+        """
+        buffer = txn.attachments.get(ADVANCE_BUFFER)
+        rids: set[int] = set()
+        if buffer is not None:
+            rids.update(buffer.entries)
+            rids.update(buffer.deactivated)
+        return self.commit_mutex.acquire(rids)
+
     def commit_merge(self, txn: "Transaction") -> list[tuple[int, TriggerState]]:
         """Validate and write *txn*'s buffered advances; returns the
         ``(rid, merged state)`` pairs to publish after the storage commit.
 
-        Must run under :attr:`commit_mutex`.  Raises
+        Must run under :meth:`commit_lock`.  Raises
         :class:`TriggerStateConflictError` when a lost update is found
         and the policy is ``"abort"`` — before the storage commit, so the
         ordinary abort path rolls back everything (including any merged
@@ -368,7 +473,7 @@ class TriggerVersionManager:
     ) -> None:
         """Install the merged states as new committed heads.
 
-        Called under :attr:`commit_mutex`, *after* the storage commit is
+        Called under :meth:`commit_lock`, *after* the storage commit is
         durable — a published head must never precede its durability.
         """
         buffer = txn.attachments.get(ADVANCE_BUFFER)

@@ -28,6 +28,7 @@ from repro.errors import (
     ObjectError,
     RecordNotFoundError,
     SessionError,
+    TriggerError,
 )
 from repro.objects.cluster import Cluster
 from repro.objects.handle import PersistentHandle
@@ -100,6 +101,9 @@ class Database:
             self.metrics = MetricsRegistry()
             self.metrics.register_source("storage", self.storage.stats)
             self.metrics.register_source("locks", self.storage.lock_manager.stats)
+            from repro.storage.wal import WalStatsView
+
+            self.metrics.register_source("wal", WalStatsView(self.storage.stats))
             self.storage.degrade_listener = self._on_degraded
             self.txn_manager = TransactionManager(self)
             self.phoenix = PhoenixQueue(self)
@@ -249,6 +253,31 @@ class Database:
             if self.trigger_system is not None:
                 self.trigger_system.on_access(txn, ptr, instance)
         return PersistentHandle(self, ptr, instance, self.current_session())
+
+    def post_many(self, items) -> int:
+        """Post a batch of user-defined events in the current transaction.
+
+        *items* is an iterable of ``(target, event_name)`` pairs where
+        *target* is a :class:`PersistentHandle` or a
+        :class:`~repro.objects.oid.PersistentPtr`.  Equivalent to
+        ``handle.post_event(name)`` per pair — same order, same firing
+        semantics — but the per-posting fixed costs (transaction
+        resolution, trigger-index lookups, compiled-tier cache probes)
+        are amortized across the batch; see
+        :func:`repro.core.posting.post_many`.  Returns total firings.
+        """
+        self._check_open()
+        if self.trigger_system is None:
+            raise TriggerError("this database has no trigger system attached")
+        resolved = []
+        for target, name in items:
+            handle = (
+                target
+                if isinstance(target, PersistentHandle)
+                else self.deref(target)
+            )
+            resolved.append((handle.ptr, handle.obj, name))
+        return self.trigger_system.post_many(self, resolved)
 
     def pdelete(self, ptr: PersistentPtr) -> None:
         """Free a persistent object (O++ ``pdelete``)."""

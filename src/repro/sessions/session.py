@@ -262,6 +262,12 @@ class Session:
         with ambient_session(self):
             return self.db.find(cls, field_name, value)
 
+    def post_many(self, items) -> int:
+        """Batch-post ``(handle_or_ptr, event_name)`` pairs in this
+        session's transaction (see :meth:`Database.post_many`)."""
+        with ambient_session(self):
+            return self.db.post_many(items)
+
     # -- plumbing ----------------------------------------------------------------
 
     def current_txn_or_raise(self) -> "Transaction":

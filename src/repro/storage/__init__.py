@@ -22,12 +22,18 @@ exactly as Ode and MM-Ode "share a great deal of run-time system code"
 from repro.storage.buffer import BufferPool, PagedFile
 from repro.storage.disk import DiskStorageManager
 from repro.storage.interface import StorageManager, StorageStats
-from repro.storage.locks import LockManager, LockMode, LockRequestStatus
+from repro.storage.locks import (
+    DEFAULT_LOCK_STRIPES,
+    LockManager,
+    LockMode,
+    LockRequestStatus,
+)
 from repro.storage.mainmem import MainMemoryStorageManager
 from repro.storage.page import PAGE_SIZE, SlottedPage
 from repro.storage.wal import LogRecord, LogRecordKind, WriteAheadLog
 
 __all__ = [
+    "DEFAULT_LOCK_STRIPES",
     "PAGE_SIZE",
     "BufferPool",
     "DiskStorageManager",

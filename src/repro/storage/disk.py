@@ -52,7 +52,7 @@ from repro.errors import (
 from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.storage.buffer import BufferPool, PagedFile
 from repro.storage.interface import StorageManager
-from repro.storage.locks import LockManager, LockMode
+from repro.storage.locks import DEFAULT_LOCK_STRIPES, LockManager, LockMode
 from repro.storage.page import PAGE_SIZE, USABLE_END, SlottedPage
 from repro.storage.recovery import RecoveryStats, recover
 from repro.storage.wal import LogRecord, LogRecordKind, WriteAheadLog
@@ -113,26 +113,36 @@ class DiskStorageManager(StorageManager):
         path: str,
         buffer_capacity: int = 128,
         injector: FaultInjector = NULL_INJECTOR,
+        lock_stripes: int = DEFAULT_LOCK_STRIPES,
+        group_commit: bool = False,
     ):
         super().__init__()
         self.path = str(path)
         self.injector = injector
         self.degraded = False
+        self.group_commit = group_commit
         self._file = PagedFile(
             self.path + ".data", injector=injector, stats=self.stats
         )
         self._wal = None
         try:
             self._wal = WriteAheadLog(
-                self.path + ".wal", stats=self.stats, injector=injector
+                self.path + ".wal",
+                stats=self.stats,
+                injector=injector,
+                group_commit=group_commit,
             )
             self._pool = BufferPool(
                 self._file,
                 capacity=buffer_capacity,
                 stats=self.stats,
+                # WAL-before-data staging: force() returns only once every
+                # byte appended so far is durable, which is exactly the
+                # write-ahead rule — so a STEAL eviction may ride a commit
+                # leader's batched fsync instead of paying its own.
                 pre_write=self._wal.force,
             )
-            self._locks = LockManager()
+            self._locks = LockManager(stripes=lock_stripes)
             # Engine-wide mutex for threaded sessions: guards pages, the
             # buffer pool, the free map, per-txn undo lists, and the WAL.
             # Record locks are always taken *outside* it — a blocking lock
@@ -277,14 +287,28 @@ class DiskStorageManager(StorageManager):
             self.injector.fire("txn.commit.begin", txid=txid)
             try:
                 self._wal.append(txid, LogRecordKind.COMMIT)
-                self._wal.force()
             except UnrecoverableMediaError as exc:
                 self._degrade()
                 raise ReadOnlyStorageError(
                     f"commit of transaction {txid} failed permanently; "
                     "database degraded to read-only"
                 ) from exc
-            self.injector.fire("txn.commit.durable", txid=txid)
+        # The durability fsync runs OUTSIDE the engine mutex: with group
+        # commit, concurrent committers elect a leader that fsyncs once
+        # for the batch; without it, overlapping appends are still safe
+        # because WAL durability is prefix-based (an fsync covering later
+        # records covers this COMMIT too).  The txid stays in ``_active``
+        # until durable so an abort-after-failure can still undo it.
+        try:
+            self._wal.force()
+        except UnrecoverableMediaError as exc:
+            self._degrade()
+            raise ReadOnlyStorageError(
+                f"commit of transaction {txid} failed permanently; "
+                "database degraded to read-only"
+            ) from exc
+        self.injector.fire("txn.commit.durable", txid=txid)
+        with self._mutex:
             del self._active[txid]
             self.stats.commits += 1
         # Outside the mutex: releasing grants queued requests FIFO and
@@ -472,7 +496,7 @@ class DiskStorageManager(StorageManager):
         try:
             self.injector.fire("checkpoint.begin")
             with self._mutex:
-                self._wal.force()
+                self._wal.force_now()
                 self._pool.flush_all()
                 self.injector.fire("checkpoint.after_flush")
                 self._write_header()

@@ -32,6 +32,10 @@ class StorageStats:
     aborts: int = 0
     log_records: int = 0
     log_forces: int = 0
+    #: grouped fsyncs performed by a group-commit leader (one covers a batch)
+    group_commits: int = 0
+    #: commits whose durability rode a leader's batched fsync (no own fsync)
+    group_piggybacks: int = 0
     page_hits: int = 0
     page_misses: int = 0
     page_evictions: int = 0

@@ -29,7 +29,7 @@ from repro.errors import (
 )
 from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.storage.interface import StorageManager
-from repro.storage.locks import LockManager, LockMode
+from repro.storage.locks import DEFAULT_LOCK_STRIPES, LockManager, LockMode
 from repro.storage.recovery import RecoveryStats, recover
 from repro.storage.wal import LogRecord, LogRecordKind, WriteAheadLog
 
@@ -48,11 +48,14 @@ class MainMemoryStorageManager(StorageManager):
         path: str | None = None,
         durable: bool | None = None,
         injector: FaultInjector = NULL_INJECTOR,
+        lock_stripes: int = DEFAULT_LOCK_STRIPES,
+        group_commit: bool = False,
     ):
         super().__init__()
         self.path = str(path) if path is not None else None
         self.injector = injector
         self.degraded = False
+        self.group_commit = group_commit
         if durable is None:
             durable = path is not None
         if durable and path is None:
@@ -66,7 +69,7 @@ class MainMemoryStorageManager(StorageManager):
         # hold the engine mutex.
         self._mutex = threading.RLock()
         self._root = self.NO_ROOT
-        self._locks = LockManager()
+        self._locks = LockManager(stripes=lock_stripes)
         self._active: dict[int, list[LogRecord]] = {}
         self._closed = False
         self._wal: WriteAheadLog | None = None
@@ -74,7 +77,10 @@ class MainMemoryStorageManager(StorageManager):
         if self.durable:
             self._load_snapshot()
             self._wal = WriteAheadLog(
-                self.path + ".oplog", stats=self.stats, injector=injector
+                self.path + ".oplog",
+                stats=self.stats,
+                injector=injector,
+                group_commit=group_commit,
             )
             try:
                 self.last_recovery = recover(
@@ -181,26 +187,43 @@ class MainMemoryStorageManager(StorageManager):
         self._check_open()
         with self._mutex:
             records = self._require_active(txid)
-            if self.degraded:
-                if records:
-                    raise ReadOnlyStorageError(
-                        f"cannot commit transaction {txid}: "
-                        "database degraded to read-only with logged mutations"
-                    )
-            elif self._wal is not None:
+            wal = self._wal if not self.degraded else None
+            if self.degraded and records:
+                raise ReadOnlyStorageError(
+                    f"cannot commit transaction {txid}: "
+                    "database degraded to read-only with logged mutations"
+                )
+            if wal is not None:
                 self.injector.fire("txn.commit.begin", txid=txid)
                 try:
-                    self._wal.append(txid, LogRecordKind.COMMIT)
-                    self._wal.force()
+                    wal.append(txid, LogRecordKind.COMMIT)
                 except UnrecoverableMediaError as exc:
                     self._degrade()
                     raise ReadOnlyStorageError(
                         f"commit of transaction {txid} failed permanently; "
                         "database degraded to read-only"
                     ) from exc
-                self.injector.fire("txn.commit.durable", txid=txid)
-            del self._active[txid]
-            self.stats.commits += 1
+            else:
+                del self._active[txid]
+                self.stats.commits += 1
+        if wal is not None:
+            # The durability fsync runs OUTSIDE the engine mutex so group-
+            # commit leaders can batch concurrent committers (and even
+            # without grouping, overlapping appends are safe: WAL
+            # durability is prefix-based).  The txid stays in ``_active``
+            # until durable so an abort-after-failure can still undo it.
+            try:
+                wal.force()
+            except UnrecoverableMediaError as exc:
+                self._degrade()
+                raise ReadOnlyStorageError(
+                    f"commit of transaction {txid} failed permanently; "
+                    "database degraded to read-only"
+                ) from exc
+            self.injector.fire("txn.commit.durable", txid=txid)
+            with self._mutex:
+                del self._active[txid]
+                self.stats.commits += 1
         # Outside the mutex: releasing grants queued requests FIFO and
         # wakes the blocked sessions that now hold their locks.
         self._locks.release_all(txid)

@@ -162,10 +162,11 @@ class TransactionManager:
                 # MVCC commit-time merge (DESIGN.md §15): validate and
                 # write the buffered TriggerState advances, make the
                 # transaction durable, then publish the new version heads
-                # — all under the version manager's commit mutex so no
-                # concurrent committer can validate against a head that
-                # is about to move.
-                with versions.commit_mutex:
+                # — all under the commit-mutex shards covering the
+                # buffer's rids, so no concurrent committer can validate
+                # against a head that is about to move (committers with
+                # disjoint footprints proceed in parallel).
+                with versions.commit_lock(txn):
                     try:
                         publishes = versions.commit_merge(txn)
                         self.db.storage.commit_transaction(txn.txid)

@@ -411,3 +411,114 @@ class TestPostingStats:
             machine.heat(1.0)
         assert db.trigger_system.stats.state_writes >= 1
         assert db.trigger_system.stats.firings == 1
+
+
+class BatchCounter(Persistent):
+    """Fixture for the batch-posting tests: counts Alert firings."""
+
+    count = field(int, default=0)
+    __events__ = ["Alert", "Tick"]
+    __triggers__ = [
+        trigger(
+            "OnAlert",
+            "Alert",
+            action=lambda self, ctx: self.inc(),
+            perpetual=True,
+        ),
+        trigger(
+            "OnceTick",
+            "Tick",
+            action=lambda self, ctx: self.inc(),
+            perpetual=False,
+        ),
+    ]
+
+    def inc(self):
+        self.count += 1
+
+
+class TestPostMany:
+    def test_batch_equals_per_event_posting(self, any_engine_db):
+        """post_many(pairs) commits exactly the state a per-event loop
+        does — same advance order, same firings — and counts every
+        batched posting in ``posting.batched``."""
+        db = any_engine_db
+        with db.transaction():
+            a, b = db.pnew(BatchCounter), db.pnew(BatchCounter)
+            a_ptr, b_ptr = a.ptr, b.ptr
+            a.OnAlert()
+            b.OnAlert()
+        db.trigger_system.stats.reset()
+        with db.transaction():
+            fired = db.post_many(
+                [(a_ptr, "Alert"), (b_ptr, "Alert"), (a_ptr, "Alert")]
+            )
+        assert fired == 3
+        stats = db.trigger_system.stats
+        assert stats.batched == 3
+        assert stats.firings == 3
+        assert db.metrics.snapshot()["posting.batched"] == 3
+        with db.transaction():
+            assert db.deref(a_ptr).count == 2
+            assert db.deref(b_ptr).count == 1
+
+    def test_accepts_handles_and_pointers(self, any_engine_db):
+        db = any_engine_db
+        with db.transaction():
+            handle = db.pnew(BatchCounter)
+            handle.OnAlert()
+            ptr = handle.ptr
+        with db.transaction():
+            handle = db.deref(ptr)
+            assert db.post_many([(handle, "Alert"), (ptr, "Alert")]) == 2
+        with db.transaction():
+            assert db.deref(ptr).count == 2
+
+    def test_unknown_event_rejected_before_anything_posts(self, any_engine_db):
+        """Name validation is up-front: a bad name anywhere in the batch
+        aborts the call before the first event is posted."""
+        db = any_engine_db
+        with db.transaction():
+            ptr = db.pnew(BatchCounter).ptr
+            db.deref(ptr).OnAlert()
+        db.trigger_system.stats.reset()
+        with db.transaction():
+            with pytest.raises(UnknownEventError, match="Nonexistent"):
+                db.post_many([(ptr, "Alert"), (ptr, "Nonexistent")])
+        assert db.trigger_system.stats.events_posted == 0
+        with db.transaction():
+            assert db.deref(ptr).count == 0
+
+    def test_batch_caches_dropped_after_firing(self, any_engine_db):
+        """A once-only trigger deactivated by the first firing must not
+        fire again later in the same batch: the batch-local index cache
+        is invalidated whenever a posting fired."""
+        db = any_engine_db
+        with db.transaction():
+            ptr = db.pnew(BatchCounter).ptr
+            db.deref(ptr).OnceTick()
+        with db.transaction():
+            fired = db.post_many([(ptr, "Tick"), (ptr, "Tick"), (ptr, "Tick")])
+        assert fired == 1
+        with db.transaction():
+            assert db.deref(ptr).count == 1
+
+    def test_session_surface_and_mvcc_buffers(self, db_path):
+        """Session.post_many lands in the calling session's transaction,
+        and under trigger_cc="mvcc" batched postings go through the
+        advance buffers (zero state X-locks) like single postings."""
+        from repro.objects.database import Database
+
+        db = Database.open(db_path, engine="mm", trigger_cc="mvcc")
+        try:
+            with db.transaction():
+                ptr = db.pnew(BatchCounter).ptr
+                db.deref(ptr).OnAlert()
+            session = db.session("batcher")
+            with session.transaction():
+                assert session.post_many([(ptr, "Alert"), (ptr, "Alert")]) == 2
+            with db.transaction():
+                assert db.deref(ptr).count == 2
+            assert db.trigger_system.versions.stats.buffered_advances >= 2
+        finally:
+            db.close()
